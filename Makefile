@@ -1,0 +1,33 @@
+# Development entry points.
+#
+# `pip install -e .` needs the `wheel` package to build editable
+# wheels; on offline machines without it, `make install` falls back to
+# the legacy setuptools develop mode, which needs nothing.
+
+.PHONY: install test bench artifacts examples soundness all
+
+install:
+	pip install -e . 2>/dev/null || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+artifacts: bench
+	@echo "rendered tables/figures are in benchmarks/out/"
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; python $$ex; echo; \
+	done
+
+soundness:
+	@python -c "\
+	from repro.benchsuite import BENCHMARKS; \
+	from repro.interp import check_soundness; \
+	[print(name, check_soundness(b.source, max_steps=400_000).summary()) \
+	 for name, b in BENCHMARKS.items()]"
+
+all: install test bench

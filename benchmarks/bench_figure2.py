@@ -1,0 +1,63 @@
+"""Regenerates Figure 2: invocation graphs for the three calling
+structures (no recursion / simple recursion / simple + mutual)."""
+
+from conftest import write_artifact
+
+from repro.core.invocation_graph import IGNodeKind, InvocationGraph
+from repro.simple import simplify_source
+
+FIGURE_2A = """
+void f(void) { }
+void g(void) { f(); }
+int main() { f(); g(); g(); return 0; }
+"""
+
+FIGURE_2B = """
+void f(void) { f(); }
+int main() { f(); return 0; }
+"""
+
+FIGURE_2C = """
+void g(void);
+void f(void) { f(); g(); }
+void g(void) { f(); }
+int main() { f(); return 0; }
+"""
+
+
+def regenerate():
+    sections = []
+    for title, source in (
+        ("(a) no recursion", FIGURE_2A),
+        ("(b) simple recursion", FIGURE_2B),
+        ("(c) simple and mutual recursion", FIGURE_2C),
+    ):
+        ig = InvocationGraph(simplify_source(source))
+        sections.append(f"Figure 2 {title}:\n{ig.render()}")
+    return "\n\n".join(sections)
+
+
+def test_figure2_regeneration(benchmark, artifact_dir):
+    text = benchmark(regenerate)
+    write_artifact(artifact_dir, "figure2.txt", text)
+    assert "(R)" in text and "(A)" in text
+
+
+def test_figure2a_structure():
+    ig = InvocationGraph(simplify_source(FIGURE_2A))
+    paths = sorted("->".join(n.path()) for n in ig.nodes())
+    # two g subtrees, each with its own f invocation — unique paths.
+    assert paths.count("main->g->f") == 2
+
+
+def test_figure2b_structure():
+    ig = InvocationGraph(simplify_source(FIGURE_2B))
+    assert ig.count_kind(IGNodeKind.RECURSIVE) == 1
+    assert ig.count_kind(IGNodeKind.APPROXIMATE) == 1
+
+
+def test_figure2c_structure():
+    ig = InvocationGraph(simplify_source(FIGURE_2C))
+    # f is self-recursive AND mutually recursive with g.
+    assert ig.count_kind(IGNodeKind.APPROXIMATE) >= 2
+    assert ig.count_kind(IGNodeKind.RECURSIVE) >= 1

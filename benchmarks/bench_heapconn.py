@@ -1,0 +1,33 @@
+"""Bench for the companion connection-matrix heap analysis: how much
+heap disjointness it recovers over the benchmark suite (the
+single-`heap`-location abstraction alone recovers none)."""
+
+from conftest import write_artifact
+
+from repro.core.heapconn import analyze_heap_connections
+
+
+HEAP_BENCHMARKS = ["hash", "misr", "xref", "sim", "toplev", "msc"]
+
+
+def regenerate(suite_analyses):
+    lines = [
+        "Connection analysis over the heap-using benchmarks",
+        "(fraction of heap-directed pointer pairs proven disconnected):",
+    ]
+    ratios = {}
+    for name in HEAP_BENCHMARKS:
+        heap = analyze_heap_connections(suite_analyses[name])
+        ratio = heap.disconnection_ratio()
+        ratios[name] = ratio
+        lines.append(f"  {name:10s} {100 * ratio:5.1f}% disconnected")
+    return "\n".join(lines), ratios
+
+
+def test_heap_connection_analysis(benchmark, suite_analyses, artifact_dir):
+    text, ratios = benchmark(regenerate, suite_analyses)
+    write_artifact(artifact_dir, "heapconn.txt", text)
+    # The companion analysis must recover real disjointness somewhere;
+    # the points-to abstraction alone recovers none.
+    assert any(ratio > 0.0 for ratio in ratios.values())
+    assert all(0.0 <= ratio <= 1.0 for ratio in ratios.values())

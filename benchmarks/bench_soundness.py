@@ -1,0 +1,32 @@
+"""Bench for the differential soundness harness: analysis vs concrete
+execution over the whole benchmark suite (the machine-checked version
+of Definition 3.3's safety argument)."""
+
+from conftest import write_artifact
+
+from repro.benchsuite import BENCHMARKS
+from repro.interp import check_soundness
+
+
+def regenerate():
+    lines = ["Differential soundness check (analysis vs concrete execution):"]
+    total_facts = 0
+    violations = 0
+    for name, bench in sorted(BENCHMARKS.items()):
+        report = check_soundness(bench.source, max_steps=300_000)
+        total_facts += report.facts_checked
+        violations += len(report.violations)
+        lines.append(f"  {name:10s} {report.summary()}")
+    lines.append(
+        f"  TOTAL: {total_facts} facts compared, {violations} violations"
+    )
+    return "\n".join(lines), total_facts, violations
+
+
+def test_soundness_over_suite(benchmark, artifact_dir):
+    text, facts, violations = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "soundness.txt", text)
+    assert violations == 0
+    assert facts > 10_000  # the check must not be vacuous

@@ -1,0 +1,38 @@
+"""Regenerates Table 2: characteristics of the benchmark programs
+(source lines, SIMPLE statements, abstract-stack sizes)."""
+
+from conftest import write_artifact
+
+from repro.benchsuite import BENCHMARKS
+from repro.core.statistics import collect_table2
+from repro.reporting.tables import render_table2
+from repro.simple import simplify_source
+
+
+def regenerate(suite_analyses):
+    rows = [
+        collect_table2(result, name, BENCHMARKS[name].description)
+        for name, result in sorted(suite_analyses.items())
+    ]
+    return render_table2(rows)
+
+
+def test_table2_regeneration(benchmark, suite_analyses, artifact_dir):
+    text = benchmark(regenerate, suite_analyses)
+    write_artifact(artifact_dir, "table2.txt", text)
+    assert "Table 2" in text
+    assert all(name in text for name in BENCHMARKS)
+
+
+def test_table2_simplification_cost(benchmark):
+    """Times the frontend + SIMPLE lowering over the whole suite (the
+    substrate cost behind the statement counts of Table 2)."""
+
+    def lower_all():
+        return [
+            simplify_source(bench.source).count_basic_stmts()
+            for bench in BENCHMARKS.values()
+        ]
+
+    counts = benchmark(lower_all)
+    assert all(count > 0 for count in counts)

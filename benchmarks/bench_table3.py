@@ -1,0 +1,41 @@
+"""Regenerates Table 3 (points-to statistics for indirect references)
+and the Section 6 headline percentages."""
+
+from conftest import write_artifact
+
+from repro.benchsuite import BENCHMARKS
+from repro.core.statistics import collect_table3, summarize_suite
+from repro.reporting.tables import render_suite_summary, render_table3
+
+
+def regenerate(suite_analyses):
+    rows = [
+        collect_table3(result, name)
+        for name, result in sorted(suite_analyses.items())
+    ]
+    summary = summarize_suite(rows)
+    return render_table3(rows) + "\n\n" + render_suite_summary(summary), summary
+
+
+def test_table3_regeneration(benchmark, suite_analyses, artifact_dir):
+    text, summary = benchmark(regenerate, suite_analyses)
+    write_artifact(artifact_dir, "table3.txt", text)
+    assert "Table 3" in text
+    # The paper's shape: average close to one, substantial definite
+    # information, a meaningful share of heap-targeted pairs.
+    assert 1.0 <= summary.overall_average < 1.8
+    assert summary.pct_definite_single > 15.0
+    assert 0.0 < summary.pct_heap_pairs < 60.0
+
+
+def test_table3_single_program_cost(benchmark):
+    """Times the full analysis + Table 3 collection for the largest
+    benchmark (lws), isolating per-program cost."""
+    from repro.core.analysis import analyze_source
+
+    def run():
+        result = analyze_source(BENCHMARKS["lws"].source)
+        return collect_table3(result, "lws")
+
+    row = benchmark(run)
+    assert row.indirect_refs > 0

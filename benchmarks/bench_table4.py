@@ -1,0 +1,28 @@
+"""Regenerates Table 4: from/to categorization (local / global /
+formal parameter / symbolic) of pairs used by indirect references."""
+
+from conftest import write_artifact
+
+from repro.core.statistics import collect_table4
+from repro.reporting.tables import render_table4
+
+
+def regenerate(suite_analyses):
+    rows = [
+        collect_table4(result, name)
+        for name, result in sorted(suite_analyses.items())
+    ]
+    return render_table4(rows), rows
+
+
+def test_table4_regeneration(benchmark, suite_analyses, artifact_dir):
+    text, rows = benchmark(regenerate, suite_analyses)
+    write_artifact(artifact_dir, "table4.txt", text)
+    assert "Table 4" in text
+    # The paper's observation: most relationships arise from formal
+    # parameters — the motivation for context sensitivity.
+    totals = {"lo": 0, "gl": 0, "fp": 0, "sy": 0}
+    for row in rows:
+        for key in totals:
+            totals[key] += row.from_counts[key]
+    assert totals["fp"] == max(totals.values())

@@ -1,0 +1,27 @@
+"""Regenerates Table 6: invocation graph statistics."""
+
+from conftest import write_artifact
+
+from repro.core.statistics import collect_table6
+from repro.reporting.tables import render_table6
+
+
+def regenerate(suite_analyses):
+    rows = [
+        collect_table6(result, name)
+        for name, result in sorted(suite_analyses.items())
+    ]
+    return render_table6(rows), rows
+
+
+def test_table6_regeneration(benchmark, suite_analyses, artifact_dir):
+    text, rows = benchmark(regenerate, suite_analyses)
+    write_artifact(artifact_dir, "table6.txt", text)
+    assert "Table 6" in text
+    # The paper's conclusion from Table 6: explicit invocation chains
+    # are practical — the graph is close to linear in the number of
+    # call-sites (paper average 1.45 nodes/site, worst cases ~2.2).
+    for row in rows:
+        assert row.avg_per_call_site < 6.0, row.benchmark
+        assert row.approximate_nodes >= row.recursive_nodes, row.benchmark
+    assert any(row.recursive_nodes > 0 for row in rows)

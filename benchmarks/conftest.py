@@ -1,0 +1,36 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+Each bench regenerates one table or figure of the paper: it times the
+regeneration with pytest-benchmark and writes the rendered artifact to
+``benchmarks/out/`` (the files EXPERIMENTS.md references).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS
+from repro.core.analysis import analyze_source
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def suite_analyses():
+    """Analyses of all 17 benchmarks, shared across benches."""
+    return {
+        name: analyze_source(bench.source, filename=name)
+        for name, bench in BENCHMARKS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Generalized constant propagation on top of points-to analysis.
+
+Section 6.1 of the paper: once points-to analysis has run, the
+invocation graph and per-point points-to sets become the foundation
+for further interprocedural analyses.  This example runs the
+constant-propagation client and shows what the points-to substrate
+buys it: constants flow *through pointers* (a store through a definite
+pointer is a strong update), across calls (arguments, returned values,
+globals set in callees), and are invalidated exactly where aliasing
+demands it.
+
+Run:  python examples/constant_propagation.py
+"""
+
+from repro import analyze_source
+from repro.core.constprop import propagate_constants
+
+SOURCE = r"""
+int config_scale;          /* set once during startup              */
+int config_debug;
+
+void startup(void) {
+    config_scale = 16;
+    config_debug = 0;
+}
+
+int apply_scale(int v) {
+    K: return v * config_scale;   /* config_scale is 16 here       */
+}
+
+int main() {
+    int base, scaled, tweaked;
+    int *knob;
+    int either;
+
+    startup();
+    P_AFTER_STARTUP: ;
+
+    base = 4;
+    scaled = apply_scale(base);        /* 4 * 16, all constant      */
+    P_SCALED: ;
+
+    knob = &base;
+    *knob = 10;                        /* strong update through *p  */
+    P_STRONG: ;
+
+    if (config_debug)
+        knob = &scaled;
+    *knob = 0;                         /* now p may point 2 places  */
+    P_WEAK: ;
+
+    either = base + scaled;
+    P_END: return either + tweaked;
+}
+"""
+
+
+def main() -> None:
+    analysis = analyze_source(SOURCE)
+    cp = propagate_constants(analysis)
+
+    def show(label, *vars_):
+        facts = []
+        for var in vars_:
+            value = cp.constant_at(label, var)
+            facts.append(f"{var}={'?' if value is None else value}")
+        print(f"  {label:17s} {'  '.join(facts)}")
+
+    print("Known constants at each program point ('?' = not constant):\n")
+    show("P_AFTER_STARTUP", "config_scale", "config_debug")
+    show("K", "config_scale")
+    show("P_SCALED", "base", "scaled")
+    show("P_STRONG", "base")
+    show("P_WEAK", "base", "scaled")
+
+    print(
+        "\nWhat the points-to substrate contributed:\n"
+        "  * `*knob = 10` was a STRONG update (knob definitely -> base),\n"
+        "    so base is the constant 10 afterwards;\n"
+        "  * after the branch, knob may point to base or scaled, so the\n"
+        "    second store `*knob = 0` invalidates BOTH — exactly the\n"
+        "    may-alias information an analysis without points-to lacks;\n"
+        "  * apply_scale saw config_scale = 16 because the call mapped\n"
+        "    global facts into the callee, per the invocation graph."
+    )
+    print(
+        f"\n{cp.known_constant_count()} constant facts recorded over "
+        f"{len(cp.point_info)} program points."
+    )
+
+
+if __name__ == "__main__":
+    main()

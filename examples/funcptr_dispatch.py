@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Function-pointer dispatch: the paper's headline feature.
+
+A device-driver-style program dispatches through a table of function
+pointers.  A naive call-graph builder must assume every indirect call
+reaches every function (or every address-taken function); the paper's
+algorithm binds each call-site to exactly the functions the pointer
+can hold there — while the points-to analysis itself is running.
+
+Run:  python examples/funcptr_dispatch.py
+"""
+
+from repro import AnalysisOptions, analyze_source
+
+SOURCE = r"""
+/* A tiny 'device driver' framework. */
+struct device {
+    int id;
+    int (*read)(int *buf);
+    int (*write)(int *buf);
+};
+
+int disk_buf;
+int net_buf;
+
+int disk_read(int *buf)  { *buf = 1; return 1; }
+int disk_write(int *buf) { disk_buf = *buf; return 1; }
+int net_read(int *buf)   { *buf = 2; return 2; }
+int net_write(int *buf)  { net_buf = *buf; return 2; }
+
+/* never installed in any device */
+int debug_dump(int *buf) { return -1; }
+
+struct device disk;
+struct device net;
+
+void init_devices(void) {
+    disk.id = 1;
+    disk.read = disk_read;
+    disk.write = disk_write;
+    net.id = 2;
+    net.read = net_read;
+    net.write = net_write;
+}
+
+int do_io(struct device *dev, int *buf) {
+    int (*op)(int *);
+    op = dev->read;
+    CALL_READ: op(buf);
+    op = dev->write;
+    CALL_WRITE: op(buf);
+    return dev->id;
+}
+
+int main() {
+    int data;
+    init_devices();
+    do_io(&disk, &data);
+    do_io(&net, &data);
+    DONE: return 0;
+}
+"""
+
+
+def targets_of_indirect_calls(result):
+    """Which functions each indirect call-site can invoke."""
+    bindings = {}
+    for node in result.ig.nodes():
+        if node.func != "do_io":
+            continue
+        for call_site, children in node.children.items():
+            bindings.setdefault(call_site, set()).update(children)
+    return bindings
+
+
+def main() -> None:
+    print("=== Precise (the paper's algorithm) ===")
+    result = analyze_source(SOURCE)
+    for call_site, callees in sorted(targets_of_indirect_calls(result).items()):
+        print(f"  indirect call-site {call_site}: {sorted(callees)}")
+    print("  note: debug_dump is never a target, and read sites never")
+    print("  bind write handlers.")
+
+    print("\n  function-pointer values inside do_io:")
+    for label in ("CALL_READ", "CALL_WRITE"):
+        ops = [
+            (s, t, d)
+            for s, t, d in result.triples_at(label)
+            if s == "op"
+        ]
+        print(f"    at {label}: {ops}")
+
+    print("\n=== Naive baselines (Section 5's strawmen) ===")
+    for strategy in ("address_taken", "all_functions"):
+        naive = analyze_source(
+            SOURCE, AnalysisOptions(function_pointer_strategy=strategy)
+        )
+        bindings = targets_of_indirect_calls(naive)
+        total = sum(len(c) for c in bindings.values())
+        print(
+            f"  {strategy:15s}: {total} callee bindings over "
+            f"{len(bindings)} sites (precise: "
+            f"{sum(len(c) for c in targets_of_indirect_calls(result).values())})"
+        )
+
+    print("\nInvocation graph (precise):")
+    print(result.ig.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Heap connection analysis: the paper's companion analysis.
+
+The points-to analysis names all dynamic storage `heap` and leaves
+heap *structure* to a companion analysis built on its results
+(Sections 6.1 and 8).  This example runs the connection-matrix
+analysis over a program that builds two independent linked lists and
+shows that the analysis proves them disjoint — the fact a
+parallelizing compiler needs to process them concurrently — until the
+program explicitly links them.
+
+Run:  python examples/heap_parallelism.py
+"""
+
+from repro import analyze_source
+from repro.core.heapconn import analyze_heap_connections
+
+SOURCE = r"""
+struct node { int value; struct node *next; };
+
+struct node *build_list(int n, int seed) {
+    struct node *head, *cell;
+    int i;
+    head = 0;
+    for (i = 0; i < n; i++) {
+        cell = (struct node *) malloc(sizeof(struct node));
+        cell->value = seed + i;
+        cell->next = head;
+        head = cell;
+    }
+    return head;
+}
+
+int sum_list(struct node *l) {
+    int s;
+    s = 0;
+    while (l != 0) { s += l->value; l = l->next; }
+    return s;
+}
+
+int main() {
+    struct node *evens, *odds, *walker;
+    int total;
+
+    evens = build_list(10, 0);
+    odds  = build_list(10, 1);
+    PHASE_1: ;                      /* two disjoint structures      */
+
+    walker = evens;
+    PHASE_2: walker = walker->next; /* walker inside evens' list    */
+
+    odds->next = evens;             /* now they are one structure   */
+    PHASE_3: ;
+
+    total = sum_list(evens) + sum_list(odds);
+    return total;
+}
+"""
+
+
+def main() -> None:
+    analysis = analyze_source(SOURCE)
+    heap = analyze_heap_connections(analysis)
+
+    def show(label, a, b):
+        verdict = (
+            "CONNECTED (may share a structure)"
+            if heap.connected_at(label, a, b)
+            else "disjoint (parallelizable)"
+        )
+        print(f"  {label}: {a} ~ {b}: {verdict}")
+
+    print("Connection queries (two heap pointers are 'connected' when")
+    print("they may point into the same heap data structure):\n")
+    show("PHASE_1", "evens", "odds")
+    show("PHASE_2", "walker", "evens")
+    show("PHASE_2", "walker", "odds")
+    show("PHASE_3", "evens", "odds")
+
+    print("\nFull connection matrix at PHASE_2:")
+    print(f"  {heap.matrix_at('PHASE_2')}")
+
+    ratio = heap.disconnection_ratio()
+    print(
+        f"\nAcross the whole program, {100 * ratio:.0f}% of heap-pointer"
+        f" pairs are proven disconnected"
+    )
+    print("(the single-`heap`-location abstraction alone proves 0%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Precision showdown: Emami '94 vs Andersen vs Steensgaard.
+
+The paper's analysis is flow- AND context-sensitive; the analyses that
+ended up in production compilers (LLVM, GCC, SVF) are mostly
+flow-insensitive.  This example constructs the two situations where
+the extra machinery visibly pays off and compares the three analyses
+head to head:
+
+1. *flow sensitivity* — a pointer reassigned between two uses: the
+   flow-insensitive analyses merge both targets over the whole
+   lifetime, the paper's analysis keeps each program point exact;
+2. *context sensitivity* — one helper called from two unrelated
+   contexts: a context-insensitive summary merges both callers.
+
+Run:  python examples/precision_showdown.py
+"""
+
+from repro import analyze_source
+from repro.core.flowinsensitive import andersen, steensgaard
+from repro.simple import simplify_source
+
+SOURCE = r"""
+int a, b;
+
+int *identity(int *x) {
+    return x;
+}
+
+int main() {
+    int u, v;
+    int *p;
+    int *from_u, *from_v;
+
+    /* flow sensitivity ------------------------------------------ */
+    p = &a;
+    PHASE_A: *p = 1;        /* p is exactly &a here                */
+    p = &b;
+    PHASE_B: *p = 2;        /* and exactly &b here                 */
+
+    /* context sensitivity --------------------------------------- */
+    from_u = identity(&u);
+    from_v = identity(&v);
+    PHASE_C: ;
+
+    return a + b + *from_u + *from_v;
+}
+"""
+
+
+def main() -> None:
+    result = analyze_source(SOURCE)
+    program = simplify_source(SOURCE)
+    ander = andersen(program)
+    steens = steensgaard(program)
+
+    print("=== flow sensitivity: targets of p at each use ===")
+    for label in ("PHASE_A", "PHASE_B"):
+        ours = [
+            f"{t}({d})" for s, t, d in result.triples_at(label) if s == "p"
+        ]
+        print(f"  Emami'94 at {label}: {ours}")
+    print(f"  Andersen (one answer for the whole program): "
+          f"{sorted(ander.targets_of_var('main', 'p'))}")
+    print("  -> the paper's analysis knows *p = 1 writes ONLY a and")
+    print("     *p = 2 writes ONLY b; Andersen must assume both, twice.")
+
+    print("\n=== context sensitivity: what identity() returned ===")
+    ours = {
+        s: t
+        for s, t, d in result.triples_at("PHASE_C")
+        if s in ("from_u", "from_v")
+    }
+    print(f"  Emami'94: from_u -> {ours.get('from_u')}, "
+          f"from_v -> {ours.get('from_v')}")
+    print(f"  Andersen: from_u -> "
+          f"{sorted(ander.targets_of_var('main', 'from_u'))}")
+    print("  -> the invocation graph analyzes identity() once per")
+    print("     calling context; the summary-based baseline merges them.")
+
+    print("\n=== Steensgaard: even coarser ===")
+    merged = steens.same_class("main", "from_u", "main", "from_v")
+    print(f"  from_u and from_v share one pointee class: {merged}")
+    print(f"  total pointee classes in the program: {steens.class_count()}")
+
+
+if __name__ == "__main__":
+    main()

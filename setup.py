@@ -1,0 +1,6 @@
+"""Legacy setup shim: allows `python setup.py develop` in offline
+environments where pip cannot build editable wheels (no `wheel` pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — a reproduction of Emami, Ghiya & Hendren (PLDI 1994):
+*Context-Sensitive Interprocedural Points-to Analysis in the Presence
+of Function Pointers*.
+
+The package contains the full pipeline the paper's McCAT compiler
+provided:
+
+* :mod:`repro.frontend` — a C-subset parser (lexer, recursive-descent
+  parser, type representation, symbol tables);
+* :mod:`repro.simple` — the SIMPLE structured intermediate
+  representation and the simplification pass;
+* :mod:`repro.core` — the points-to analysis itself (abstract stack
+  locations, L-/R-location rules, compositional flow analysis,
+  invocation graphs, map/unmap, function-pointer handling), plus the
+  clients (alias pairs, pointer replacement, read/write sets) and the
+  evaluation statistics of Tables 2-6;
+* :mod:`repro.benchsuite` — synthetic equivalents of the paper's 17
+  benchmarks plus the `livc` function-pointer study;
+* :mod:`repro.reporting` — renderers for each table and figure.
+
+Quickstart::
+
+    from repro import analyze_source
+
+    result = analyze_source('''
+        int main() {
+            int x, *p;
+            p = &x;
+            A: return 0;
+        }
+    ''')
+    print(result.triples_at("A"))   # [('p', 'x', 'D')]
+"""
+
+from repro.core.analysis import (
+    AnalysisOptions,
+    PointsToAnalysis,
+    analyze,
+    analyze_source,
+)
+from repro.core.locations import HEAP, NULL, AbsLoc, LocKind
+from repro.core.pointsto import Definiteness, PointsToSet
+from repro.simple.simplify import simplify_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisOptions",
+    "PointsToAnalysis",
+    "analyze",
+    "analyze_source",
+    "simplify_source",
+    "HEAP",
+    "NULL",
+    "AbsLoc",
+    "LocKind",
+    "Definiteness",
+    "PointsToSet",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""The benchmark suite of the paper's evaluation (Tables 2-6).
+
+The original 17 C programs (plus the `livc` function-pointer study)
+are 1990s sources we do not have; :mod:`repro.benchsuite.programs`
+provides synthetic equivalents of the same names, each written to
+exercise the pointer features the paper attributes to its namesake
+(see the per-program docstrings and DESIGN.md §3).
+:mod:`repro.benchsuite.livc` generates the livermore-loops-style
+function-pointer workload; :mod:`repro.benchsuite.generator` produces
+random pointer programs for stress and property testing.
+"""
+
+from repro.benchsuite.programs import BENCHMARKS, Benchmark, get_benchmark
+from repro.benchsuite.livc import livc_source
+from repro.benchsuite.generator import generate_program
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "get_benchmark",
+    "livc_source",
+    "generate_program",
+]

@@ -1,0 +1,168 @@
+"""Random pointer-program generator for stress and property testing.
+
+Generates well-formed programs in the supported C subset with a
+controllable mix of pointer idioms: address-taking, multi-level
+pointers, pointer parameters (including by-reference outs), heap
+allocation, struct chains, function pointers, and recursion.  Used by
+the hypothesis-based property tests (analysis terminates, the result
+is safe with respect to NULL-source/definite-uniqueness invariants)
+and by the scalability bench.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class GeneratorConfig:
+    n_functions: int = 4
+    n_globals: int = 3
+    n_locals: int = 4
+    n_stmts: int = 8
+    use_function_pointers: bool = True
+    use_heap: bool = True
+    use_structs: bool = True
+    use_recursion: bool = True
+    max_pointer_level: int = 2
+
+
+def generate_program(seed: int, config: GeneratorConfig | None = None) -> str:
+    """Generate a deterministic random program for ``seed``."""
+    cfg = config or GeneratorConfig()
+    rng = random.Random(seed)
+    parts: list[str] = []
+
+    if cfg.use_structs:
+        parts.append("struct node { int data; struct node *next; int *ptr; };")
+
+    globals_: list[tuple[str, int]] = []  # (name, pointer level)
+    for i in range(cfg.n_globals):
+        level = rng.randint(0, cfg.max_pointer_level)
+        globals_.append((f"g{i}", level))
+        parts.append(f"int {'*' * level}g{i};")
+    if cfg.use_structs:
+        parts.append("struct node *gnode;")
+
+    fn_names = [f"f{i}" for i in range(cfg.n_functions)]
+
+    def var_pool(local_names):
+        pool = [(name, level) for name, level in globals_]
+        pool.extend(local_names)
+        return pool
+
+    def pick_ptr(pool, rng, min_level=1):
+        candidates = [(n, l) for n, l in pool if l >= min_level]
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+    def gen_stmts(pool, rng, depth, callees, n):
+        stmts = []
+        for _ in range(n):
+            kind = rng.randint(0, 9)
+            if kind <= 2:  # address-of assignment
+                dst = pick_ptr(pool, rng)
+                src = pick_ptr(pool, rng, min_level=0)
+                if dst and src and src[1] == dst[1] - 1:
+                    stmts.append(f"{dst[0]} = &{src[0]};")
+            elif kind == 3:  # copy
+                dst = pick_ptr(pool, rng)
+                src = pick_ptr(pool, rng)
+                if dst and src and dst[1] == src[1]:
+                    stmts.append(f"{dst[0]} = {src[0]};")
+            elif kind == 4:  # store through pointer
+                dst = pick_ptr(pool, rng)
+                src = pick_ptr(pool, rng, min_level=0)
+                if dst and src and src[1] == dst[1] - 1 and dst[1] >= 1:
+                    stmts.append(f"*{dst[0]} = {src[0]};")
+            elif kind == 5:  # load through pointer
+                src = pick_ptr(pool, rng)
+                dst = pick_ptr(pool, rng, min_level=0)
+                if dst and src and dst[1] == src[1] - 1:
+                    stmts.append(f"{dst[0]} = *{src[0]};")
+            elif kind == 6 and callees:  # call
+                callee = rng.choice(callees)
+                arg = pick_ptr(pool, rng)
+                if arg:
+                    stmts.append(f"{callee}({arg[0]});")
+            elif kind == 7 and depth < 2:  # conditional
+                inner = gen_stmts(pool, rng, depth + 1, callees, 2)
+                if inner:
+                    body = " ".join(inner)
+                    stmts.append(f"if (g0 != 0) {{ {body} }}")
+            elif kind == 8 and depth < 2:  # loop
+                inner = gen_stmts(pool, rng, depth + 1, callees, 2)
+                if inner:
+                    body = " ".join(inner)
+                    stmts.append(
+                        f"while (g0 != 0) {{ {body} g0 = 0; }}"
+                    )
+            elif kind == 9:  # NULL assignment
+                dst = pick_ptr(pool, rng)
+                if dst:
+                    stmts.append(f"{dst[0]} = 0;")
+        return stmts
+
+    # Every function takes `int *p` so any of them can be bound to a
+    # single shared function-pointer type (fuzzing Figure 5's paths).
+    if cfg.use_function_pointers:
+        parts.append("void (*gfp)(int *);")
+    for fn in fn_names:
+        parts.append(f"void {fn}(int *p);")
+
+    for index, fn in enumerate(fn_names):
+        locals_: list[tuple[str, int]] = []
+        decls = []
+        for j in range(cfg.n_locals):
+            level = rng.randint(0, cfg.max_pointer_level)
+            locals_.append((f"l{j}", level))
+            decls.append(f"    int {'*' * level}l{j};")
+        pool = var_pool(locals_) + [("p", 1)]
+        callees = fn_names[index + 1 :]
+        if cfg.use_recursion and rng.random() < 0.3:
+            callees = callees + [fn]
+        body = gen_stmts(pool, rng, 0, callees, cfg.n_stmts)
+        if cfg.use_heap and rng.random() < 0.5:
+            heap_dst = pick_ptr(pool, rng)
+            if heap_dst:
+                body.append(
+                    f"{heap_dst[0]} = "
+                    f"(int {'*' * heap_dst[1]}) malloc(4);"
+                )
+        if cfg.use_function_pointers and rng.random() < 0.4:
+            body.append(f"gfp = {rng.choice(fn_names)};")
+        body_text = "\n    ".join(body) if body else ";"
+        parts.append(
+            f"void {fn}(int *p) {{\n"
+            + "\n".join(decls)
+            + f"\n    {body_text}\n}}"
+        )
+
+    main_body = []
+    main_locals = []
+    for j in range(cfg.n_locals):
+        level = rng.randint(0, cfg.max_pointer_level)
+        main_locals.append((f"m{j}", level))
+        main_body.append(f"    int {'*' * level}m{j};")
+    pool = var_pool(main_locals)
+    if cfg.use_function_pointers and fn_names:
+        main_body.append("    void (*fp)(int *);")
+        main_body.append(f"    fp = {rng.choice(fn_names)};")
+        if rng.random() < 0.5:
+            main_body.append(f"    gfp = {rng.choice(fn_names)};")
+    stmts = gen_stmts(pool, rng, 0, fn_names, cfg.n_stmts)
+    main_body.extend("    " + s for s in stmts)
+    arg = pick_ptr(pool, rng)
+    arg_name = arg[0] if arg and arg[1] == 1 else "0"
+    if fn_names:
+        main_body.append(f"    {rng.choice(fn_names)}({arg_name});")
+        if cfg.use_function_pointers:
+            # indirect calls: one through the local fp, one through the
+            # global gfp if some callee bound it
+            main_body.append(f"    fp({arg_name});")
+            main_body.append(f"    if (gfp != 0) gfp({arg_name});")
+    main_body.append("    return 0;")
+    parts.append("int main() {\n" + "\n".join(main_body) + "\n}")
+    return "\n\n".join(parts) + "\n"

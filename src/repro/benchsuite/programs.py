@@ -1,0 +1,1181 @@
+"""Synthetic equivalents of the paper's 17 benchmark programs.
+
+Each program is written in the supported C subset to exercise the
+pointer behaviour the paper attributes to its namesake: e.g.
+``clinpack`` passes arrays through pointer parameters and indexes them
+as ``x[i][j]``; ``xref`` builds a binary tree on the heap through a
+``struct`` with recursive pointers; ``toplev`` drives a table of
+function pointers; ``lws`` has large per-function abstract stacks and
+many formal-parameter-induced relationships.  Absolute counts differ
+from the paper's (the sources are not the originals) but the
+qualitative behaviour each table reports is preserved; see
+EXPERIMENTS.md.
+
+Every program is also *executable* on the concrete SIMPLE machine
+(:mod:`repro.interp`), which the differential soundness harness relies
+on: programs avoid undefined behaviour, terminate within a few hundred
+thousand steps, and use only the modeled externals (``malloc``-family
+allocation and pure libc calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    name: str
+    description: str
+    source: str
+
+
+GENETIC = r"""
+/* Genetic algorithm for sorting: populations as pointer-indexed
+   chromosome arrays, fitness via function parameters, tournament
+   selection and mutation through roving pointers. */
+struct chrom { int genes[16]; int fitness; struct chrom *mate; };
+
+struct chrom pool[32];
+struct chrom scratch[32];
+struct chrom *best;
+struct chrom *worst;
+int seed;
+int generation_no;
+
+int rnd(int n) {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    if (n <= 0) return 0;
+    return seed % n;
+}
+
+int fitness_of(struct chrom *c) {
+    int i, f;
+    f = 0;
+    for (i = 1; i < 16; i++) {
+        if (c->genes[i - 1] <= c->genes[i]) f = f + 1;
+    }
+    c->fitness = f;
+    return f;
+}
+
+void init_chrom(struct chrom *c) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        c->genes[i] = rnd(100);
+    }
+    c->mate = 0;
+    fitness_of(c);
+}
+
+void copy_chrom(struct chrom *dst, struct chrom *src) {
+    int i;
+    for (i = 0; i < 16; i++)
+        dst->genes[i] = src->genes[i];
+    dst->fitness = src->fitness;
+    dst->mate = src->mate;
+}
+
+void crossover(struct chrom *a, struct chrom *b, struct chrom *out) {
+    int i, cut;
+    cut = rnd(16);
+    for (i = 0; i < 16; i++) {
+        if (i < cut) out->genes[i] = a->genes[i];
+        else out->genes[i] = b->genes[i];
+    }
+    out->mate = 0;
+    fitness_of(out);
+}
+
+void mutate(struct chrom *c, int rate) {
+    int i, j, tmp;
+    for (i = 0; i < 16; i++) {
+        if (rnd(100) < rate) {
+            j = rnd(16);
+            tmp = c->genes[i];
+            c->genes[i] = c->genes[j];
+            c->genes[j] = tmp;
+        }
+    }
+    fitness_of(c);
+}
+
+struct chrom *select_parent(void) {
+    struct chrom *cand, *rival;
+    cand = &pool[rnd(32)];
+    rival = &pool[rnd(32)];
+    if (rival->fitness > cand->fitness)
+        cand = rival;
+    P1: return cand;
+}
+
+struct chrom *find_best(void) {
+    struct chrom *scan, *champion;
+    int i;
+    champion = &pool[0];
+    for (i = 1; i < 32; i++) {
+        scan = &pool[i];
+        if (scan->fitness > champion->fitness) champion = scan;
+    }
+    return champion;
+}
+
+struct chrom *find_worst(void) {
+    struct chrom *scan, *loser;
+    int i;
+    loser = &pool[0];
+    for (i = 1; i < 32; i++) {
+        scan = &pool[i];
+        if (scan->fitness < loser->fitness) loser = scan;
+    }
+    return loser;
+}
+
+int average_fitness(void) {
+    int i, total;
+    total = 0;
+    for (i = 0; i < 32; i++)
+        total += pool[i].fitness;
+    return total / 32;
+}
+
+void generation(void) {
+    struct chrom *ma, *pa;
+    struct chrom *slot;
+    int i;
+    generation_no++;
+    for (i = 0; i < 32; i++) {
+        ma = select_parent();
+        pa = select_parent();
+        ma->mate = pa;
+        crossover(ma, pa, &scratch[i]);
+        mutate(&scratch[i], 5);
+    }
+    best = find_best();            /* elitism: keep the champion */
+    copy_chrom(&scratch[0], best);
+    for (i = 0; i < 32; i++)
+        copy_chrom(&pool[i], &scratch[i]);
+}
+
+int main() {
+    int g;
+    seed = 42;
+    generation_no = 0;
+    best = 0;
+    worst = 0;
+    for (g = 0; g < 32; g++) init_chrom(&pool[g]);
+    for (g = 0; g < 6; g++) generation();
+    best = find_best();
+    worst = find_worst();
+    P2: return best->fitness - worst->fitness + average_fitness();
+}
+"""
+
+
+DRY = r"""
+/* Dhrystone-style benchmark: records, pointer chains between two
+   record variables, enum-like discriminants, by-reference outs,
+   character and string handling helpers. */
+struct record {
+    struct record *ptr_comp;
+    int discr;
+    int enum_comp;
+    int int_comp;
+    char string_comp[31];
+};
+
+struct record *ptr_glob;
+struct record *next_ptr_glob;
+int int_glob;
+char ch_1_glob;
+char ch_2_glob;
+int arr_1_glob[50];
+int arr_2_glob[50][50];
+
+int func1(char ch_1, char ch_2) {
+    char ch_1_loc, ch_2_loc;
+    ch_1_loc = ch_1;
+    ch_2_loc = ch_1_loc;
+    if (ch_2_loc != ch_2)
+        return 0;   /* ident 1 */
+    ch_1_glob = ch_1_loc;
+    return 1;       /* ident 2 */
+}
+
+int func2(char *str_1_par, char *str_2_par) {
+    int int_loc;
+    char ch_loc;
+    int_loc = 2;
+    ch_loc = 'A';
+    while (int_loc <= 2) {
+        if (func1(str_1_par[int_loc], str_2_par[int_loc + 1]) == 0) {
+            ch_loc = 'A';
+            int_loc += 1;
+        } else {
+            break;
+        }
+    }
+    if (ch_loc >= 'W' && ch_loc < 'Z')
+        int_loc = 7;
+    if (ch_loc == 'R')
+        return 1;
+    return 0;
+}
+
+int func3(int enum_par) {
+    int enum_loc;
+    enum_loc = enum_par;
+    if (enum_loc == 2)
+        return 1;
+    return 0;
+}
+
+void proc6(int enum_val_par, int *enum_ref_par) {
+    *enum_ref_par = enum_val_par;
+    if (!func3(enum_val_par))
+        *enum_ref_par = 3;
+    switch (enum_val_par) {
+        case 0: *enum_ref_par = 0; break;
+        case 1:
+            if (int_glob > 100) *enum_ref_par = 0;
+            else *enum_ref_par = 4;
+            break;
+        case 2: *enum_ref_par = 1; break;
+        case 4: break;
+        default: *enum_ref_par = 2;
+    }
+}
+
+void proc7(int int_1_par, int int_2_par, int *int_par_ref) {
+    int int_loc;
+    int_loc = int_1_par + 2;
+    *int_par_ref = int_2_par + int_loc;
+}
+
+void proc8(int *arr_1_par, int (*arr_2_par)[50], int int_1_par, int int_2_par) {
+    int int_index, int_loc;
+    int_loc = int_1_par + 5;
+    arr_1_par[int_loc] = int_2_par;
+    arr_1_par[int_loc + 1] = arr_1_par[int_loc];
+    arr_1_par[int_loc + 30] = int_loc;
+    for (int_index = int_loc; int_index <= int_loc + 1; int_index++)
+        arr_2_par[int_loc][int_index] = int_loc;
+    arr_2_par[int_loc][int_loc - 1] += 1;
+    arr_2_par[int_loc + 20][int_loc] = arr_1_par[int_loc];
+    int_glob = 5;
+}
+
+void proc5(void) {
+    ch_1_glob = 'A';
+    int_glob = 0;
+}
+
+void proc4(void) {
+    int bool_loc;
+    bool_loc = ch_1_glob == 'A';
+    bool_loc = bool_loc || (int_glob == 0);
+    ch_2_glob = 'B';
+}
+
+void proc3(struct record **ptr_ref_par) {
+    if (ptr_glob != 0)
+        *ptr_ref_par = ptr_glob->ptr_comp;
+    proc7(10, int_glob, &ptr_glob->int_comp);
+}
+
+void proc2(int *int_par_ref) {
+    int int_loc;
+    int enum_loc;
+    int_loc = *int_par_ref + 10;
+    enum_loc = 0;
+    while (enum_loc == 0) {
+        if (ch_1_glob == 'A') {
+            int_loc -= 1;
+            *int_par_ref = int_loc - int_glob;
+            enum_loc = 1;
+        }
+    }
+}
+
+void proc1(struct record *ptr_val_par) {
+    struct record *next_record;
+    next_record = ptr_val_par->ptr_comp;
+    *ptr_val_par->ptr_comp = *ptr_glob;
+    ptr_val_par->int_comp = 5;
+    next_record->int_comp = ptr_val_par->int_comp;
+    next_record->ptr_comp = ptr_val_par->ptr_comp;
+    proc3(&next_record->ptr_comp);
+    if (next_record->discr == 0) {
+        next_record->int_comp = 6;
+        proc6(ptr_val_par->enum_comp, &next_record->enum_comp);
+        next_record->ptr_comp = ptr_glob->ptr_comp;
+        proc7(next_record->int_comp, 10, &next_record->int_comp);
+    } else {
+        *ptr_val_par = *ptr_val_par->ptr_comp;
+    }
+}
+
+int main() {
+    struct record glob_rec, next_glob_rec;
+    int int_1_loc, int_2_loc, int_3_loc;
+    char ch_index;
+    int enum_loc;
+    int run;
+
+    ptr_glob = &glob_rec;
+    next_ptr_glob = &next_glob_rec;
+    ptr_glob->ptr_comp = next_ptr_glob;
+    ptr_glob->discr = 0;
+    ptr_glob->enum_comp = 2;
+    ptr_glob->int_comp = 40;
+    ptr_glob->string_comp[2] = 'X';
+    next_ptr_glob->string_comp[3] = 'Y';
+    int_2_loc = 0;
+    int_3_loc = 0;
+
+    for (run = 0; run < 8; run++) {
+        proc5();
+        proc4();
+        int_1_loc = 2;
+        int_2_loc = 3;
+        enum_loc = 1;
+        if (!func2(ptr_glob->string_comp, next_ptr_glob->string_comp))
+            enum_loc = 0;
+        while (int_1_loc < int_2_loc) {
+            int_3_loc = 5 * int_1_loc - int_2_loc;
+            proc7(int_1_loc, int_2_loc, &int_3_loc);
+            int_1_loc += 1;
+        }
+        proc8(arr_1_glob, arr_2_glob, int_1_loc, int_3_loc);
+        proc1(ptr_glob);
+        for (ch_index = 'A'; ch_index <= ch_2_glob; ch_index++) {
+            if (enum_loc == func1(ch_index, 'C'))
+                proc6(0, &enum_loc);
+        }
+        int_2_loc = int_2_loc * int_1_loc;
+        int_1_loc = int_2_loc / int_3_loc;
+        int_2_loc = 7 * (int_2_loc - int_3_loc) - int_1_loc;
+        proc2(&int_1_loc);
+    }
+    P1: return int_1_loc + int_2_loc;
+}
+"""
+
+
+CLINPACK = r"""
+/* C Linpack style: matrices as pointer parameters, x[i][j] indirect
+   references through pointers-to-arrays, the daxpy/dgefa/dgesl
+   kernels, matrix generation and a residual check. */
+double a_storage[16][16];
+double b_storage[16];
+double x_storage[16];
+double residual_work[16];
+int lu_seed;
+
+int next_random(void) {
+    lu_seed = lu_seed * 3125;
+    if (lu_seed < 0) lu_seed = -lu_seed;
+    lu_seed = lu_seed % 65536;
+    return lu_seed;
+}
+
+void matgen(double (*a)[16], int n, double *b) {
+    int i, j;
+    lu_seed = 1325;
+    for (j = 0; j < n; j++) {
+        for (i = 0; i < n; i++) {
+            a[j][i] = (double) (next_random() - 32768) / 16384.0;
+            if (i == j)
+                a[j][i] = a[j][i] + 8.0;
+        }
+    }
+    for (i = 0; i < n; i++)
+        b[i] = 0.0;
+    for (j = 0; j < n; j++)
+        for (i = 0; i < n; i++)
+            b[i] = b[i] + a[j][i];
+}
+
+void daxpy(int n, double da, double *dx, double *dy) {
+    int i;
+    if (n <= 0) return;
+    if (da == 0.0) return;
+    for (i = 0; i < n; i++) {
+        dy[i] = dy[i] + da * dx[i];
+    }
+}
+
+double ddot(int n, double *dx, double *dy) {
+    int i;
+    double dtemp;
+    dtemp = 0.0;
+    for (i = 0; i < n; i++)
+        dtemp = dtemp + dx[i] * dy[i];
+    return dtemp;
+}
+
+int idamax(int n, double *dx) {
+    double dmax, candidate;
+    int i, itemp;
+    if (n < 1) return -1;
+    itemp = 0;
+    dmax = dx[0];
+    if (dmax < 0.0) dmax = -dmax;
+    for (i = 1; i < n; i++) {
+        candidate = dx[i];
+        if (candidate < 0.0) candidate = -candidate;
+        if (candidate > dmax) {
+            itemp = i;
+            dmax = candidate;
+        }
+    }
+    return itemp;
+}
+
+void dscal(int n, double da, double *dx) {
+    int i;
+    for (i = 0; i < n; i++)
+        dx[i] = da * dx[i];
+}
+
+double epslon(double x) {
+    double eps;
+    eps = x;
+    if (eps < 0.0) eps = -eps;
+    return eps * 0.00000001;
+}
+
+void dgefa(double (*a)[16], int n, int *ipvt, int *info) {
+    int j, k, l;
+    double t;
+    *info = 0;
+    for (k = 0; k < n - 1; k++) {
+        l = idamax(n - k, &a[k][k]) + k;
+        ipvt[k] = l;
+        L1: t = a[k][l];
+        if (t != 0.0) {
+            if (l != k) {
+                a[k][l] = a[k][k];
+                a[k][k] = t;
+            }
+            dscal(n - k - 1, -1.0 / a[k][k], &a[k][k + 1]);
+            for (j = k + 1; j < n; j++) {
+                t = a[j][l];
+                if (l != k) {
+                    a[j][l] = a[j][k];
+                    a[j][k] = t;
+                }
+                daxpy(n - k - 1, t, &a[k][k + 1], &a[j][k + 1]);
+            }
+        } else {
+            *info = k;
+        }
+    }
+    ipvt[n - 1] = n - 1;
+    if (a[n - 1][n - 1] == 0.0)
+        *info = n - 1;
+}
+
+void dgesl(double (*a)[16], int n, int *ipvt, double *b) {
+    int k, l;
+    double t;
+    for (k = 0; k < n - 1; k++) {
+        l = ipvt[k];
+        t = b[l];
+        if (l != k) {
+            b[l] = b[k];
+            b[k] = t;
+        }
+        daxpy(n - k - 1, t, &a[k][k + 1], &b[k + 1]);
+    }
+    for (k = n - 1; k >= 0; k--) {
+        b[k] = b[k] / a[k][k];
+        t = -b[k];
+        daxpy(k, t, &a[k][0], b);
+    }
+}
+
+void dmxpy(int n, double *y, double (*m)[16], double *x) {
+    int i, j;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            y[i] = y[i] + x[j] * m[j][i];
+}
+
+double check_residual(double (*a)[16], double *b, double *x, int n) {
+    int i;
+    double resid, value;
+    matgen(a, n, residual_work);
+    for (i = 0; i < n; i++)
+        residual_work[i] = -b[i];
+    dmxpy(n, residual_work, a, x);
+    resid = 0.0;
+    for (i = 0; i < n; i++) {
+        value = residual_work[i];
+        if (value < 0.0) value = -value;
+        if (value > resid) resid = value;
+    }
+    return resid;
+}
+
+int main() {
+    int ipvt[16];
+    int info;
+    int i;
+    double total, resid;
+    matgen(a_storage, 16, b_storage);
+    dgefa(a_storage, 16, ipvt, &info);
+    dgesl(a_storage, 16, ipvt, b_storage);
+    for (i = 0; i < 16; i++)
+        x_storage[i] = b_storage[i];
+    total = ddot(16, x_storage, x_storage);
+    resid = check_residual(a_storage, b_storage, x_storage, 16);
+    P1: return (int) total + (resid < 1000.0) + info;
+}
+"""
+
+
+CONFIG = r"""
+/* Language-feature checker: many small functions called once each,
+   pointer round-trips through helpers, switch tables, unions,
+   enums, arrays of structs, function-pointer checks. */
+int status;
+int *status_ptr;
+int check_count;
+
+int check_int(int v) { check_count++; return v + 1; }
+int check_char(char c) { check_count++; return c != 0; }
+int check_float(double f) { check_count++; return f > 0.0; }
+int check_shift(int v) { check_count++; return (v << 3) >> 2; }
+int check_bitops(int v) { check_count++; return (v & 12) | (v ^ 5); }
+
+int check_ptr(int *p) {
+    check_count++;
+    if (p == 0) return 0;
+    *p = *p + 1;
+    return 1;
+}
+
+int check_ptr_ptr(int **pp) {
+    int ok;
+    check_count++;
+    ok = check_ptr(*pp);
+    *pp = status_ptr;
+    return ok;
+}
+
+int check_array(int *arr, int n) {
+    int i, sum;
+    check_count++;
+    sum = 0;
+    for (i = 0; i < n; i++) sum += arr[i];
+    return sum;
+}
+
+int check_struct(void) {
+    struct pair { int *first; int *second; } p;
+    int a, b;
+    check_count++;
+    a = 1;
+    b = 2;
+    p.first = &a;
+    p.second = &b;
+    *p.first = 1;
+    *p.second = 2;
+    S1: return *p.first + *p.second;
+}
+
+int check_union(void) {
+    union blob { int i; char c; } u;
+    check_count++;
+    u.i = 65;
+    return u.i;
+}
+
+int check_enum(void) {
+    enum color { RED, GREEN = 5, BLUE };
+    check_count++;
+    return BLUE;
+}
+
+int check_struct_array(void) {
+    struct cell { int tag; int *link; } cells[4];
+    int backing[4];
+    int i, total;
+    check_count++;
+    for (i = 0; i < 4; i++) {
+        backing[i] = i * 10;
+        cells[i].tag = i;
+        cells[i].link = &backing[i];
+    }
+    total = 0;
+    for (i = 0; i < 4; i++)
+        total += *cells[i].link;
+    return total;
+}
+
+int apply_check(int (*check)(int), int arg) {
+    check_count++;
+    return check(arg);
+}
+
+int check_fnptr(void) {
+    int (*checks[3])(int);
+    int i, acc;
+    check_count++;
+    checks[0] = check_int;
+    checks[1] = check_shift;
+    checks[2] = check_bitops;
+    acc = 0;
+    for (i = 0; i < 3; i++)
+        acc += apply_check(checks[i], i + 1);
+    return acc;
+}
+
+int check_recursion(int n) {
+    if (n <= 1) return 1;
+    return n * check_recursion(n - 1);
+}
+
+int check_switch(int sel) {
+    int r;
+    switch (sel) {
+        case 0: r = check_int(0); break;
+        case 1: r = check_char('x'); break;
+        case 2: r = check_float(1.5); break;
+        case 3: r = check_struct(); break;
+        case 4: r = check_union(); break;
+        case 5: r = check_enum(); break;
+        default: r = -1;
+    }
+    return r;
+}
+
+int check_loops(void) {
+    int i, j, acc;
+    acc = 0;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+            acc += i * j;
+    i = 0;
+    while (i < 4) { acc += i; i++; }
+    do { acc -= 1; } while (acc > 100);
+    return acc;
+}
+
+int check_conditional_exprs(void) {
+    int a, b;
+    a = 5;
+    b = a > 3 ? a * 2 : a / 2;
+    return (a < b) && (b != 0) || (a == 5);
+}
+
+int main() {
+    int value;
+    int *vp;
+    int sel;
+    int table[8];
+    status = 0;
+    check_count = 0;
+    value = 41;
+    vp = &value;
+    status_ptr = &status;
+    for (sel = 0; sel < 8; sel++) table[sel] = sel;
+    status += check_ptr(vp);
+    status += check_ptr_ptr(&vp);
+    P1: status += check_array(table, 8);
+    for (sel = 0; sel < 7; sel++)
+        status += check_switch(sel);
+    status += check_loops();
+    status += check_struct_array();
+    status += check_fnptr();
+    status += check_recursion(5);
+    status += check_conditional_exprs();
+    P2: return status + *vp + check_count;
+}
+"""
+
+
+TOPLEV = r"""
+/* Compiler driver: a pass table of function pointers over a shared
+   tree, option flags, multiple invocation chains to the same passes,
+   tree construction from a small token stream. */
+struct tree { int op; struct tree *left, *right; int value; };
+
+struct tree *root;
+int n_errors;
+int n_warnings;
+int opt_fold;
+int opt_dce;
+int tokens[32];
+int token_pos;
+int n_tokens;
+
+struct tree *new_node(int op, struct tree *l, struct tree *r) {
+    struct tree *t;
+    t = (struct tree *) malloc(sizeof(struct tree));
+    t->op = op;
+    t->left = l;
+    t->right = r;
+    t->value = 0;
+    return t;
+}
+
+struct tree *new_leaf(int value) {
+    struct tree *t;
+    t = new_node(0, 0, 0);
+    t->value = value;
+    return t;
+}
+
+int peek_token(void) {
+    if (token_pos >= n_tokens) return -1;
+    return tokens[token_pos];
+}
+
+int next_token(void) {
+    int t;
+    t = peek_token();
+    token_pos++;
+    return t;
+}
+
+/* grammar: expr := term ('+' term)* ; term := NUMBER */
+struct tree *parse_term(void) {
+    int t;
+    t = next_token();
+    if (t < 0) t = 0;
+    return new_leaf(t);
+}
+
+struct tree *parse_expr(void) {
+    struct tree *left, *right;
+    left = parse_term();
+    while (peek_token() == -2) {  /* '+' sentinel */
+        next_token();
+        right = parse_term();
+        left = new_node(1, left, right);
+    }
+    return left;
+}
+
+int pass_fold(struct tree *t) {
+    int changed;
+    if (t == 0) return 0;
+    changed = pass_fold(t->left);
+    changed += pass_fold(t->right);
+    if (t->op == 1 && t->left != 0 && t->right != 0) {
+        if (t->left->op == 0 && t->right->op == 0) {
+            t->value = t->left->value + t->right->value;
+            t->op = 0;
+            changed++;
+        }
+    }
+    return changed;
+}
+
+int pass_count(struct tree *t) {
+    if (t == 0) return 0;
+    return 1 + pass_count(t->left) + pass_count(t->right);
+}
+
+int pass_height(struct tree *t) {
+    int lh, rh;
+    if (t == 0) return 0;
+    lh = pass_height(t->left);
+    rh = pass_height(t->right);
+    if (lh > rh) return lh + 1;
+    return rh + 1;
+}
+
+int pass_check(struct tree *t) {
+    if (t == 0) return 0;
+    if (t->op < 0) n_errors++;
+    if (t->op > 1) n_warnings++;
+    pass_check(t->left);
+    pass_check(t->right);
+    P1: return n_errors;
+}
+
+int pass_eval(struct tree *t) {
+    if (t == 0) return 0;
+    if (t->op == 0) return t->value;
+    return pass_eval(t->left) + pass_eval(t->right);
+}
+
+int (*passes[5])(struct tree *);
+int pass_results[5];
+int n_passes;
+
+void register_pass(int (*pass)(struct tree *)) {
+    if (n_passes < 5) {
+        passes[n_passes] = pass;
+        n_passes++;
+    }
+}
+
+void run_passes(struct tree *t) {
+    int i;
+    int (*pass)(struct tree *);
+    for (i = 0; i < n_passes; i++) {
+        pass = passes[i];
+        P2: pass_results[i] = pass(t);
+    }
+}
+
+void build_input(void) {
+    int i;
+    n_tokens = 0;
+    for (i = 0; i < 9; i++) {
+        tokens[n_tokens++] = i + 1;
+        if (i < 8)
+            tokens[n_tokens++] = -2;
+    }
+    token_pos = 0;
+}
+
+int main() {
+    int total, i;
+    opt_fold = 1;
+    opt_dce = 0;
+    n_passes = 0;
+    build_input();
+    root = parse_expr();
+    register_pass(pass_check);
+    if (opt_fold)
+        register_pass(pass_fold);
+    register_pass(pass_count);
+    register_pass(pass_height);
+    register_pass(pass_eval);
+    run_passes(root);
+    run_passes(root->left != 0 ? root->left : root);
+    total = 0;
+    for (i = 0; i < n_passes; i++)
+        total += pass_results[i];
+    P3: return total + n_errors + n_warnings;
+}
+"""
+
+
+COMPRESS = r"""
+/* LZW-style compress + decompress round trip: hash tables as global
+   arrays, the code table accessed through pointers, buffered IO
+   through roving pointers. */
+int htab[512];
+int codetab[512];
+int prefix[512];
+int suffix[512];
+char inbuf[256];
+char outbuf[512];
+char backbuf[512];
+char *inptr;
+char *outptr;
+char *backptr;
+int free_ent;
+int n_bits;
+int compressed_codes[512];
+int n_codes;
+
+void output_code(int code) {
+    compressed_codes[n_codes] = code;
+    n_codes++;
+    *outptr = (char) (code & 255);
+    outptr++;
+    if (code > 255) {
+        *outptr = (char) (code >> 8);
+        outptr++;
+    }
+}
+
+int getbyte(void) {
+    int code;
+    code = *inptr;
+    inptr++;
+    if (code < 0) return -1;
+    return code;
+}
+
+void cl_hash(int *tab, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        tab[i] = -1;
+}
+
+int probe(int key) {
+    int i;
+    i = key % 512;
+    if (i < 0) i = -i;
+    while (htab[i] != -1 && htab[i] != key)
+        i = (i + 1) % 512;
+    P1: return i;
+}
+
+void compress(void) {
+    int ent, c, slot, key;
+    cl_hash(htab, 512);
+    cl_hash(codetab, 512);
+    free_ent = 257;
+    n_codes = 0;
+    ent = getbyte();
+    while ((c = getbyte()) >= 0) {
+        key = (c << 8) + ent;
+        slot = probe(key);
+        if (htab[slot] == key) {
+            ent = codetab[slot];
+            continue;
+        }
+        output_code(ent);
+        if (free_ent < 512) {
+            codetab[slot] = free_ent;
+            prefix[free_ent] = ent;
+            suffix[free_ent] = c;
+            free_ent++;
+            htab[slot] = key;
+        }
+        ent = c;
+    }
+    output_code(ent);
+}
+
+int expand_code(int code, char *dst) {
+    /* write the expansion of a code, return bytes written */
+    char stack[64];
+    int depth, i;
+    depth = 0;
+    while (code >= 257 && depth < 63) {
+        stack[depth] = (char) suffix[code];
+        depth++;
+        code = prefix[code];
+    }
+    stack[depth] = (char) code;
+    depth++;
+    for (i = depth - 1; i >= 0; i--) {
+        *dst = stack[i];
+        dst++;
+    }
+    return depth;
+}
+
+int decompress(void) {
+    int i, written;
+    backptr = backbuf;
+    written = 0;
+    for (i = 0; i < n_codes; i++) {
+        written += expand_code(compressed_codes[i], backptr);
+        backptr = backbuf + written;
+    }
+    return written;
+}
+
+int verify(int n) {
+    int i;
+    for (i = 0; i < n && i < 255; i++) {
+        if (backbuf[i] != inbuf[i])
+            return 0;
+    }
+    P2: return 1;
+}
+
+int main() {
+    int i, expanded, ok;
+    for (i = 0; i < 255; i++)
+        inbuf[i] = (char) (1 + (i % 17));
+    inbuf[255] = -1;
+    inptr = inbuf;
+    outptr = outbuf;
+    n_bits = 9;
+    compress();
+    expanded = decompress();
+    ok = verify(expanded);
+    return (outptr - outbuf) + ok;
+}
+"""
+
+
+MWAY = r"""
+/* m-way graph partitioning: adjacency through pointer arrays, gain
+   buckets as doubly-linked lists threaded through the vertex array,
+   multiple refinement passes with rollback. */
+struct vertex { int id; int part; int gain; int locked;
+                struct vertex *next, *prev; };
+
+struct vertex verts[24];
+struct vertex *buckets[9];
+int adj[24][4];
+int history[24];
+int n_moves;
+
+void bucket_insert(struct vertex **bkt, struct vertex *v) {
+    v->next = *bkt;
+    v->prev = 0;
+    if (*bkt != 0)
+        (*bkt)->prev = v;
+    *bkt = v;
+}
+
+void bucket_remove(struct vertex **bkt, struct vertex *v) {
+    if (v->prev != 0)
+        v->prev->next = v->next;
+    else
+        *bkt = v->next;
+    if (v->next != 0)
+        v->next->prev = v->prev;
+    v->next = 0;
+    v->prev = 0;
+}
+
+int gain_bucket(int gain) {
+    int b;
+    b = gain + 4;
+    if (b < 0) b = 0;
+    if (b > 8) b = 8;
+    return b;
+}
+
+int compute_gain(struct vertex *v) {
+    int i, g;
+    struct vertex *u;
+    g = 0;
+    for (i = 0; i < 4; i++) {
+        u = &verts[adj[v->id][i]];
+        if (u->part == v->part) g--;
+        else g++;
+    }
+    v->gain = g;
+    P1: return g;
+}
+
+void rebucket(struct vertex *v) {
+    int old_bucket;
+    old_bucket = gain_bucket(v->gain);
+    bucket_remove(&buckets[old_bucket], v);
+    compute_gain(v);
+    bucket_insert(&buckets[gain_bucket(v->gain)], v);
+}
+
+struct vertex *best_move(void) {
+    struct vertex *scan;
+    int b;
+    for (b = 8; b >= 0; b--) {
+        scan = buckets[b];
+        while (scan != 0) {
+            if (!scan->locked)
+                return scan;
+            scan = scan->next;
+        }
+    }
+    return 0;
+}
+
+int cut_size(void) {
+    int i, j, cut;
+    struct vertex *u;
+    cut = 0;
+    for (i = 0; i < 24; i++) {
+        for (j = 0; j < 4; j++) {
+            u = &verts[adj[i][j]];
+            if (u->part != verts[i].part) cut++;
+        }
+    }
+    return cut / 2;
+}
+
+void move_vertex(struct vertex *v) {
+    int i;
+    struct vertex *u;
+    history[n_moves] = v->id;
+    n_moves++;
+    v->part = 1 - v->part;
+    v->locked = 1;
+    for (i = 0; i < 4; i++) {
+        u = &verts[adj[v->id][i]];
+        if (!u->locked)
+            rebucket(u);
+    }
+}
+
+void unlock_all(void) {
+    int i;
+    for (i = 0; i < 24; i++)
+        verts[i].locked = 0;
+}
+
+void fill_buckets(void) {
+    int i;
+    for (i = 0; i < 9; i++)
+        buckets[i] = 0;
+    for (i = 0; i < 24; i++) {
+        compute_gain(&verts[i]);
+        bucket_insert(&buckets[gain_bucket(verts[i].gain)], &verts[i]);
+    }
+}
+
+int refine_pass(void) {
+    struct vertex *v;
+    int before, after, moves;
+    before = cut_size();
+    n_moves = 0;
+    fill_buckets();
+    for (moves = 0; moves < 8; moves++) {
+        v = best_move();
+        if (v == 0) break;
+        bucket_remove(&buckets[gain_bucket(v->gain)], v);
+        bucket_insert(&buckets[gain_bucket(v->gain)], v);
+        bucket_remove(&buckets[gain_bucket(v->gain)], v);
+        move_vertex(v);
+    }
+    after = cut_size();
+    if (after > before) {
+        /* roll back every move of this pass */
+        while (n_moves > 0) {
+            n_moves--;
+            verts[history[n_moves]].part =
+                1 - verts[history[n_moves]].part;
+        }
+        after = before;
+    }
+    unlock_all();
+    P2: return before - after;
+}
+
+int main() {
+    int i, passes, improved;
+    for (i = 0; i < 24; i++) {
+        verts[i].id = i;
+        verts[i].part = i % 2;
+        verts[i].locked = 0;
+        adj[i][0] = (i + 1) % 24;
+        adj[i][1] = (i + 23) % 24;
+        adj[i][2] = (i + 7) % 24;
+        adj[i][3] = (i + 17) % 24;
+    }
+    improved = 0;
+    for (passes = 0; passes < 3; passes++)
+        improved += refine_pass();
+    return cut_size() - improved;
+}
+"""
+
+
+BENCH_PART_1 = {
+    "genetic": ("Genetic algorithm for sorting.", GENETIC),
+    "dry": ("Dhrystone benchmark.", DRY),
+    "clinpack": ("The C version of Linpack.", CLINPACK),
+    "config": ("Checks features of the C language.", CONFIG),
+    "toplev": ("Top level of a compiler driver.", TOPLEV),
+    "compress": ("UNIX compress utility.", COMPRESS),
+    "mway": ("m-way graph partitioning.", MWAY),
+}
+
+# The remaining ten programs live in a sibling module to keep file
+# sizes reviewable; the registry below merges both halves.
+from repro.benchsuite.programs_tail import BENCH_PART_2  # noqa: E402
+
+BENCHMARKS: dict[str, Benchmark] = {}
+for _name, (_desc, _src) in {**BENCH_PART_1, **BENCH_PART_2}.items():
+    BENCHMARKS[_name] = Benchmark(_name, _desc, _src)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    return BENCHMARKS[name]

@@ -1,0 +1,1245 @@
+"""The second half of the benchmark suite (see programs.py)."""
+
+from __future__ import annotations
+
+HASH = r"""
+/* Chained hash table on the heap: insertion, lookup, deletion,
+   resize-style rehash into a second table, iteration. */
+struct entry { int key; int value; struct entry *link; };
+
+struct entry *table[16];
+struct entry *big_table[32];
+int n_entries;
+
+int hash(int key) {
+    int h;
+    h = (key * 31) % 16;
+    if (h < 0) h = -h;
+    return h;
+}
+
+int big_hash(int key) {
+    int h;
+    h = (key * 31) % 32;
+    if (h < 0) h = -h;
+    return h;
+}
+
+struct entry *lookup(int key) {
+    struct entry *e;
+    e = table[hash(key)];
+    while (e != 0) {
+        P1: if (e->key == key) return e;
+        e = e->link;
+    }
+    return 0;
+}
+
+void insert(int key, int value) {
+    struct entry *e;
+    int h;
+    e = lookup(key);
+    if (e != 0) {
+        e->value = value;
+        return;
+    }
+    e = (struct entry *) malloc(sizeof(struct entry));
+    h = hash(key);
+    e->key = key;
+    e->value = value;
+    e->link = table[h];
+    table[h] = e;
+    n_entries++;
+}
+
+int remove_key(int key) {
+    struct entry *e, *prev;
+    int h;
+    h = hash(key);
+    e = table[h];
+    prev = 0;
+    while (e != 0) {
+        if (e->key == key) {
+            if (prev == 0)
+                table[h] = e->link;
+            else
+                prev->link = e->link;
+            n_entries--;
+            return 1;
+        }
+        prev = e;
+        e = e->link;
+    }
+    return 0;
+}
+
+void rehash(void) {
+    struct entry *e, *next;
+    int i, h;
+    for (i = 0; i < 32; i++)
+        big_table[i] = 0;
+    for (i = 0; i < 16; i++) {
+        e = table[i];
+        while (e != 0) {
+            next = e->link;
+            h = big_hash(e->key);
+            e->link = big_table[h];
+            big_table[h] = e;
+            e = next;
+        }
+        table[i] = 0;
+    }
+}
+
+int sum_big_table(void) {
+    struct entry *e;
+    int i, total;
+    total = 0;
+    for (i = 0; i < 32; i++) {
+        for (e = big_table[i]; e != 0; e = e->link)
+            total += e->value;
+    }
+    return total;
+}
+
+int main() {
+    int i, sum;
+    struct entry *e;
+    n_entries = 0;
+    for (i = 0; i < 40; i++)
+        insert(i * 7, i);
+    for (i = 0; i < 10; i++)
+        remove_key(i * 14);
+    sum = 0;
+    for (i = 0; i < 40; i++) {
+        e = lookup(i * 7);
+        if (e != 0) sum += e->value;
+    }
+    rehash();
+    P2: return sum + sum_big_table() + n_entries;
+}
+"""
+
+
+MISR = r"""
+/* MISR signature simulation: shift-register chains on the heap, a
+   fault-injection schedule, pairwise comparison of signatures. */
+struct cell { int bit; struct cell *next; };
+
+struct cell *registers[4];
+int fault_at[8];
+int n_faults;
+
+struct cell *make_register(int n) {
+    struct cell *head, *c;
+    int i;
+    head = 0;
+    for (i = 0; i < n; i++) {
+        c = (struct cell *) malloc(sizeof(struct cell));
+        c->bit = 0;
+        c->next = head;
+        head = c;
+    }
+    return head;
+}
+
+void shift(struct cell *reg, int in_bit) {
+    struct cell *c;
+    int carry, tmp;
+    carry = in_bit;
+    c = reg;
+    while (c != 0) {
+        tmp = c->bit;
+        c->bit = carry ^ (tmp & 1);
+        carry = tmp;
+        P1: c = c->next;
+    }
+}
+
+int signature(struct cell *reg) {
+    struct cell *c;
+    int sig, weight;
+    sig = 0;
+    weight = 1;
+    for (c = reg; c != 0; c = c->next) {
+        sig += c->bit * weight;
+        weight = weight * 2;
+        if (weight > 4096) weight = 1;
+    }
+    return sig;
+}
+
+int compare(struct cell *a, struct cell *b) {
+    while (a != 0 && b != 0) {
+        if (a->bit != b->bit) return 0;
+        a = a->next;
+        b = b->next;
+    }
+    return a == 0 && b == 0;
+}
+
+void inject(struct cell *reg, int position) {
+    struct cell *c;
+    int i;
+    c = reg;
+    for (i = 0; i < position && c != 0; i++)
+        c = c->next;
+    if (c != 0)
+        c->bit = 1 - c->bit;
+}
+
+void drive(struct cell *reg, int rounds, int with_faults) {
+    int i, f;
+    f = 0;
+    for (i = 0; i < rounds; i++) {
+        shift(reg, i & 1);
+        if (with_faults && f < n_faults && fault_at[f] == i) {
+            inject(reg, i % 16);
+            f++;
+        }
+    }
+}
+
+int main() {
+    int i, same_count, sig_total;
+    n_faults = 3;
+    fault_at[0] = 5;
+    fault_at[1] = 17;
+    fault_at[2] = 40;
+    for (i = 0; i < 4; i++)
+        registers[i] = make_register(16);
+    drive(registers[0], 64, 0);
+    drive(registers[1], 64, 0);
+    drive(registers[2], 64, 1);
+    drive(registers[3], 64, 1);
+    same_count = 0;
+    same_count += compare(registers[0], registers[1]);
+    same_count += compare(registers[0], registers[2]);
+    same_count += compare(registers[2], registers[3]);
+    sig_total = 0;
+    for (i = 0; i < 4; i++)
+        sig_total += signature(registers[i]);
+    P2: return same_count * 10000 + (sig_total % 10000);
+}
+"""
+
+
+XREF = r"""
+/* Cross-reference: a binary search tree of items on the heap with
+   per-item occurrence lists, traversal, depth statistics, and
+   selective pruning. */
+struct occurrence { int line; struct occurrence *next; };
+struct item {
+    char name[16];
+    int n_occurrences;
+    struct occurrence *occurrences;
+    struct item *left, *right;
+};
+
+struct item *tree_root;
+int total_occurrences;
+
+int name_cmp(char *a, char *b) {
+    while (*a != 0 && *a == *b) { a++; b++; }
+    return *a - *b;
+}
+
+void name_copy(char *dst, char *src) {
+    while ((*dst++ = *src++) != 0)
+        ;
+}
+
+struct occurrence *new_occurrence(int line, struct occurrence *next) {
+    struct occurrence *occ;
+    occ = (struct occurrence *) malloc(sizeof(struct occurrence));
+    occ->line = line;
+    occ->next = next;
+    total_occurrences++;
+    return occ;
+}
+
+struct item *insert_item(struct item *node, char *name, int line) {
+    int c;
+    if (node == 0) {
+        node = (struct item *) malloc(sizeof(struct item));
+        name_copy(node->name, name);
+        node->left = 0;
+        node->right = 0;
+        node->n_occurrences = 1;
+        node->occurrences = new_occurrence(line, 0);
+        return node;
+    }
+    c = name_cmp(name, node->name);
+    if (c < 0)
+        node->left = insert_item(node->left, name, line);
+    else if (c > 0)
+        node->right = insert_item(node->right, name, line);
+    else {
+        node->occurrences = new_occurrence(line, node->occurrences);
+        node->n_occurrences++;
+        P1: ;
+    }
+    return node;
+}
+
+struct item *find_item(struct item *node, char *name) {
+    int c;
+    while (node != 0) {
+        c = name_cmp(name, node->name);
+        if (c == 0) return node;
+        if (c < 0) node = node->left;
+        else node = node->right;
+    }
+    return 0;
+}
+
+int count_items(struct item *node) {
+    if (node == 0) return 0;
+    return 1 + count_items(node->left) + count_items(node->right);
+}
+
+int tree_depth(struct item *node) {
+    int ld, rd;
+    if (node == 0) return 0;
+    ld = tree_depth(node->left);
+    rd = tree_depth(node->right);
+    if (ld > rd) return ld + 1;
+    return rd + 1;
+}
+
+int count_lines(struct item *node) {
+    struct occurrence *occ;
+    int lines;
+    if (node == 0) return 0;
+    lines = 0;
+    for (occ = node->occurrences; occ != 0; occ = occ->next)
+        lines += occ->line;
+    return lines + count_lines(node->left) + count_lines(node->right);
+}
+
+struct item *prune_rare(struct item *node, int min_count) {
+    if (node == 0) return 0;
+    node->left = prune_rare(node->left, min_count);
+    node->right = prune_rare(node->right, min_count);
+    if (node->n_occurrences < min_count) {
+        /* splice out: re-insert the right subtree into the left */
+        if (node->left == 0) return node->right;
+        if (node->right == 0) return node->left;
+        /* keep the node if both children exist (simple heuristic) */
+    }
+    return node;
+}
+
+int main() {
+    char word[16];
+    struct item *found;
+    int i, hits;
+    total_occurrences = 0;
+    word[0] = 'a';
+    word[2] = 0;
+    for (i = 0; i < 52; i++) {
+        word[1] = (char) ('a' + (i * 7) % 26);
+        tree_root = insert_item(tree_root, word, i + 1);
+    }
+    hits = 0;
+    for (i = 0; i < 26; i++) {
+        word[1] = (char) ('a' + i);
+        found = find_item(tree_root, word);
+        if (found != 0)
+            hits += found->n_occurrences;
+    }
+    tree_root = prune_rare(tree_root, 2);
+    P2: return count_items(tree_root) * 1000 + tree_depth(tree_root) * 100
+        + (count_lines(tree_root) % 100) + hits;
+}
+"""
+
+
+STANFORD = r"""
+/* Stanford baby benchmark medley: perm, towers, queens, bubble,
+   intmm, quicksort over pointer-passed arrays. */
+int perm_count;
+int tower_moves;
+int sortlist[32];
+int mm_a[8][8];
+int mm_b[8][8];
+int mm_c[8][8];
+
+void swap_ints(int *x, int *y) {
+    int t;
+    t = *x;
+    *x = *y;
+    P1: *y = t;
+}
+
+void permute(int *arr, int n) {
+    int i;
+    perm_count++;
+    if (n <= 1) return;
+    for (i = 0; i < n; i++) {
+        swap_ints(&arr[i], &arr[n - 1]);
+        permute(arr, n - 1);
+        swap_ints(&arr[i], &arr[n - 1]);
+    }
+}
+
+void towers(int n, int from, int to, int via) {
+    if (n == 1) {
+        tower_moves++;
+        return;
+    }
+    towers(n - 1, from, via, to);
+    tower_moves++;
+    towers(n - 1, via, to, from);
+}
+
+int queens_try(int col, int *rows, int n) {
+    int row, ok, i, found;
+    if (col == n) return 1;
+    found = 0;
+    for (row = 0; row < n && !found; row++) {
+        ok = 1;
+        for (i = 0; i < col; i++) {
+            if (rows[i] == row) ok = 0;
+            if (rows[i] - i == row - col) ok = 0;
+            if (rows[i] + i == row + col) ok = 0;
+        }
+        if (ok) {
+            rows[col] = row;
+            found = queens_try(col + 1, rows, n);
+        }
+    }
+    return found;
+}
+
+void bubble(int *list, int n) {
+    int i, j;
+    for (i = 0; i < n - 1; i++)
+        for (j = 0; j < n - 1 - i; j++)
+            if (list[j] > list[j + 1])
+                swap_ints(&list[j], &list[j + 1]);
+}
+
+void quicksort(int *list, int lo, int hi) {
+    int pivot, i, j;
+    if (lo >= hi) return;
+    pivot = list[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (list[i] < pivot) i++;
+        while (list[j] > pivot) j--;
+        if (i <= j) {
+            swap_ints(&list[i], &list[j]);
+            i++;
+            j--;
+        }
+    }
+    quicksort(list, lo, j);
+    quicksort(list, i, hi);
+}
+
+void init_matrix(int (*m)[8], int base) {
+    int i, j;
+    for (i = 0; i < 8; i++)
+        for (j = 0; j < 8; j++)
+            m[i][j] = (i + j + base) % 7 - 3;
+}
+
+void inner_product(int *result, int (*a)[8], int (*b)[8], int row, int col) {
+    int i;
+    *result = 0;
+    for (i = 0; i < 8; i++)
+        *result = *result + a[row][i] * b[i][col];
+}
+
+void intmm(void) {
+    int i, j;
+    init_matrix(mm_a, 1);
+    init_matrix(mm_b, 2);
+    for (i = 0; i < 8; i++)
+        for (j = 0; j < 8; j++)
+            inner_product(&mm_c[i][j], mm_a, mm_b, i, j);
+}
+
+int checksum_matrix(int (*m)[8]) {
+    int i, j, s;
+    s = 0;
+    for (i = 0; i < 8; i++)
+        for (j = 0; j < 8; j++)
+            s += m[i][j];
+    return s;
+}
+
+int main() {
+    int small[4];
+    int rows[8];
+    int qlist[16];
+    int i, result;
+    for (i = 0; i < 4; i++) small[i] = 4 - i;
+    for (i = 0; i < 32; i++) sortlist[i] = (i * 13) % 32;
+    for (i = 0; i < 16; i++) qlist[i] = (i * 11) % 16;
+    perm_count = 0;
+    tower_moves = 0;
+    permute(small, 4);
+    towers(6, 0, 2, 1);
+    result = queens_try(0, rows, 8);
+    bubble(sortlist, 32);
+    quicksort(qlist, 0, 15);
+    intmm();
+    P2: return perm_count + tower_moves + result + sortlist[0]
+        + qlist[15] + checksum_matrix(mm_c);
+}
+"""
+
+
+FIXOUTPUT = r"""
+/* Simple translator: scans an input buffer, classifies tokens by a
+   table of predicates, rewrites them into an output buffer through
+   roving pointers. */
+char input[128];
+char output[256];
+char token[32];
+int class_counts[4];
+
+char *skip_blanks(char *p) {
+    while (*p == ' ')
+        p++;
+    return p;
+}
+
+char *copy_token(char *dst, char *src) {
+    while (*src != 0 && *src != ' ') {
+        *dst = *src;
+        dst++;
+        src++;
+        P1: ;
+    }
+    *dst = 0;
+    return src;
+}
+
+int token_length(char *t) {
+    int n;
+    n = 0;
+    while (*t != 0) { n++; t++; }
+    return n;
+}
+
+int is_numeric(char *t) {
+    while (*t != 0) {
+        if (*t < '0' || *t > '9') return 0;
+        t++;
+    }
+    return 1;
+}
+
+int is_short(char *t) { return token_length(t) <= 2; }
+
+int is_upper(char *t) {
+    while (*t != 0) {
+        if (*t < 'A' || *t > 'Z') return 0;
+        t++;
+    }
+    return 1;
+}
+
+int classify(char *t) {
+    int (*tests[3])(char *);
+    int i;
+    tests[0] = is_numeric;
+    tests[1] = is_upper;
+    tests[2] = is_short;
+    for (i = 0; i < 3; i++) {
+        if (tests[i](t))
+            return i;
+    }
+    return 3;
+}
+
+char *emit(char *out, char *t, int cls) {
+    char prefix;
+    prefix = (char) ('0' + cls);
+    *out = prefix;
+    out++;
+    while (*t != 0) {
+        *out = *t;
+        out++;
+        t++;
+    }
+    *out = ' ';
+    out++;
+    return out;
+}
+
+int translate(void) {
+    char *in, *out;
+    int count, cls;
+    in = input;
+    out = output;
+    count = 0;
+    while (*in != 0) {
+        in = skip_blanks(in);
+        if (*in == 0) break;
+        in = copy_token(token, in);
+        cls = classify(token);
+        class_counts[cls]++;
+        out = emit(out, token, cls);
+        count++;
+    }
+    *out = 0;
+    P2: return count;
+}
+
+int main() {
+    int i, n;
+    for (i = 0; i < 120; i++)
+        input[i] = (char) ((i % 5 == 0) ? ' ' : ('a' + i % 26));
+    input[120] = 0;
+    for (i = 0; i < 4; i++)
+        class_counts[i] = 0;
+    n = translate();
+    return n + class_counts[0] + class_counts[3] * 10;
+}
+"""
+
+
+SIM = r"""
+/* Local similarity with affine weights: DP matrices on the heap,
+   rows addressed through pointer arrays, traceback through saved
+   direction rows. */
+int *dp_rows[34];
+int *gap_rows[34];
+int *dir_rows[34];
+char seq_a[34];
+char seq_b[34];
+int best_i, best_j;
+
+int *alloc_row(int n) {
+    int *row;
+    int i;
+    row = (int *) malloc(n * sizeof(int));
+    for (i = 0; i < n; i++)
+        row[i] = 0;
+    return row;
+}
+
+int match_score(char x, char y) {
+    if (x == y) return 2;
+    return -1;
+}
+
+int max3(int a, int b, int c) {
+    int m;
+    m = a;
+    if (b > m) m = b;
+    if (c > m) m = c;
+    return m;
+}
+
+void alloc_all(int n, int m) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dp_rows[i] = alloc_row(m);
+        gap_rows[i] = alloc_row(m);
+        dir_rows[i] = alloc_row(m);
+    }
+}
+
+int similarity(int n, int m) {
+    int i, j, best, diag, open_gap, extend_gap;
+    int *row, *prev, *grow, *drow;
+    best = 0;
+    best_i = 0;
+    best_j = 0;
+    for (i = 1; i < n; i++) {
+        row = dp_rows[i];
+        prev = dp_rows[i - 1];
+        grow = gap_rows[i];
+        drow = dir_rows[i];
+        for (j = 1; j < m; j++) {
+            open_gap = prev[j] - 4;
+            extend_gap = grow[j - 1] - 1;
+            grow[j] = max3(extend_gap, open_gap, 0);
+            diag = prev[j - 1] + match_score(seq_a[i], seq_b[j]);
+            row[j] = max3(diag, grow[j], 0);
+            if (row[j] == diag) drow[j] = 1;
+            else if (row[j] == grow[j]) drow[j] = 2;
+            else drow[j] = 0;
+            P1: if (row[j] > best) {
+                best = row[j];
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+    return best;
+}
+
+int traceback_length(void) {
+    int i, j, steps;
+    int *drow;
+    i = best_i;
+    j = best_j;
+    steps = 0;
+    while (i > 0 && j > 0 && steps < 100) {
+        drow = dir_rows[i];
+        if (drow[j] == 0) break;
+        if (drow[j] == 1) { i--; j--; }
+        else { j--; }
+        steps++;
+    }
+    return steps;
+}
+
+int main() {
+    int i, score;
+    for (i = 0; i < 33; i++) {
+        seq_a[i] = (char) ('a' + (i * 3) % 4);
+        seq_b[i] = (char) ('a' + (i * 5) % 4);
+    }
+    seq_a[33] = 0;
+    seq_b[33] = 0;
+    alloc_all(34, 34);
+    score = similarity(34, 34);
+    P2: return score * 100 + traceback_length();
+}
+"""
+
+
+TRAVEL = r"""
+/* Travelling salesman with greedy heuristics: city table, tours as
+   index arrays, nearest-neighbour, 2-opt and or-opt moves through
+   pointer parameters, tour bookkeeping utilities. */
+struct city { int x, y; int visited; };
+
+struct city cities[20];
+int tour[21];
+int best_tour[21];
+int saved_segment[21];
+
+int dist(struct city *a, struct city *b) {
+    int dx, dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    P1: return dx * dx + dy * dy;
+}
+
+int nearest(struct city *from) {
+    int i, best, bestd, d;
+    best = -1;
+    bestd = 1 << 30;
+    for (i = 0; i < 14; i++) {
+        if (cities[i].visited) continue;
+        d = dist(from, &cities[i]);
+        if (d < bestd) {
+            bestd = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+int tour_length(int *t, int n) {
+    int i, total;
+    total = 0;
+    for (i = 0; i < n - 1; i++)
+        total += dist(&cities[t[i]], &cities[t[i + 1]]);
+    return total;
+}
+
+void copy_tour(int *dst, int *src, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        dst[i] = src[i];
+}
+
+void reverse_segment(int *t, int i, int j) {
+    int tmp;
+    while (i < j) {
+        tmp = t[i];
+        t[i] = t[j];
+        t[j] = tmp;
+        i++;
+        j--;
+    }
+}
+
+void greedy(void) {
+    int step, current;
+    current = 0;
+    cities[0].visited = 1;
+    tour[0] = 0;
+    for (step = 1; step < 14; step++) {
+        current = nearest(&cities[tour[step - 1]]);
+        cities[current].visited = 1;
+        tour[step] = current;
+    }
+    tour[14] = 0;
+}
+
+int two_opt(void) {
+    int i, j, before, after, improved;
+    improved = 0;
+    for (i = 1; i < 13; i++) {
+        for (j = i + 1; j < 14; j++) {
+            before = tour_length(tour, 15);
+            reverse_segment(tour, i, j);
+            after = tour_length(tour, 15);
+            if (after >= before)
+                reverse_segment(tour, i, j);
+            else
+                improved++;
+        }
+    }
+    return improved;
+}
+
+int or_opt(void) {
+    int i, j, k, before, after, improved, city_moved;
+    improved = 0;
+    for (i = 1; i < 13; i++) {
+        before = tour_length(tour, 15);
+        city_moved = tour[i];
+        /* remove city i and reinsert after position j */
+        for (j = 1; j < 13; j++) {
+            if (j == i) continue;
+            copy_tour(saved_segment, tour, 15);
+            for (k = i; k < 14; k++)
+                tour[k] = tour[k + 1];
+            for (k = 13; k > j; k--)
+                tour[k] = tour[k - 1];
+            tour[j] = city_moved;
+            tour[14] = tour[0];
+            after = tour_length(tour, 15);
+            if (after < before) {
+                improved++;
+                before = after;
+            } else {
+                copy_tour(tour, saved_segment, 15);
+            }
+        }
+    }
+    return improved;
+}
+
+int main() {
+    int i, improvements;
+    for (i = 0; i < 14; i++) {
+        cities[i].x = (i * 37) % 100;
+        cities[i].y = (i * 61) % 100;
+        cities[i].visited = 0;
+    }
+    greedy();
+    improvements = two_opt();
+    improvements += or_opt();
+    copy_tour(best_tour, tour, 15);
+    P2: return tour_length(best_tour, 15) + improvements;
+}
+"""
+
+
+CSUITE = r"""
+/* Vectorizer test suite style: many small kernels called once from
+   main, each taking array/pointer parameters. */
+int data_a[64];
+int data_b[64];
+int data_c[64];
+int histogram[16];
+
+int kernel_copy(int *a, int *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = b[i];
+    return n;
+}
+int kernel_add(int *a, int *b, int *c, int n) {
+    int i;
+    for (i = 0; i < n; i++) c[i] = a[i] + b[i];
+    return n;
+}
+int kernel_scale(int *a, int s, int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = a[i] * s;
+    return n;
+}
+int kernel_reduce(int *a, int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    P1: return s;
+}
+int kernel_reverse(int *a, int n) {
+    int i, t;
+    for (i = 0; i < n / 2; i++) {
+        t = a[i];
+        a[i] = a[n - 1 - i];
+        a[n - 1 - i] = t;
+    }
+    return n;
+}
+int kernel_stride(int *a, int *b, int n) {
+    int i;
+    for (i = 0; i < n; i += 2) a[i] = b[i / 2];
+    return n;
+}
+int kernel_gather(int *a, int *b, int *idx, int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = b[idx[i] % n];
+    return n;
+}
+int kernel_scatter(int *a, int *b, int *idx, int n) {
+    int i;
+    for (i = 0; i < n; i++) a[idx[i] % n] = b[i];
+    return n;
+}
+int kernel_max(int *a, int n) {
+    int i, m;
+    m = a[0];
+    for (i = 1; i < n; i++)
+        if (a[i] > m) m = a[i];
+    return m;
+}
+int kernel_shift(int *a, int n) {
+    int i;
+    for (i = 0; i < n - 1; i++) a[i] = a[i + 1];
+    return n;
+}
+int kernel_mask(int *a, int *b, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        if (b[i] > 0) a[i] = b[i];
+    return n;
+}
+int kernel_histogram(int *a, int *h, int n, int buckets) {
+    int i, slot;
+    for (i = 0; i < buckets; i++) h[i] = 0;
+    for (i = 0; i < n; i++) {
+        slot = a[i] % buckets;
+        if (slot < 0) slot = -slot;
+        h[slot]++;
+    }
+    return buckets;
+}
+int kernel_stencil(int *a, int *b, int n) {
+    int i;
+    for (i = 1; i < n - 1; i++)
+        a[i] = (b[i - 1] + b[i] + b[i + 1]) / 3;
+    return n;
+}
+int kernel_prefix_sum(int *a, int n) {
+    int i;
+    for (i = 1; i < n; i++)
+        a[i] = a[i] + a[i - 1];
+    return a[n - 1];
+}
+int kernel_compact(int *a, int *b, int n) {
+    int i, out;
+    out = 0;
+    for (i = 0; i < n; i++) {
+        if (b[i] % 2 == 0) {
+            a[out] = b[i];
+            out++;
+        }
+    }
+    return out;
+}
+
+int main() {
+    int i, checksum;
+    int indices[64];
+    for (i = 0; i < 64; i++) {
+        data_a[i] = i;
+        data_b[i] = 64 - i;
+        indices[i] = (i * 7) % 64;
+    }
+    checksum = 0;
+    checksum += kernel_copy(data_c, data_a, 64);
+    checksum += kernel_add(data_a, data_b, data_c, 64);
+    checksum += kernel_scale(data_c, 3, 64);
+    checksum += kernel_reduce(data_c, 64);
+    checksum += kernel_reverse(data_c, 64);
+    checksum += kernel_stride(data_a, data_b, 64);
+    checksum += kernel_gather(data_c, data_a, indices, 64);
+    checksum += kernel_scatter(data_a, data_c, indices, 64);
+    checksum += kernel_max(data_c, 64);
+    checksum += kernel_shift(data_b, 64);
+    checksum += kernel_mask(data_a, data_b, 64);
+    checksum += kernel_histogram(data_a, histogram, 64, 16);
+    checksum += kernel_stencil(data_c, data_a, 64);
+    checksum += kernel_prefix_sum(data_b, 64);
+    checksum += kernel_compact(data_c, data_b, 64);
+    P2: return checksum;
+}
+"""
+
+
+MSC = r"""
+/* Minimum spanning circle of points in the plane; candidate circles
+   built on the heap from two- and three-point supports, the point
+   set scanned through pointers. */
+struct point { double x, y; };
+struct circle { struct point center; double r2; };
+
+struct point points[12];
+struct circle *candidates[80];
+int n_candidates;
+
+double dist2(struct point *a, struct point *b) {
+    double dx, dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}
+
+struct circle *circle_from_two(struct point *a, struct point *b) {
+    struct circle *c;
+    c = (struct circle *) malloc(sizeof(struct circle));
+    c->center.x = (a->x + b->x) / 2.0;
+    c->center.y = (a->y + b->y) / 2.0;
+    c->r2 = dist2(a, b) / 4.0;
+    P1: return c;
+}
+
+struct circle *circle_from_three(struct point *a, struct point *b,
+                                 struct point *c3) {
+    struct circle *c;
+    double ax, ay, bx, by, cx, cy, d, ux, uy;
+    c = (struct circle *) malloc(sizeof(struct circle));
+    ax = a->x; ay = a->y;
+    bx = b->x; by = b->y;
+    cx = c3->x; cy = c3->y;
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+    if (d < 0.000001 && d > -0.000001) {
+        c->center.x = (ax + bx + cx) / 3.0;
+        c->center.y = (ay + by + cy) / 3.0;
+        c->r2 = 1000000.0;
+        return c;
+    }
+    ux = ((ax * ax + ay * ay) * (by - cy)
+          + (bx * bx + by * by) * (cy - ay)
+          + (cx * cx + cy * cy) * (ay - by)) / d;
+    uy = ((ax * ax + ay * ay) * (cx - bx)
+          + (bx * bx + by * by) * (ax - cx)
+          + (cx * cx + cy * cy) * (bx - ax)) / d;
+    c->center.x = ux;
+    c->center.y = uy;
+    c->r2 = dist2(&c->center, a);
+    return c;
+}
+
+int contains_all(struct circle *c, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (dist2(&c->center, &points[i]) > c->r2 + 0.0001)
+            return 0;
+    }
+    return 1;
+}
+
+void collect_candidates(int n) {
+    int i, j, k;
+    n_candidates = 0;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            if (n_candidates < 80) {
+                candidates[n_candidates] =
+                    circle_from_two(&points[i], &points[j]);
+                n_candidates++;
+            }
+            for (k = j + 1; k < n && n_candidates < 80; k += 5) {
+                candidates[n_candidates] =
+                    circle_from_three(&points[i], &points[j], &points[k]);
+                n_candidates++;
+            }
+        }
+    }
+}
+
+struct circle *smallest_valid(int n) {
+    struct circle *best, *cand;
+    int i;
+    best = 0;
+    for (i = 0; i < n_candidates; i++) {
+        cand = candidates[i];
+        if (contains_all(cand, n)) {
+            if (best == 0 || cand->r2 < best->r2)
+                best = cand;
+        }
+    }
+    P2: return best;
+}
+
+int main() {
+    int i;
+    struct circle *best;
+    for (i = 0; i < 12; i++) {
+        points[i].x = (double) ((i * 13) % 10);
+        points[i].y = (double) ((i * 29) % 10);
+    }
+    collect_candidates(12);
+    best = smallest_valid(12);
+    if (best == 0) return -1;
+    return (int) best->r2 + n_candidates;
+}
+"""
+
+
+LWS = r"""
+/* Flexible water molecule dynamics: large state vectors passed by
+   pointer through a deep call chain; neighbor lists, constraint
+   projection, kinetic/potential bookkeeping — many formal-parameter-
+   induced relationships, as in the paper's largest benchmark. */
+double positions[81];
+double velocities[81];
+double forces[81];
+double masses[27];
+int neighbor_list[27][8];
+int neighbor_count[27];
+double potential_energy;
+
+void zero_vector(double *v, int n) {
+    int i;
+    for (i = 0; i < n; i++) v[i] = 0.0;
+}
+
+void copy_vector(double *dst, double *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+}
+
+double atom_dist2(double *pos, int i, int j) {
+    double dx, dy, dz;
+    dx = pos[3 * i] - pos[3 * j];
+    dy = pos[3 * i + 1] - pos[3 * j + 1];
+    dz = pos[3 * i + 2] - pos[3 * j + 2];
+    return dx * dx + dy * dy + dz * dz;
+}
+
+void build_neighbors(double *pos, double cutoff2) {
+    int a, b;
+    for (a = 0; a < 27; a++)
+        neighbor_count[a] = 0;
+    for (a = 0; a < 27; a++) {
+        for (b = a + 1; b < 27; b++) {
+            if (a / 3 == b / 3) continue;
+            if (atom_dist2(pos, a, b) < cutoff2) {
+                if (neighbor_count[a] < 8) {
+                    neighbor_list[a][neighbor_count[a]] = b;
+                    neighbor_count[a]++;
+                }
+            }
+        }
+    }
+}
+
+void pair_force(double *pos, double *frc, int i, int j) {
+    double dx, dy, dz, r2, f;
+    dx = pos[3 * i] - pos[3 * j];
+    dy = pos[3 * i + 1] - pos[3 * j + 1];
+    dz = pos[3 * i + 2] - pos[3 * j + 2];
+    r2 = dx * dx + dy * dy + dz * dz + 0.01;
+    f = 1.0 / r2;
+    potential_energy += f;
+    frc[3 * i] += f * dx;
+    frc[3 * i + 1] += f * dy;
+    frc[3 * i + 2] += f * dz;
+    frc[3 * j] -= f * dx;
+    frc[3 * j + 1] -= f * dy;
+    P1: frc[3 * j + 2] -= f * dz;
+}
+
+void intra_forces(double *pos, double *frc) {
+    int m;
+    for (m = 0; m < 9; m++) {
+        pair_force(pos, frc, 3 * m, 3 * m + 1);
+        pair_force(pos, frc, 3 * m, 3 * m + 2);
+        pair_force(pos, frc, 3 * m + 1, 3 * m + 2);
+    }
+}
+
+void inter_forces(double *pos, double *frc) {
+    int a, k;
+    for (a = 0; a < 27; a++)
+        for (k = 0; k < neighbor_count[a]; k++)
+            pair_force(pos, frc, a, neighbor_list[a][k]);
+}
+
+void integrate(double *pos, double *vel, double *frc, double *mass,
+               double dt, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        vel[i] += dt * frc[i] / mass[i / 3];
+        pos[i] += dt * vel[i];
+    }
+}
+
+void constrain_bonds(double *pos, int n_molecules) {
+    /* crude SHAKE-style projection: pull each H back toward its O */
+    int m, h;
+    double scale;
+    scale = 0.99;
+    for (m = 0; m < n_molecules; m++) {
+        for (h = 1; h <= 2; h++) {
+            pos[3 * (3 * m + h)] =
+                pos[3 * (3 * m)] +
+                scale * (pos[3 * (3 * m + h)] - pos[3 * (3 * m)]);
+        }
+    }
+}
+
+double kinetic_energy(double *vel, double *mass, int n) {
+    double e;
+    int i;
+    e = 0.0;
+    for (i = 0; i < n; i++)
+        e += 0.5 * mass[i / 3] * vel[i] * vel[i];
+    return e;
+}
+
+double temperature(double *vel, double *mass, int n) {
+    return kinetic_energy(vel, mass, n) / (1.5 * (double) n);
+}
+
+void step(double *pos, double *vel, double *frc, double *mass, double dt) {
+    zero_vector(frc, 81);
+    potential_energy = 0.0;
+    intra_forces(pos, frc);
+    inter_forces(pos, frc);
+    integrate(pos, vel, frc, mass, dt, 81);
+    constrain_bonds(pos, 9);
+}
+
+int main() {
+    int i, s;
+    double energy, temp;
+    for (i = 0; i < 81; i++) {
+        positions[i] = (double) (i % 9);
+        velocities[i] = 0.0;
+    }
+    for (i = 0; i < 27; i++)
+        masses[i] = 1.0 + (double) (i % 3);
+    build_neighbors(positions, 9.0);
+    for (s = 0; s < 8; s++) {
+        step(positions, velocities, forces, masses, 0.001);
+        if (s == 4)
+            build_neighbors(positions, 9.0);
+    }
+    energy = kinetic_energy(velocities, masses, 81);
+    temp = temperature(velocities, masses, 81);
+    P2: return (int) (energy + temp * 100.0);
+}
+"""
+
+
+BENCH_PART_2 = {
+    "hash": ("Chained hash table.", HASH),
+    "misr": ("MISR signature comparison.", MISR),
+    "xref": ("Cross-reference tree builder.", XREF),
+    "stanford": ("Stanford baby benchmarks.", STANFORD),
+    "fixoutput": ("A simple translator.", FIXOUTPUT),
+    "sim": ("Local similarity with affine weights.", SIM),
+    "travel": ("Travelling salesman heuristics.", TRAVEL),
+    "csuite": ("Vectorizing-compiler test suite.", CSUITE),
+    "msc": ("Minimum spanning circle.", MSC),
+    "lws": ("Flexible water molecule dynamics.", LWS),
+}

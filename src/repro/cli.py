@@ -1,0 +1,205 @@
+"""Command-line interface: ``repro-pta``.
+
+Subcommands:
+
+* ``analyze FILE.c``     — run the analysis, print per-label points-to
+  sets, the invocation graph, and warnings;
+* ``simple FILE.c``      — print the SIMPLE lowering of a program;
+* ``tables [names...]``  — regenerate the paper's Tables 2-6 over the
+  benchmark suite (all benchmarks by default);
+* ``livc``               — run the Section 6 function-pointer study;
+* ``soundness FILE.c``   — differential check: analysis vs execution;
+* ``heap FILE.c``        — the companion connection-matrix analysis;
+* ``run FILE.c``         — execute the program on the SIMPLE machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchsuite import BENCHMARKS, livc_source
+from repro.core.analysis import AnalysisOptions, analyze_source
+from repro.core.baselines import compare_function_pointer_strategies
+from repro.core.statistics import (
+    collect_table2,
+    collect_table3,
+    collect_table4,
+    collect_table5,
+    collect_table6,
+    summarize_suite,
+)
+from repro.reporting.tables import (
+    render_livc_study,
+    render_suite_summary,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.simple import print_program, simplify_source
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    options = AnalysisOptions(function_pointer_strategy=args.fnptr)
+    result = analyze_source(source, options, filename=args.file)
+    if result.program.labels:
+        print("Points-to sets at labeled program points:")
+        for label in sorted(result.program.labels):
+            triples = result.triples_at(label, skip_null=not args.show_null)
+            rendered = " ".join(f"({s},{t},{d})" for s, t, d in triples)
+            print(f"  {label}: {rendered}")
+    if getattr(args, "dot", False):
+        print("\nInvocation graph (dot):")
+        print(result.ig.to_dot())
+    else:
+        print("\nInvocation graph:")
+        print(result.ig.render())
+    if result.warnings:
+        print("\nWarnings:")
+        for warning in result.warnings:
+            print(f"  {warning}")
+    return 0
+
+
+def cmd_simple(args: argparse.Namespace) -> int:
+    program = simplify_source(_read(args.file), filename=args.file)
+    print(print_program(program))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    names = args.benchmarks or sorted(BENCHMARKS)
+    rows2, rows3, rows4, rows5, rows6 = [], [], [], [], []
+    for name in names:
+        bench = BENCHMARKS[name]
+        result = analyze_source(bench.source, filename=name)
+        rows2.append(collect_table2(result, name, bench.description))
+        rows3.append(collect_table3(result, name))
+        rows4.append(collect_table4(result, name))
+        rows5.append(collect_table5(result, name))
+        rows6.append(collect_table6(result, name))
+    for render, rows in (
+        (render_table2, rows2),
+        (render_table3, rows3),
+        (render_table4, rows4),
+        (render_table5, rows5),
+        (render_table6, rows6),
+    ):
+        print(render(rows))
+        print()
+    print(render_suite_summary(summarize_suite(rows3)))
+    return 0
+
+
+def cmd_soundness(args: argparse.Namespace) -> int:
+    from repro.interp import check_soundness
+
+    report = check_soundness(_read(args.file), max_steps=args.max_steps)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.ok else 1
+
+
+def cmd_heap(args: argparse.Namespace) -> int:
+    from repro.core.heapconn import analyze_heap_connections
+
+    result = analyze_source(_read(args.file), filename=args.file)
+    heap = analyze_heap_connections(result)
+    if result.program.labels:
+        print("Connection matrices at labeled program points:")
+        for label in sorted(result.program.labels):
+            matrix = heap.matrix_at(label)
+            print(f"  {label}: {matrix if matrix is not None else '<unreachable>'}")
+    ratio = heap.disconnection_ratio()
+    print(f"heap-pointer pairs proven disconnected: {100 * ratio:.1f}%")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.interp import run_source
+
+    value, interp = run_source(_read(args.file), max_steps=args.max_steps)
+    print(f"exit value: {value}")
+    print(f"steps: {interp.steps}, heap objects: {len(interp.heap_objects)}")
+    return 0
+
+
+def cmd_livc(args: argparse.Namespace) -> int:
+    program = simplify_source(livc_source(), filename="livc")
+    comparison = compare_function_pointer_strategies(program)
+    print(render_livc_study(comparison))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-pta",
+        description=(
+            "Context-sensitive interprocedural points-to analysis "
+            "(Emami/Ghiya/Hendren, PLDI 1994)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a C file")
+    p_analyze.add_argument("file")
+    p_analyze.add_argument(
+        "--fnptr",
+        choices=["precise", "all_functions", "address_taken"],
+        default="precise",
+        help="function-pointer binding strategy",
+    )
+    p_analyze.add_argument(
+        "--show-null", action="store_true", help="include NULL targets"
+    )
+    p_analyze.add_argument(
+        "--dot",
+        action="store_true",
+        help="print the invocation graph in Graphviz format",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_simple = sub.add_parser("simple", help="print the SIMPLE lowering")
+    p_simple.add_argument("file")
+    p_simple.set_defaults(func=cmd_simple)
+
+    p_tables = sub.add_parser("tables", help="regenerate Tables 2-6")
+    p_tables.add_argument("benchmarks", nargs="*")
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_livc = sub.add_parser("livc", help="run the livc study")
+    p_livc.set_defaults(func=cmd_livc)
+
+    p_sound = sub.add_parser(
+        "soundness", help="differential check: analysis vs concrete execution"
+    )
+    p_sound.add_argument("file")
+    p_sound.add_argument("--max-steps", type=int, default=200_000)
+    p_sound.set_defaults(func=cmd_soundness)
+
+    p_heap = sub.add_parser(
+        "heap", help="companion connection-matrix heap analysis"
+    )
+    p_heap.add_argument("file")
+    p_heap.set_defaults(func=cmd_heap)
+
+    p_run = sub.add_parser("run", help="execute on the SIMPLE machine")
+    p_run.add_argument("file")
+    p_run.add_argument("--max-steps", type=int, default=500_000)
+    p_run.set_defaults(func=cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: context-sensitive interprocedural
+points-to analysis with integrated function-pointer handling.
+
+Public entry points:
+
+* :func:`repro.core.analysis.analyze` / :func:`analyze_source` — run the
+  whole-program analysis, returning a :class:`PointsToAnalysis` result
+  with per-program-point points-to sets, the completed invocation graph,
+  and per-node map information.
+* :mod:`repro.core.aliases` — derive alias pairs from points-to sets.
+* :mod:`repro.core.transforms` — pointer replacement using definite
+  points-to information.
+* :mod:`repro.core.statistics` — the collectors behind Tables 2-6.
+* :mod:`repro.core.baselines` — the naive function-pointer strategies
+  the paper compares against.
+* :mod:`repro.core.heapconn` — the companion connection-matrix heap
+  analysis built on the points-to results (Section 8).
+* :mod:`repro.core.constprop` — interprocedural constant propagation
+  over the same invocation graph (the Section 6.1 framework client).
+"""
+
+from repro.core.locations import (
+    HEAP,
+    NULL,
+    AbsLoc,
+    LocKind,
+    function_loc,
+    global_loc,
+)
+from repro.core.pointsto import Definiteness, PointsToSet
+from repro.core.analysis import PointsToAnalysis, analyze, analyze_source
+from repro.core.invocation_graph import IGNode, IGNodeKind, InvocationGraph
+from repro.core.heapconn import (
+    ConnectionMatrix,
+    HeapConnectionAnalysis,
+    analyze_heap_connections,
+)
+from repro.core.constprop import ConstantPropagation, propagate_constants
+from repro.core.flowinsensitive import andersen, steensgaard
+
+__all__ = [
+    "HEAP",
+    "NULL",
+    "AbsLoc",
+    "LocKind",
+    "function_loc",
+    "global_loc",
+    "Definiteness",
+    "PointsToSet",
+    "PointsToAnalysis",
+    "analyze",
+    "analyze_source",
+    "IGNode",
+    "IGNodeKind",
+    "InvocationGraph",
+    "ConnectionMatrix",
+    "HeapConnectionAnalysis",
+    "analyze_heap_connections",
+    "ConstantPropagation",
+    "propagate_constants",
+    "andersen",
+    "steensgaard",
+]

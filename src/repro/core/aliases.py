@@ -1,0 +1,136 @@
+"""Deriving alias pairs from points-to sets (Section 7.1).
+
+The paper compares its points-to abstraction against the alias-pair
+abstraction of Landi/Ryder and Choi et al.  This module implements the
+conversion both ways used in that comparison:
+
+* :func:`alias_pairs` — the alias pairs *implied* by a points-to set,
+  obtained by transitive closure: ``(x, y, d)`` implies the pair
+  ``(*x, y)``; chaining ``(x,y),(y,z)`` implies ``(**x, *y)`` and
+  ``(**x, z)``; and two pointers to the same target are aliased
+  (``(*x, *y)``).
+* :func:`explicit_alias_pairs` — the program-point alias-pair sets an
+  exhaustive pair-based analysis reports (used to reproduce the
+  Figure 8/9 spurious-pair discussion).
+
+Alias expressions are rendered as strings like ``**x`` or ``*y`` with
+a dereference depth, which is all the comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.locations import AbsLoc
+from repro.core.pointsto import PointsToSet
+
+
+@dataclass(frozen=True)
+class AliasExpr:
+    """A variable reference expression ``*^depth base``."""
+
+    base: AbsLoc
+    depth: int
+
+    def __str__(self) -> str:
+        return "*" * self.depth + str(self.base)
+
+
+@dataclass(frozen=True)
+class AliasPair:
+    """An unordered alias pair; normalized so ``a <= b`` textually."""
+
+    a: AliasExpr
+    b: AliasExpr
+
+    @staticmethod
+    def make(x: AliasExpr, y: AliasExpr) -> "AliasPair":
+        if str(x) <= str(y):
+            return AliasPair(x, y)
+        return AliasPair(y, x)
+
+    def __str__(self) -> str:
+        return f"({self.a},{self.b})"
+
+
+def alias_pairs(
+    pts: PointsToSet, max_depth: int = 3, include_null: bool = False
+) -> set[AliasPair]:
+    """All alias pairs implied by ``pts`` up to ``max_depth`` levels of
+    dereference (the transitive closure of Section 7.1).
+
+    ``(x, y, d)`` means ``*x`` and ``y`` name the same location; any
+    two expressions resolving to the same abstract location are
+    aliases of each other.
+    """
+    # expressions_for[loc] = set of (AliasExpr) that denote loc.
+    denotes: dict[AbsLoc, set[AliasExpr]] = {}
+
+    def note(loc: AbsLoc, expr: AliasExpr) -> None:
+        denotes.setdefault(loc, set()).add(expr)
+
+    for loc in pts.locations():
+        if loc.is_null and not include_null:
+            continue
+        note(loc, AliasExpr(loc, 0))
+
+    # Breadth-first dereference closure.
+    for _ in range(max_depth):
+        changed = False
+        for src, tgt, _ in pts.triples():
+            if tgt.is_null and not include_null:
+                continue
+            for expr in list(denotes.get(src, ())):
+                if expr.depth + 1 > max_depth:
+                    continue
+                deref = AliasExpr(expr.base, expr.depth + 1)
+                if deref not in denotes.get(tgt, set()):
+                    note(tgt, deref)
+                    changed = True
+        if not changed:
+            break
+
+    result: set[AliasPair] = set()
+    for loc, exprs in denotes.items():
+        expr_list = sorted(exprs, key=str)
+        for i, x in enumerate(expr_list):
+            for y in expr_list[i + 1 :]:
+                result.add(AliasPair.make(x, y))
+    return result
+
+
+def explicit_alias_pairs(
+    pts: PointsToSet, max_depth: int = 2, include_null: bool = False
+) -> set[str]:
+    """Alias pairs as an exhaustive pair-tracking analysis would list
+    them, rendered as strings (for the Figure 8/9 comparison).
+
+    ``include_null`` makes NULL a regular location, so pairs between
+    expressions that both currently resolve to NULL (e.g. ``**x`` and
+    ``*y`` right after ``x = &y``) are reported the way a symbolic
+    pair-tracking analysis lists them."""
+    return {
+        str(pair)
+        for pair in alias_pairs(pts, max_depth, include_null)
+        if "NULL" not in str(pair)
+    }
+
+
+def may_alias(
+    pts: PointsToSet, x: AbsLoc, y: AbsLoc, depth_x: int = 1, depth_y: int = 0
+) -> bool:
+    """Do ``*^depth_x x`` and ``*^depth_y y`` possibly denote the same
+    location under ``pts``?"""
+
+    def resolve(base: AbsLoc, depth: int) -> set[AbsLoc]:
+        current = {base}
+        for _ in range(depth):
+            nxt: set[AbsLoc] = set()
+            for loc in current:
+                for tgt, _ in pts.targets_of(loc):
+                    if not tgt.is_null:
+                        nxt.add(tgt)
+            current = nxt
+        return current
+
+    return bool(resolve(x, depth_x) & resolve(y, depth_y))

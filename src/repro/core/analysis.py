@@ -1,0 +1,359 @@
+"""Whole-program points-to analysis driver.
+
+``analyze`` (or ``analyze_source``) runs the full pipeline: the
+invocation graph is built from ``main`` (left incomplete at indirect
+call-sites), the global initializers are executed abstractly, and
+``main``'s body is processed with the compositional rules, mapping and
+unmapping across every call per Figures 3-5.
+
+The result object carries everything the paper's evaluation needs:
+per-program-point points-to sets (merged over calling contexts), the
+completed invocation graph with per-node map information, and query
+helpers keyed by source labels (a labeled statement is a named program
+point, mirroring the paper's "point A/B/C/D" examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.errors import CFrontendError
+from repro.simple.ir import (
+    BasicKind,
+    BasicStmt,
+    SimpleFunction,
+    SimpleProgram,
+    Stmt,
+)
+from repro.simple.simplify import simplify_source
+from repro.core.env import FuncEnv
+from repro.core.externals import model_external
+from repro.core.funcptr import address_taken_functions, process_call_indirect
+from repro.core.interproc import process_call_node
+from repro.core.intra import IntraAnalyzer, apply_assignment, null_initialized
+from repro.core.invocation_graph import IGNode, InvocationGraph
+from repro.core.locations import HEAP, NULL
+from repro.core.lvalues import l_locations
+from repro.core.pointsto import P, PointsToSet, merge_all
+
+
+@dataclass
+class AnalysisOptions:
+    """Tunable analysis behaviour.
+
+    * ``function_pointer_strategy``: ``precise`` (the paper's
+      algorithm), ``all_functions`` or ``address_taken`` (the naive
+      baselines of Section 5).
+    * ``unknown_external_policy``: ``ignore`` (warn; the McCAT
+      setting) or ``havoc`` (conservative smash).
+    * ``context_sensitive``: when False, every call to a function uses
+      a single shared invocation-graph node per function (an ablation
+      baseline, not part of the paper's algorithm).
+    * ``share_subtrees``: the optimization Section 6 plans for large
+      programs — a global per-function memo table keyed on the mapped
+      input set, so identical invocation contexts share one analysis
+      even when they sit in different sub-trees of the invocation
+      graph.  Results are unchanged; only work is saved.
+    """
+
+    function_pointer_strategy: str = "precise"
+    unknown_external_policy: str = "ignore"
+    context_sensitive: bool = True
+    share_subtrees: bool = False
+    entry_point: str = "main"
+
+
+def _is_temp_name(name: str) -> bool:
+    return name.startswith("__t") and name[3:].isdigit()
+
+
+class PointsToAnalysis:
+    """Result of a whole-program analysis."""
+
+    def __init__(
+        self,
+        program: SimpleProgram,
+        ig: InvocationGraph,
+        point_info: dict[int, PointsToSet],
+        warnings: list[str],
+        options: AnalysisOptions,
+    ):
+        self.program = program
+        self.ig = ig
+        self.point_info = point_info
+        self.warnings = warnings
+        self.options = options
+        self._envs: dict[str | None, FuncEnv] = {}
+        self._stmt_func: dict[int, str] = {}
+        for fn in program.functions.values():
+            for stmt in fn.iter_stmts():
+                self._stmt_func[stmt.stmt_id] = fn.name
+
+    # -- queries -----------------------------------------------------------
+
+    def env(self, func: str | None) -> FuncEnv:
+        raise NotImplementedError  # replaced by the analyzer on creation
+
+    def at_label(self, label: str) -> PointsToSet:
+        """The merged points-to set at a labeled program point."""
+        func, stmt_id = self.program.labels[label]
+        info = self.point_info.get(stmt_id)
+        if info is None:
+            return PointsToSet()  # unreachable statement
+        return info
+
+    def at_stmt(self, stmt_id: int) -> PointsToSet | None:
+        return self.point_info.get(stmt_id)
+
+    def function_of_stmt(self, stmt_id: int) -> str | None:
+        return self._stmt_func.get(stmt_id)
+
+    def triples_at(
+        self, label: str, skip_null: bool = True, skip_temps: bool = True
+    ):
+        """Human-readable (src, tgt, D/P) strings at a label.
+
+        By default relationships whose source is a compiler-introduced
+        temporary (``__tN``) are omitted — they mirror a named
+        variable's relationships and only add noise; pass
+        ``skip_temps=False`` (or use :meth:`at_label`) for the raw set.
+        """
+        result = []
+        for src, tgt, definiteness in self.at_label(label).triples():
+            if skip_null and tgt.is_null:
+                continue
+            if skip_temps and _is_temp_name(src.base):
+                continue
+            result.append((str(src), str(tgt), str(definiteness)))
+        return sorted(result)
+
+
+class Analyzer:
+    """Mutable state of one analysis run."""
+
+    def __init__(self, program: SimpleProgram, options: AnalysisOptions):
+        self.program = program
+        self.options = options
+        self.ig = InvocationGraph(program, options.entry_point)
+        self.point_info: dict[int, PointsToSet] = {}
+        self.warnings: list[str] = []
+        self._envs: dict[str | None, FuncEnv] = {}
+        self._address_taken: set[str] | None = None
+        self._shared_nodes: dict[str, IGNode] = {}
+        #: share_subtrees memo: (func, canonical input) -> output set.
+        self._subtree_cache: dict[tuple[str, str], PointsToSet | None] = {}
+        self.subtree_cache_hits = 0
+        self.subtree_cache_misses = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def env(self, func: str | None) -> FuncEnv:
+        if func not in self._envs:
+            self._envs[func] = FuncEnv(self.program, func)
+        return self._envs[func]
+
+    def warn(self, message: str) -> None:
+        if message not in self.warnings:
+            self.warnings.append(message)
+
+    def address_taken_functions(self) -> set[str]:
+        if self._address_taken is None:
+            self._address_taken = address_taken_functions(self.program)
+        return self._address_taken
+
+    def record(self, stmt: BasicStmt, input_set: PointsToSet) -> None:
+        existing = self.point_info.get(stmt.stmt_id)
+        if existing is None:
+            self.point_info[stmt.stmt_id] = input_set.copy()
+        else:
+            self.point_info[stmt.stmt_id] = existing.merge(input_set)
+
+    # -- sub-tree sharing (the optimization planned in Section 6) ---------
+
+    @staticmethod
+    def _canonical_input(input_set: PointsToSet) -> str:
+        return ";".join(
+            sorted(
+                f"{src!r}>{tgt!r}:{d}" for src, tgt, d in input_set.triples()
+            )
+        )
+
+    def subtree_cache_lookup(
+        self, func: str, input_set: PointsToSet
+    ) -> tuple[bool, PointsToSet | None]:
+        if not self.options.share_subtrees:
+            return False, None
+        key = (func, self._canonical_input(input_set))
+        if key in self._subtree_cache:
+            self.subtree_cache_hits += 1
+            return True, self._subtree_cache[key]
+        self.subtree_cache_misses += 1
+        return False, None
+
+    def subtree_cache_store(
+        self, func: str, input_set: PointsToSet, output: PointsToSet | None
+    ) -> None:
+        if not self.options.share_subtrees:
+            return
+        key = (func, self._canonical_input(input_set))
+        self._subtree_cache[key] = output
+
+    # -- body analysis -------------------------------------------------------
+
+    def analyze_body(
+        self, node: IGNode, func_input: PointsToSet
+    ) -> PointsToSet | None:
+        env = self.env(node.func)
+        fn = self.program.functions[node.func]
+        entry = func_input.copy()
+        locals_null = null_initialized(env, fn.local_types.items())
+        for src, tgt, definiteness in locals_null.triples():
+            entry.add(src, tgt, definiteness)
+        intra = IntraAnalyzer(
+            env,
+            call_handler=lambda stmt, inp: self.handle_call_stmt(
+                node, env, stmt, inp
+            ),
+            recorder=self.record,
+        )
+        flow = intra.process_stmt(fn.body, entry)
+        return merge_all([flow.out, flow.returns])
+
+    # -- call dispatch ---------------------------------------------------------
+
+    def handle_call_stmt(
+        self,
+        node: IGNode,
+        env: FuncEnv,
+        stmt: BasicStmt,
+        input_set: PointsToSet,
+    ) -> PointsToSet | None:
+        if stmt.kind is BasicKind.ALLOC:
+            return self._handle_alloc(env, stmt, input_set)
+        if stmt.callee_ptr is not None:
+            return process_call_indirect(self, node, env, stmt, input_set)
+        callee = stmt.callee
+        assert callee is not None
+        if callee in self.program.functions:
+            child = self._resolve_child(node, stmt, callee)
+            return process_call_node(self, env, child, stmt, input_set)
+        return self.handle_external_call(env, stmt, input_set, callee)
+
+    def _resolve_child(
+        self, node: IGNode, stmt: BasicStmt, callee: str
+    ) -> IGNode:
+        if not self.options.context_sensitive:
+            # Ablation mode: one shared node per function.
+            shared = self._shared_nodes.get(callee)
+            if shared is None:
+                shared = IGNode(callee)
+                self._shared_nodes[callee] = shared
+            return shared
+        assert stmt.call_site is not None
+        child = node.child(stmt.call_site, callee)
+        if child is None:
+            child = self.ig.attach_call(node, stmt.call_site, callee)
+        return child
+
+    def _handle_alloc(
+        self, env: FuncEnv, stmt: BasicStmt, input_set: PointsToSet
+    ) -> PointsToSet:
+        if stmt.lhs is None or stmt.lhs_type is None:
+            return input_set
+        if not stmt.lhs_type.involves_pointers():
+            return input_set
+        llocs = l_locations(stmt.lhs, input_set, env)
+        output = apply_assignment(input_set, llocs, [(HEAP, P)])
+        # Fresh heap cells read as NULL until written (the machine
+        # model zero-initializes allocations; see DESIGN.md) — loading
+        # a pointer from untouched heap memory must yield NULL.
+        output.add(HEAP, NULL, P)
+        return output
+
+    def handle_external_call(
+        self,
+        env: FuncEnv,
+        stmt: BasicStmt,
+        input_set: PointsToSet,
+        callee: str | None = None,
+    ) -> PointsToSet:
+        name = callee or stmt.callee
+        effect_stmt = stmt
+        if callee is not None and callee != stmt.callee:
+            # Indirect call resolved to an external function.
+            effect_stmt = stmt
+        effect = model_external(effect_stmt, input_set, env, self.options)
+        if effect is None:
+            self.warn(
+                f"call to unknown external function '{name}'; assuming no "
+                f"effect on points-to information"
+            )
+            output = input_set
+            returns = []
+            if stmt.lhs_type is not None and stmt.lhs_type.involves_pointers():
+                returns = [(HEAP, P)]
+        else:
+            output = effect.output
+            returns = effect.returns
+        if (
+            stmt.lhs is not None
+            and stmt.lhs_type is not None
+            and stmt.lhs_type.involves_pointers()
+        ):
+            llocs = l_locations(stmt.lhs, output, env)
+            output = apply_assignment(output, llocs, returns)
+        return output
+
+    # -- entry ------------------------------------------------------------------
+
+    def run(self) -> PointsToAnalysis:
+        global_env = self.env(None)
+        initial = null_initialized(
+            global_env, self.program.global_types.items()
+        )
+        init_intra = IntraAnalyzer(
+            global_env,
+            call_handler=self._global_init_call_handler,
+            recorder=self.record,
+        )
+        init_flow = init_intra.process_stmt(self.program.global_init, initial)
+        entry_state = init_flow.out if init_flow.out is not None else initial
+
+        main_fn = self.program.functions[self.options.entry_point]
+        main_env = self.env(self.options.entry_point)
+        main_input = entry_state.copy()
+        # main's own parameters (argc/argv) are initialized to NULL,
+        # like all pointers the analysis cannot see being created.
+        for src, tgt, definiteness in null_initialized(
+            main_env, main_fn.params
+        ).triples():
+            main_input.add(src, tgt, definiteness)
+
+        self.analyze_body(self.ig.root, main_input)
+
+        result = PointsToAnalysis(
+            self.program, self.ig, self.point_info, self.warnings, self.options
+        )
+        result.env = self.env  # share the populated environments
+        return result
+
+    def _global_init_call_handler(self, stmt, input_set):
+        raise CFrontendError(
+            "calls are not permitted in global initializers"
+        )
+
+
+def analyze(
+    program: SimpleProgram, options: AnalysisOptions | None = None
+) -> PointsToAnalysis:
+    """Analyze a SIMPLE program; see :class:`AnalysisOptions`."""
+    return Analyzer(program, options or AnalysisOptions()).run()
+
+
+def analyze_source(
+    source: str,
+    options: AnalysisOptions | None = None,
+    filename: str = "<source>",
+) -> PointsToAnalysis:
+    """Parse, simplify, and analyze C source text in one step."""
+    return analyze(simplify_source(source, filename), options)

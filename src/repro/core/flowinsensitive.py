@@ -1,0 +1,514 @@
+"""Flow-insensitive points-to baselines: Andersen and Steensgaard.
+
+The paper's approach is flow- and context-sensitive with kill
+information; its successors in production compilers (LLVM, GCC, SVF,
+Doop) largely adopted cheaper *flow-insensitive* analyses.  This
+module implements the two classics over the same SIMPLE programs so
+the precision gap the paper's design buys can be measured:
+
+* **Andersen** — inclusion (subset) constraints solved to a fixed
+  point, with on-the-fly resolution of calls through function
+  pointers;
+* **Steensgaard** — equality constraints solved with union-find
+  (near-linear, coarser).
+
+Modeling choices, chosen to keep the comparison against the
+reproduction fair: a single ``heap`` node (like the paper), arrays
+collapsed to one node, direct fields tracked by name but fields
+reached through pointers collapsed onto the target (field-insensitive
+through dereferences), and one points-to solution for the whole
+program (no program points, no kills, no calling contexts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.simple.ir import (
+    AddrOf,
+    BasicKind,
+    BasicStmt,
+    Const,
+    FieldSel,
+    Ref,
+    SReturn,
+    SimpleProgram,
+)
+
+
+@dataclass(frozen=True)
+class Node:
+    """A constraint variable: a program variable, field, function,
+    or the heap."""
+
+    name: str
+    func: str | None = None
+
+    def __str__(self) -> str:
+        if self.func:
+            return f"{self.func}::{self.name}"
+        return self.name
+
+
+HEAP_NODE = Node("heap")
+
+
+def _ref_node(ref: Ref, func: str, program: SimpleProgram) -> Node:
+    """The constraint node a non-deref reference denotes (fields kept
+    by name, array subscripts collapsed)."""
+    name = ref.base
+    for selector in ref.path:
+        if isinstance(selector, FieldSel):
+            name += f".{selector.name}"
+        # IndexSel collapses: a[i] ~ a
+    fn = program.functions.get(func)
+    is_local = fn is not None and (
+        ref.base in fn.local_types or ref.base in dict(fn.params)
+    )
+    return Node(name, func if is_local else None)
+
+
+@dataclass
+class _CallSite:
+    func: str
+    stmt: BasicStmt
+
+
+class AndersenAnalysis:
+    """Inclusion-based flow-insensitive points-to analysis."""
+
+    def __init__(self, program: SimpleProgram):
+        self.program = program
+        self.points_to: dict[Node, set[Node]] = {}
+        #: subset edges: successors[a] = {b, ...} meaning pts(a) ⊆ pts(b)
+        self._succ: dict[Node, set[Node]] = {}
+        self._load_pending: dict[Node, set[Node]] = {}  # q -> {p}: p ⊇ *q
+        self._store_pending: dict[Node, set[Node]] = {}  # p -> {q}: *p ⊇ q
+        self._worklist: deque[Node] = deque()
+        self._indirect_sites: list[_CallSite] = []
+        self._resolved_callees: dict[int, set[str]] = {}
+        self._retval: dict[str, Node] = {}
+
+    # -- constraint primitives ------------------------------------------
+
+    def pts(self, node: Node) -> set[Node]:
+        return self.points_to.setdefault(node, set())
+
+    def add_base(self, node: Node, target: Node) -> None:
+        if target not in self.pts(node):
+            self.pts(node).add(target)
+            self._worklist.append(node)
+
+    def add_edge(self, source: Node, dest: Node) -> None:
+        if dest not in self._succ.setdefault(source, set()):
+            self._succ[source].add(dest)
+            if self.pts(source):
+                self._worklist.append(source)
+
+    # -- constraint generation -----------------------------------------------
+
+    def _operand_sources(self, operand, func: str) -> list[tuple[str, Node]]:
+        """(kind, node) pairs describing an rvalue: ('copy', n) means
+        pts(n) flows; ('addr', n) means {n} flows; ('deref', n) means
+        the targets' targets flow."""
+        if isinstance(operand, Const):
+            return []
+        if isinstance(operand, AddrOf):
+            inner = operand.ref
+            node = _ref_node(inner, func, self.program)
+            if inner.deref:
+                return [("copy", Node(inner.base, node.func))]
+            if inner.base in self.program.functions or (
+                inner.base in self.program.externals
+            ):
+                return [("addr", Node(inner.base))]
+            return [("addr", node)]
+        assert isinstance(operand, Ref)
+        node = _ref_node(operand, func, self.program)
+        base_node = Node(
+            operand.base, _local_scope(operand.base, func, self.program)
+        )
+        if operand.deref:
+            if _is_array_valued(operand, func, self.program):
+                # (*p).arr decays to an address inside *p: field-
+                # insensitively, the value is p's target itself.
+                return [("copy", base_node)]
+            return [("deref", base_node)]
+        if _is_array_valued(operand, func, self.program):
+            # array-to-pointer decay: the value IS the array's address
+            return [("addr", node)]
+        return [("copy", node)]
+
+    def _gen_assign(self, stmt: BasicStmt, func: str, sources) -> None:
+        lhs = stmt.lhs
+        assert lhs is not None
+        if lhs.deref:
+            base = Node(lhs.base, _local_scope(lhs.base, func, self.program))
+            for kind, node in sources:
+                if kind == "addr":
+                    helper = Node(f"__addr{id(stmt)}", func)
+                    self.add_base(helper, node)
+                    self._add_store(base, helper)
+                elif kind == "copy":
+                    self._add_store(base, node)
+                else:  # deref on both sides: *p = *q via helper
+                    helper = Node(f"__ld{id(stmt)}", func)
+                    self._add_load(node, helper)
+                    self._add_store(base, helper)
+            return
+        dest = _ref_node(lhs, func, self.program)
+        for kind, node in sources:
+            if kind == "addr":
+                self.add_base(dest, node)
+            elif kind == "copy":
+                self.add_edge(node, dest)
+            else:
+                self._add_load(node, dest)
+
+    def _add_load(self, pointer: Node, dest: Node) -> None:
+        self._load_pending.setdefault(pointer, set()).add(dest)
+        if self.pts(pointer):
+            self._worklist.append(pointer)
+
+    def _add_store(self, pointer: Node, source: Node) -> None:
+        self._store_pending.setdefault(pointer, set()).add(source)
+        if self.pts(pointer):
+            self._worklist.append(pointer)
+
+    def _generate(self) -> None:
+        for stmt in self.program.global_init.stmts:
+            if isinstance(stmt, BasicStmt) and stmt.lhs is not None:
+                sources = []
+                if stmt.rvalue is not None:
+                    sources = self._operand_sources(stmt.rvalue, "__globals")
+                self._gen_assign(stmt, "__globals", sources)
+        for name, fn in self.program.functions.items():
+            self._retval[name] = Node("__retval", name)
+            for stmt in fn.iter_stmts():
+                if isinstance(stmt, SReturn) and stmt.value is not None:
+                    for kind, node in self._operand_sources(stmt.value, name):
+                        self._flow_into(kind, node, self._retval[name])
+                if not isinstance(stmt, BasicStmt):
+                    continue
+                kind = stmt.kind
+                if kind is BasicKind.ALLOC and stmt.lhs is not None:
+                    self._gen_assign(stmt, name, [("addr", HEAP_NODE)])
+                elif kind is BasicKind.CALL:
+                    self._gen_call(stmt, name)
+                elif kind in (
+                    BasicKind.COPY,
+                    BasicKind.ADDR,
+                    BasicKind.CONST,
+                    BasicKind.UNOP,
+                    BasicKind.BINOP,
+                ) and stmt.lhs is not None:
+                    sources = []
+                    operands = []
+                    if stmt.rvalue is not None:
+                        operands.append(stmt.rvalue)
+                    operands.extend(stmt.operands)
+                    for operand in operands:
+                        sources.extend(self._operand_sources(operand, name))
+                    self._gen_assign(stmt, name, sources)
+
+    def _flow_into(self, kind: str, node: Node, dest: Node) -> None:
+        if kind == "addr":
+            self.add_base(dest, node)
+        elif kind == "copy":
+            self.add_edge(node, dest)
+        else:
+            self._add_load(node, dest)
+
+    def _gen_call(self, stmt: BasicStmt, func: str) -> None:
+        if stmt.callee is not None:
+            if stmt.callee in self.program.functions:
+                self._bind_call(stmt, func, stmt.callee)
+            elif stmt.lhs is not None and stmt.lhs_type is not None and (
+                stmt.lhs_type.involves_pointers()
+            ):
+                self._gen_assign(stmt, func, [("addr", HEAP_NODE)])
+            return
+        self._indirect_sites.append(_CallSite(func, stmt))
+
+    def _bind_call(self, stmt: BasicStmt, func: str, callee: str) -> None:
+        fn = self.program.functions[callee]
+        for index, (param, _t) in enumerate(fn.params):
+            if index >= len(stmt.args):
+                continue
+            for kind, node in self._operand_sources(stmt.args[index], func):
+                self._flow_into(kind, node, Node(param, callee))
+        if stmt.lhs is not None:
+            self._gen_assign(stmt, func, [("copy", self._retval[callee])])
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(self) -> "AndersenAnalysis":
+        self._generate()
+        bound: set[tuple[int, str]] = set()
+        while True:
+            self._propagate()
+            # on-the-fly call graph: bind newly discovered fn-ptr callees
+            progress = False
+            for site in self._indirect_sites:
+                fp_node = Node(
+                    site.stmt.callee_ptr,
+                    _local_scope(site.stmt.callee_ptr, site.func, self.program),
+                )
+                for target in list(self.pts(fp_node)):
+                    callee = target.name
+                    if callee not in self.program.functions:
+                        continue
+                    key = (site.stmt.call_site or id(site.stmt), callee)
+                    if key in bound:
+                        continue
+                    bound.add(key)
+                    self._resolved_callees.setdefault(
+                        site.stmt.call_site or 0, set()
+                    ).add(callee)
+                    self._bind_call(site.stmt, site.func, callee)
+                    progress = True
+            if not progress and not self._worklist:
+                return self
+
+    def _propagate(self) -> None:
+        while self._worklist:
+            node = self._worklist.popleft()
+            node_pts = self.pts(node)
+            for dest in self._load_pending.get(node, ()):  # dest ⊇ *node
+                for target in list(node_pts):
+                    self.add_edge(target, dest)
+            for source in self._store_pending.get(node, ()):  # *node ⊇ source
+                for target in list(node_pts):
+                    self.add_edge(source, target)
+            for dest in self._succ.get(node, ()):
+                dest_pts = self.pts(dest)
+                added = node_pts - dest_pts
+                if added:
+                    dest_pts |= added
+                    self._worklist.append(dest)
+
+    # -- queries ------------------------------------------------------------
+
+    def targets_of_var(self, func: str, name: str) -> set[str]:
+        node = Node(name, _local_scope(name, func, self.program))
+        return {str(t) for t in self.pts(node)}
+
+    def average_targets_per_indirect_ref(self, reachable=None) -> float:
+        """Average |pts| over syntactic indirect references;
+        ``reachable`` optionally restricts to a set of statement ids
+        (e.g. the statements a flow-sensitive analysis proved live,
+        for a fair comparison that excludes dead functions)."""
+        total = refs = 0
+        for name, fn in self.program.functions.items():
+            for stmt in fn.iter_stmts():
+                if not isinstance(stmt, BasicStmt):
+                    continue
+                if reachable is not None and stmt.stmt_id not in reachable:
+                    continue
+                for ref in _refs_of(stmt):
+                    if not ref.deref:
+                        continue
+                    node = Node(
+                        ref.base, _local_scope(ref.base, name, self.program)
+                    )
+                    targets = {
+                        t
+                        for t in self.pts(node)
+                        if t.name not in self.program.functions
+                    }
+                    refs += 1
+                    total += len(targets)
+        return total / refs if refs else 0.0
+
+
+class SteensgaardAnalysis:
+    """Equality-based (unification) flow-insensitive analysis."""
+
+    def __init__(self, program: SimpleProgram):
+        self.program = program
+        self._parent: dict[Node, Node] = {}
+        #: representative -> the single "pointee class" it points to
+        self._points: dict[Node, Node] = {}
+
+    # union-find ---------------------------------------------------------
+
+    def find(self, node: Node) -> Node:
+        root = node
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        while self._parent.get(node, node) != node:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, a: Node, b: Node) -> Node:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        self._parent[rb] = ra
+        pa, pb = self._points.get(ra), self._points.get(rb)
+        self._points.pop(rb, None)
+        if pa is not None and pb is not None:
+            merged = self.union(pa, pb)
+            self._points[ra] = self.find(merged)
+        elif pb is not None:
+            self._points[ra] = pb
+        return ra
+
+    def pointee(self, node: Node) -> Node:
+        root = self.find(node)
+        target = self._points.get(root)
+        if target is None:
+            target = Node(f"__cls_{len(self._points)}_{root.name}")
+            self._points[root] = target
+        return self.find(target)
+
+    # constraint application --------------------------------------------------
+
+    def _join(self, a: Node, b: Node) -> None:
+        self.union(self.pointee(a), self.pointee(b))
+
+    def _assign_ref(self, lhs_node: Node, kind: str, node: Node) -> None:
+        if kind == "addr":
+            self.union(self.pointee(lhs_node), node)
+        elif kind == "copy":
+            self._join(lhs_node, node)
+        else:  # deref
+            self.union(self.pointee(lhs_node), self.pointee(self.pointee(node)))
+
+    def solve(self) -> "SteensgaardAnalysis":
+        andersen = AndersenAnalysis(self.program)  # reuse operand parsing
+        program = self.program
+        for name, fn in list(program.functions.items()):
+            for stmt in fn.iter_stmts():
+                if not isinstance(stmt, BasicStmt) or stmt.lhs is None:
+                    continue
+                sources = []
+                operands = []
+                if stmt.kind is BasicKind.ALLOC:
+                    sources = [("addr", HEAP_NODE)]
+                elif stmt.kind is BasicKind.CALL:
+                    continue  # calls handled coarsely below
+                else:
+                    if stmt.rvalue is not None:
+                        operands.append(stmt.rvalue)
+                    operands.extend(stmt.operands)
+                    for operand in operands:
+                        sources.extend(andersen._operand_sources(operand, name))
+                lhs = stmt.lhs
+                lhs_node = _ref_node(lhs, name, program)
+                if lhs.deref:
+                    lhs_node = self.pointee(
+                        Node(lhs.base, _local_scope(lhs.base, name, program))
+                    )
+                for kind, node in sources:
+                    self._assign_ref(lhs_node, kind, node)
+        # returns: unify each function's returned values with a per-
+        # function retval node
+        for name, fn in program.functions.items():
+            retval = Node("__retval", name)
+            for stmt in fn.iter_stmts():
+                if isinstance(stmt, SReturn) and stmt.value is not None:
+                    for kind, node in andersen._operand_sources(
+                        stmt.value, name
+                    ):
+                        self._assign_ref(retval, kind, node)
+        # calls: unify arguments with formals, lhs with retval
+        for name, fn in program.functions.items():
+            for stmt in fn.iter_stmts():
+                if not isinstance(stmt, BasicStmt):
+                    continue
+                if stmt.kind is not BasicKind.CALL or stmt.callee is None:
+                    continue
+                callee = program.functions.get(stmt.callee)
+                if callee is None:
+                    continue
+                for index, (param, _t) in enumerate(callee.params):
+                    if index >= len(stmt.args):
+                        continue
+                    arg = stmt.args[index]
+                    if isinstance(arg, Ref) and arg.is_plain_var:
+                        self._join(
+                            Node(param, stmt.callee),
+                            Node(
+                                arg.base,
+                                _local_scope(arg.base, name, program),
+                            ),
+                        )
+                if stmt.lhs is not None and stmt.lhs.is_plain_var:
+                    self._join(
+                        Node(
+                            stmt.lhs.base,
+                            _local_scope(stmt.lhs.base, name, program),
+                        ),
+                        Node("__retval", stmt.callee),
+                    )
+        return self
+
+    def same_class(self, func_a: str, a: str, func_b: str, b: str) -> bool:
+        na = Node(a, _local_scope(a, func_a, self.program))
+        nb = Node(b, _local_scope(b, func_b, self.program))
+        return self.find(self.pointee(na)) == self.find(self.pointee(nb))
+
+    def class_count(self) -> int:
+        return len({self.find(p) for p in self._points.values()})
+
+
+def _is_array_valued(ref: Ref, func: str, program: SimpleProgram) -> bool:
+    """Whether a non-deref reference's static type is an array (its
+    rvalue then decays to the array's address)."""
+    from repro.frontend.ctypes import ArrayType, PointerType, StructType
+
+    current = program.var_type(func, ref.base)
+    if ref.deref:
+        from repro.frontend.ctypes import decay
+
+        current = decay(current) if current is not None else None
+        if isinstance(current, PointerType):
+            current = current.pointee
+        else:
+            return False
+    for selector in ref.path:
+        if current is None:
+            return False
+        if isinstance(selector, FieldSel):
+            if isinstance(current, StructType):
+                current = current.field_type(selector.name)
+            else:
+                return False
+        else:
+            if isinstance(current, ArrayType):
+                current = current.strip_arrays()
+            # pointer indexing keeps the element type
+    return isinstance(current, ArrayType)
+
+
+def _local_scope(name: str, func: str, program: SimpleProgram) -> str | None:
+    fn = program.functions.get(func)
+    if fn is not None and (
+        name in fn.local_types or name in dict(fn.params)
+    ):
+        return func
+    return None
+
+
+def _refs_of(stmt: BasicStmt):
+    refs = []
+    if stmt.lhs is not None:
+        refs.append(stmt.lhs)
+    for operand in (stmt.rvalue, *stmt.operands, *stmt.args):
+        if isinstance(operand, Ref):
+            refs.append(operand)
+        elif isinstance(operand, AddrOf):
+            refs.append(operand.ref)
+    return refs
+
+
+def andersen(program: SimpleProgram) -> AndersenAnalysis:
+    """Solve Andersen-style inclusion constraints for ``program``."""
+    return AndersenAnalysis(program).solve()
+
+
+def steensgaard(program: SimpleProgram) -> SteensgaardAnalysis:
+    """Solve Steensgaard-style unification constraints."""
+    return SteensgaardAnalysis(program).solve()

@@ -1,0 +1,216 @@
+"""Interprocedural call processing (Figure 4 of the paper).
+
+``process_call_node`` implements the three cases of Figure 4:
+
+* **Ordinary** nodes memoize one (input, output) pair; a hit skips the
+  body entirely.
+* **Approximate** nodes never analyze the body: if the current input
+  is covered by their recursive partner's stored input they reuse the
+  partner's stored output, otherwise they add the input to the
+  partner's pending list and return *Bottom* (None).
+* **Recursive** nodes run the generalizing fixed point: the stored
+  input absorbs pending inputs, the stored output grows until the body
+  adds nothing new.
+
+One extension beyond the figure: a node that *becomes* recursive while
+its body is being analyzed (possible only through function-pointer
+discovery, Section 5 — a static build marks recursion up front) falls
+through to the fixed-point loop after its first body pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.env import FuncEnv
+from repro.core.intra import apply_assignment
+from repro.core.invocation_graph import IGNode, IGNodeKind
+from repro.core.lvalues import LocSet, l_locations
+from repro.core.mapping import map_call, unmap_call
+from repro.core.pointsto import PointsToSet, merge_all
+from repro.simple.ir import BasicStmt
+
+#: Safety valve for the recursion fixed point.
+MAX_RECURSION_ITERATIONS = 100
+
+
+def process_call_node(
+    analyzer,
+    caller_env: FuncEnv,
+    child: IGNode,
+    stmt: BasicStmt,
+    input_set: PointsToSet,
+) -> PointsToSet | None:
+    """Process one call to the invocation-graph node ``child``.
+
+    ``input_set`` is the caller's set at the call point (for indirect
+    calls, already specialized with the function pointer definitely
+    bound to ``child.func``).  Returns the caller's output set, or None
+    (Bottom) when an approximate node defers resolution.
+    """
+    program = analyzer.program
+    callee_fn = program.functions[child.func]
+    callee_env = analyzer.env(child.func)
+
+    func_input, map_info = map_call(
+        caller_env, callee_env, input_set, stmt.args, callee_fn
+    )
+    child.map_info = map_info
+
+    if child.kind is IGNodeKind.APPROXIMATE:
+        partner = child.rec_partner
+        assert partner is not None
+        if (
+            partner.stored_input is not None
+            and func_input.is_subset_of(partner.stored_input)
+        ):
+            if partner.stored_output is None:
+                return None
+            func_output = partner.stored_output
+        else:
+            partner.pending_inputs.append(func_input)
+            return None
+    elif child.in_progress:
+        # Re-entry of a node whose body is being analyzed: only
+        # possible through a *shared* node (context-insensitive
+        # ablation / sub-tree sharing); the node acts as its own
+        # recursive partner, exactly like the approximate case.
+        if (
+            child.stored_input is not None
+            and func_input.is_subset_of(child.stored_input)
+        ):
+            if child.stored_output is None:
+                return None
+            func_output = child.stored_output
+        else:
+            child.pending_inputs.append(func_input)
+            return None
+    elif child.kind is IGNodeKind.RECURSIVE:
+        func_output = _process_recursive(analyzer, child, func_input)
+        if func_output is None:
+            return None
+    else:
+        func_output = _process_ordinary(analyzer, child, func_input)
+        if func_output is None:
+            return None
+
+    return _unmap_and_assign(
+        analyzer, caller_env, callee_fn, stmt, input_set, func_output, map_info
+    )
+
+
+def _process_ordinary(
+    analyzer, child: IGNode, func_input: PointsToSet
+) -> PointsToSet | None:
+    if (
+        child.stored_input is not None
+        and child.stored_output is not None
+        and child.stored_input == func_input
+    ):
+        return child.stored_output
+    hit, cached = analyzer.subtree_cache_lookup(child.func, func_input)
+    if hit:
+        # Sub-tree sharing (Section 6's planned optimization): another
+        # invocation-graph node already analyzed this function with an
+        # identical input; reuse its output.
+        child.stored_input = func_input
+        child.stored_output = cached
+        return cached
+    child.in_progress = True
+    try:
+        func_output = analyzer.analyze_body(child, func_input)
+    finally:
+        child.in_progress = False
+    if child.kind is IGNodeKind.RECURSIVE or child.pending_inputs:
+        # The body analysis discovered (via a function pointer) that
+        # this node is recursive: switch to the fixed-point protocol.
+        return _process_recursive(analyzer, child, func_input)
+    child.stored_input = func_input
+    child.stored_output = func_output
+    analyzer.subtree_cache_store(child.func, func_input, func_output)
+    return func_output
+
+
+def _process_recursive(
+    analyzer, child: IGNode, func_input: PointsToSet
+) -> PointsToSet | None:
+    if (
+        not child.in_progress
+        and child.stored_input is not None
+        and child.stored_output is not None
+        and child.stored_input == func_input
+    ):
+        return child.stored_output
+
+    child.in_progress = True
+    child.stored_input = func_input
+    child.stored_output = None
+    child.pending_inputs = []
+    iterations = 0
+    try:
+        while True:
+            iterations += 1
+            if iterations > MAX_RECURSION_ITERATIONS:
+                raise RuntimeError(
+                    "recursion fixed point failed to converge "
+                    f"for {child.func}; this indicates an analysis bug"
+                )
+            func_output = analyzer.analyze_body(child, child.stored_input)
+            if child.pending_inputs:
+                merged = merge_all([child.stored_input] + child.pending_inputs)
+                child.stored_input = merged
+                child.pending_inputs = []
+                child.stored_output = None
+                continue
+            if func_output is None:
+                # Every path recursed without resolution: no base case
+                # reachable — the call never returns.
+                break
+            if child.stored_output is not None and func_output.is_subset_of(
+                child.stored_output
+            ):
+                break
+            child.stored_output = merge_all(
+                [child.stored_output, func_output]
+            )
+    finally:
+        child.in_progress = False
+    # Reset the stored input to this call's input for future
+    # memoization (the last line of Figure 4's recursive case).
+    child.stored_input = func_input
+    return child.stored_output
+
+
+def _unmap_and_assign(
+    analyzer,
+    caller_env: FuncEnv,
+    callee_fn,
+    stmt: BasicStmt,
+    input_set: PointsToSet,
+    func_output: PointsToSet,
+    map_info,
+) -> PointsToSet:
+    unmapped = unmap_call(input_set, func_output, map_info, callee_fn)
+    for loc in unmapped.dangling:
+        analyzer.warn(
+            f"pointer to local '{loc}' of '{callee_fn.name}' escapes "
+            f"its frame (dangling); relationship dropped"
+        )
+    result = unmapped.output
+    if stmt.lhs is None or stmt.lhs_type is None:
+        return result
+    if not stmt.lhs_type.involves_pointers():
+        return result
+
+    caller_paths = {path for path, _, _ in unmapped.returns}
+    if caller_paths == {()} or not unmapped.returns:
+        rlocs: LocSet = [
+            (loc, d) for path, loc, d in unmapped.returns if path == ()
+        ]
+        llocs = l_locations(stmt.lhs, result, caller_env)
+        return apply_assignment(result, llocs, rlocs)
+    # Struct-valued return: assign per pointer-holding sub-path.
+    base_llocs = l_locations(stmt.lhs, result, caller_env)
+    for path in sorted(caller_paths):
+        rlocs = [(loc, d) for p, loc, d in unmapped.returns if p == path]
+        llocs = [(loc.extend(path), d) for loc, d in base_llocs]
+        result = apply_assignment(result, llocs, rlocs)
+    return result

@@ -1,0 +1,246 @@
+"""Invocation graphs (Section 4, Figure 2).
+
+Every procedure invocation chain from ``main`` is a unique path in the
+graph.  Recursion is approximated with matched pairs of *recursive*
+and *approximate* nodes: the depth-first construction stops when a
+function name repeats on the chain from ``main``; the leaf becomes an
+approximate node whose back-edge identifies its recursive partner.
+
+Indirect (function-pointer) call-sites cannot be bound statically, so
+the builder leaves them *incomplete*; :mod:`repro.core.funcptr`
+completes them during the analysis (Section 5), using exactly the same
+recursion check against the ancestor chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.pointsto import PointsToSet
+from repro.simple.ir import BasicKind, BasicStmt, SimpleFunction, SimpleProgram
+
+
+class IGNodeKind(enum.Enum):
+    ORDINARY = "ordinary"
+    RECURSIVE = "recursive"
+    APPROXIMATE = "approximate"
+
+
+@dataclass
+class IGNode:
+    """One procedure invocation context."""
+
+    func: str
+    kind: IGNodeKind = IGNodeKind.ORDINARY
+    parent: "IGNode | None" = None
+    #: call-site id -> callee name -> child node.  Indirect call-sites
+    #: may bind several callees; direct sites exactly one.
+    children: dict[int, dict[str, "IGNode"]] = field(default_factory=dict)
+    #: For APPROXIMATE nodes: the matching RECURSIVE ancestor.
+    rec_partner: "IGNode | None" = None
+
+    # Memoization / fixed-point state (Figure 4).
+    stored_input: PointsToSet | None = None
+    stored_output: PointsToSet | None = None
+    pending_inputs: list[PointsToSet] = field(default_factory=list)
+    #: True while the recursive fixed point for this node is running.
+    in_progress: bool = False
+
+    #: Map information deposited by the mapping process (Section 4.1):
+    #: symbolic-name root -> caller location roots it represents.
+    map_info: dict | None = None
+
+    def child(self, call_site: int, callee: str) -> "IGNode | None":
+        return self.children.get(call_site, {}).get(callee)
+
+    def add_child(self, call_site: int, node: "IGNode") -> "IGNode":
+        node.parent = self
+        self.children.setdefault(call_site, {})[node.func] = node
+        return node
+
+    def ancestors(self) -> Iterator["IGNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path(self) -> list[str]:
+        names = [self.func]
+        for ancestor in self.ancestors():
+            names.append(ancestor.func)
+        return list(reversed(names))
+
+    def walk(self) -> Iterator["IGNode"]:
+        yield self
+        for site_children in self.children.values():
+            for child in site_children.values():
+                yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"<IGNode {'->'.join(self.path())} {self.kind.value}>"
+
+
+class InvocationGraph:
+    """The invocation graph of a program, rooted at ``main``."""
+
+    def __init__(self, program: SimpleProgram, root_func: str = "main"):
+        self.program = program
+        self.root_func = root_func
+        if root_func not in program.functions:
+            raise ValueError(f"program has no '{root_func}' function")
+        self.root = IGNode(root_func)
+        self._build(self.root)
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self, node: IGNode) -> None:
+        fn = self.program.functions[node.func]
+        for call_site, callee in direct_call_sites(fn):
+            if callee not in self.program.functions:
+                continue  # external functions have no invocation node
+            self.attach_call(node, call_site, callee)
+
+    def attach_call(self, parent: IGNode, call_site: int, callee: str) -> IGNode:
+        """Create (or return) the child node for ``callee`` at
+        ``call_site`` under ``parent``, performing the recursion check
+        against the ancestor chain.  Used both by the static builder
+        and by the dynamic function-pointer expansion."""
+        existing = parent.child(call_site, callee)
+        if existing is not None:
+            return existing
+        partner = self._find_recursive_ancestor(parent, callee)
+        if partner is not None:
+            node = IGNode(callee, IGNodeKind.APPROXIMATE, rec_partner=partner)
+            partner.kind = IGNodeKind.RECURSIVE
+            parent.add_child(call_site, node)
+            return node
+        node = IGNode(callee)
+        parent.add_child(call_site, node)
+        self._build(node)
+        return node
+
+    @staticmethod
+    def _find_recursive_ancestor(parent: IGNode, callee: str) -> IGNode | None:
+        if parent.func == callee:
+            return parent
+        for ancestor in parent.ancestors():
+            if ancestor.func == callee:
+                return ancestor
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    def nodes(self) -> list[IGNode]:
+        return list(self.root.walk())
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    def count_kind(self, kind: IGNodeKind) -> int:
+        return sum(1 for node in self.root.walk() if node.kind is kind)
+
+    def functions_called(self) -> set[str]:
+        result = {
+            node.func for node in self.root.walk() if node is not self.root
+        }
+        return result
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: tree edges solid, the approximate-to-
+        recursive back-edges dashed (the Figure 2 pairing edges)."""
+        lines = [
+            "digraph invocation_graph {",
+            "  node [shape=box, fontname=monospace];",
+        ]
+        ids: dict[int, str] = {}
+        for index, node in enumerate(self.root.walk()):
+            ids[id(node)] = f"n{index}"
+            label = node.func
+            attrs = ""
+            if node.kind is IGNodeKind.RECURSIVE:
+                label += " (R)"
+                attrs = ", peripheries=2"
+            elif node.kind is IGNodeKind.APPROXIMATE:
+                label += " (A)"
+                attrs = ", style=dashed"
+            lines.append(f'  {ids[id(node)]} [label="{label}"{attrs}];')
+        for node in self.root.walk():
+            for site, children in sorted(node.children.items()):
+                for child in children.values():
+                    lines.append(
+                        f"  {ids[id(node)]} -> {ids[id(child)]} "
+                        f'[label="s{site}"];'
+                    )
+        for node in self.root.walk():
+            if node.kind is IGNodeKind.APPROXIMATE and node.rec_partner:
+                partner_id = ids.get(id(node.rec_partner))
+                if partner_id is not None:
+                    lines.append(
+                        f"  {ids[id(node)]} -> {partner_id} "
+                        "[style=dashed, constraint=false];"
+                    )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """ASCII rendering of the graph (Figure 2 style)."""
+        lines: list[str] = []
+
+        def visit(node: IGNode, depth: int) -> None:
+            marker = ""
+            if node.kind is IGNodeKind.RECURSIVE:
+                marker = " (R)"
+            elif node.kind is IGNodeKind.APPROXIMATE:
+                marker = " (A)"
+                if node.rec_partner is not None:
+                    marker += f" ~> {node.rec_partner.func}"
+            lines.append("  " * depth + node.func + marker)
+            for site in sorted(node.children):
+                for child in node.children[site].values():
+                    visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+
+def direct_call_sites(fn: SimpleFunction) -> list[tuple[int, str]]:
+    """(call_site, callee) for every direct call in ``fn``."""
+    result = []
+    for stmt in fn.iter_stmts():
+        if (
+            isinstance(stmt, BasicStmt)
+            and stmt.kind is BasicKind.CALL
+            and stmt.callee is not None
+        ):
+            assert stmt.call_site is not None
+            result.append((stmt.call_site, stmt.callee))
+    return result
+
+
+def indirect_call_sites(fn: SimpleFunction) -> list[tuple[int, str]]:
+    """(call_site, function-pointer variable) for indirect calls."""
+    result = []
+    for stmt in fn.iter_stmts():
+        if (
+            isinstance(stmt, BasicStmt)
+            and stmt.kind is BasicKind.CALL
+            and stmt.callee_ptr is not None
+        ):
+            assert stmt.call_site is not None
+            result.append((stmt.call_site, stmt.callee_ptr))
+    return result
+
+
+def call_site_count(program: SimpleProgram) -> int:
+    """Number of syntactic call-sites to analyzed functions plus
+    indirect call-sites (Table 6's 'call sites' column)."""
+    count = 0
+    for fn in program.functions.values():
+        for stmt in fn.iter_stmts():
+            if isinstance(stmt, BasicStmt) and stmt.kind is BasicKind.CALL:
+                if stmt.callee is not None and stmt.callee not in program.functions:
+                    continue
+                count += 1
+    return count

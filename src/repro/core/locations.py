@@ -1,0 +1,208 @@
+"""Abstract stack locations (Section 3.1 of the paper).
+
+Every location that can be the source or target of a points-to
+relationship is represented by a named :class:`AbsLoc`:
+
+* named variables — locals, globals, and formal parameters;
+* structure fields — the variable's location extended with a field
+  path (``a.f``);
+* arrays — two sub-locations per array, ``a[head]`` for element 0 and
+  ``a[tail]`` for elements 1..n (Table 1);
+* *symbolic names* (``1_x``, ``2_x``, ...) standing for invisible
+  variables reachable through formals/globals (Section 4.1);
+* the single ``heap`` location for all dynamically allocated storage;
+* the ``NULL`` pseudo-location (pointers are initialized to NULL);
+* one location per *function*, so that function pointers are ordinary
+  points-to sources (Section 5);
+* a per-function ``retval`` pseudo-location carrying returned pointers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Path element marking the first element of an array.
+HEAD = "[head]"
+#: Path element marking elements 1..n of an array.
+TAIL = "[tail]"
+
+ARRAY_PARTS = (HEAD, TAIL)
+
+
+class LocKind(enum.Enum):
+    LOCAL = "lo"
+    GLOBAL = "gl"
+    PARAM = "fp"
+    SYMBOLIC = "sy"
+    HEAP = "heap"
+    NULL = "null"
+    FUNCTION = "fn"
+    RETVAL = "ret"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AbsLoc:
+    """A named abstract stack location.
+
+    ``base`` is the variable / symbolic / special name; ``path`` is the
+    selector chain (field names and the ``[head]``/``[tail]`` markers);
+    ``func`` scopes locals, parameters, symbolic names, and retval to
+    their function (None for globals and the special locations).
+    """
+
+    base: str
+    kind: LocKind
+    func: str | None = None
+    path: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        text = self.base
+        for element in self.path:
+            if element in ARRAY_PARTS:
+                text += element
+            else:
+                text += f".{element}"
+        return text
+
+    def __repr__(self) -> str:
+        scope = f"{self.func}::" if self.func else ""
+        return f"<{scope}{self} {self.kind.value}>"
+
+    # -- derived locations --------------------------------------------
+
+    def root(self) -> "AbsLoc":
+        """The whole-variable location this one belongs to."""
+        if not self.path:
+            return self
+        return AbsLoc(self.base, self.kind, self.func)
+
+    def extend(self, path: tuple[str, ...]) -> "AbsLoc":
+        if not path:
+            return self
+        return AbsLoc(self.base, self.kind, self.func, self.path + path)
+
+    def with_field(self, name: str) -> "AbsLoc":
+        return self.extend((name,))
+
+    def with_part(self, part: str) -> "AbsLoc":
+        assert part in ARRAY_PARTS
+        return self.extend((part,))
+
+    def replace_last_part(self, part: str) -> "AbsLoc":
+        assert self.path and self.path[-1] in ARRAY_PARTS
+        return AbsLoc(self.base, self.kind, self.func, self.path[:-1] + (part,))
+
+    # -- predicates -------------------------------------------------------
+
+    @property
+    def is_special(self) -> bool:
+        return self.kind in (LocKind.HEAP, LocKind.NULL)
+
+    @property
+    def is_heap(self) -> bool:
+        return self.kind is LocKind.HEAP
+
+    @property
+    def is_null(self) -> bool:
+        return self.kind is LocKind.NULL
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind is LocKind.FUNCTION
+
+    @property
+    def is_symbolic(self) -> bool:
+        return self.kind is LocKind.SYMBOLIC
+
+    @property
+    def in_array_tail(self) -> bool:
+        return TAIL in self.path
+
+    @property
+    def is_visible_everywhere(self) -> bool:
+        """True if the location keeps its name across call boundaries."""
+        return self.kind in (
+            LocKind.GLOBAL,
+            LocKind.HEAP,
+            LocKind.NULL,
+            LocKind.FUNCTION,
+        )
+
+    def represents_multiple(self) -> bool:
+        """Whether this abstract location may stand for several real
+        locations *within one context* (heap, array tails)."""
+        return self.is_heap or self.in_array_tail
+
+
+#: The single abstract heap location.
+HEAP = AbsLoc("heap", LocKind.HEAP)
+
+#: The NULL pseudo-location.
+NULL = AbsLoc("NULL", LocKind.NULL)
+
+
+def global_loc(name: str) -> AbsLoc:
+    return AbsLoc(name, LocKind.GLOBAL)
+
+
+def function_loc(name: str) -> AbsLoc:
+    return AbsLoc(name, LocKind.FUNCTION)
+
+
+def retval_loc(func: str) -> AbsLoc:
+    return AbsLoc("__retval", LocKind.RETVAL, func)
+
+
+#: Deepest symbolic level generated; beyond it the deepest name is
+#: reused, so it represents every deeper invisible variable (safe,
+#: possibly imprecise — the paper's scheme is equally k-limited by the
+#: finiteness of the caller's points-to set).
+MAX_SYMBOLIC_LEVEL = 9
+
+#: Longest field suffix kept in a symbolic name.  Longer access paths
+#: are truncated (idempotently), bounding the name space so that the
+#: recursion fixed point of Figure 4 terminates on programs that grow
+#: stack-allocated recursive structures without bound.
+MAX_SYMBOLIC_FIELDS = 4
+
+
+def symbolic_name(
+    source: AbsLoc,
+    max_level: int = MAX_SYMBOLIC_LEVEL,
+    max_fields: int = MAX_SYMBOLIC_FIELDS,
+) -> str:
+    """Derive the symbolic name for the target of ``source``.
+
+    Pure pointer chains reproduce the paper's names: the target of
+    formal ``x`` is ``1_x``, the target of ``1_x`` is ``2_x``, ...
+    Field paths are folded into the name so that targets reached
+    through different fields get distinct symbolic names.  Levels and
+    field suffixes are capped so the name space is finite; at the cap
+    the name reproduces itself, so derivation always terminates.
+    """
+    base = source.base
+    level = 0
+    origin = base
+    old_fields: list[str] = []
+    if source.kind is LocKind.SYMBOLIC:
+        prefix, _, rest = base.partition("_")
+        if prefix.isdigit():
+            level = int(prefix)
+            origin = rest
+            origin, _, old_suffix = origin.partition("$")
+            if old_suffix:
+                old_fields = old_suffix.rstrip("+").split(".")
+    if source.kind is LocKind.SYMBOLIC and level >= max_level:
+        return base  # deepest symbolic absorbs everything below it
+    new_level = min(level + 1, max_level)
+    fields = old_fields + [p for p in source.path if p not in ARRAY_PARTS]
+    truncated = len(fields) > max_fields
+    fields = fields[:max_fields]
+    suffix = ""
+    if fields:
+        suffix = "$" + ".".join(fields) + ("+" if truncated else "")
+    return f"{new_level}_{origin}{suffix}"

@@ -1,0 +1,189 @@
+"""L-location and R-location computation (Table 1 of the paper).
+
+Given a SIMPLE reference and the points-to set at a program point:
+
+* the **L-location set** is the set of abstract locations the
+  reference *denotes* (the locations written when it appears on the
+  left of an assignment);
+* the **R-location set** is the set of locations the reference's
+  *value* points to (one more level of indirection).
+
+Each entry carries a definiteness flag; a dereference through a
+possible pointer makes everything below it possible (``d1 ∧ d2``).
+
+Deviations from Table 1 (documented in DESIGN.md): we keep the
+definiteness of ``a[tail]`` as printed in Table 1, but the *kill* rule
+in :mod:`repro.core.intra` refuses strong updates on locations that
+represent several real locations (array tails, the heap), which
+Definition 3.3 requires for safety.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ctypes import ArrayType
+from repro.core.env import FuncEnv
+from repro.core.locations import HEAD, TAIL, AbsLoc, NULL
+from repro.core.pointsto import D, P, Definiteness, PointsToSet
+from repro.simple.ir import AddrOf, Const, FieldSel, IndexClass, IndexSel, Operand, Ref
+
+LocSet = list[tuple[AbsLoc, Definiteness]]
+
+
+def _dedup(locs: LocSet) -> LocSet:
+    """Collapse duplicates, keeping the strongest definiteness."""
+    best: dict[AbsLoc, Definiteness] = {}
+    for loc, definiteness in locs:
+        current = best.get(loc)
+        if current is None or (current is P and definiteness is D):
+            best[loc] = definiteness
+    return list(best.items())
+
+
+def apply_index(
+    loc: AbsLoc, definiteness: Definiteness, index: IndexClass, env: FuncEnv
+) -> LocSet:
+    """Apply an array subscript to an abstract location.
+
+    Three cases:
+
+    * the location has array type — the subscript *extends* it with a
+      ``[head]``/``[tail]`` part (Table 1 rows ``a[0]``, ``a[i]``);
+    * the location is already an array part (a pointer into an array)
+      — the subscript *adjusts* within the same array (rows
+      ``(*a)[0]``, ``(*a)[i]``, under the paper's assumption that
+      array pointers stay within their array);
+    * otherwise (heap, scalar target) pointer indexing stays within the
+      pointed-to object.
+    """
+    if loc.is_heap or loc.is_null:
+        return [(loc, definiteness)]
+    if loc.path and loc.path[-1] in (HEAD, TAIL):
+        # Already inside an array: adjust within it.  This branch also
+        # collapses multi-dimensional arrays onto one head/tail split —
+        # the paper uses exactly *2* abstract locations per array.
+        if index is IndexClass.ZERO:
+            return [(loc, definiteness)]
+        if index is IndexClass.POSITIVE:
+            if loc.path[-1] == HEAD:
+                return [(loc.replace_last_part(TAIL), definiteness)]
+            return [(loc, definiteness)]
+        return [
+            (loc.replace_last_part(HEAD), P),
+            (loc.replace_last_part(TAIL), P),
+        ]
+    if env.loc_is_array(loc):
+        if index is IndexClass.ZERO:
+            return [(loc.with_part(HEAD), definiteness)]
+        if index is IndexClass.POSITIVE:
+            return [(loc.with_part(TAIL), definiteness)]
+        return [(loc.with_part(HEAD), P), (loc.with_part(TAIL), P)]
+    return [(loc, definiteness)]
+
+
+def apply_field(loc: AbsLoc, name: str) -> AbsLoc:
+    """Field selection; the single heap location absorbs its fields."""
+    if loc.is_heap:
+        return loc
+    return loc.with_field(name)
+
+
+def l_locations(ref: Ref, pts: PointsToSet, env: FuncEnv) -> LocSet:
+    """The L-location set of ``ref`` relative to ``pts`` (Table 1)."""
+    base = env.var_loc(ref.base)
+    if ref.deref:
+        locs = [
+            (target, definiteness)
+            for target, definiteness in pts.targets_of(base)
+            if not target.is_null and not target.is_function
+        ]
+    else:
+        locs = [(base, D)]
+    for selector in ref.path:
+        if isinstance(selector, FieldSel):
+            locs = [(apply_field(loc, selector.name), d) for loc, d in locs]
+        elif isinstance(selector, IndexSel):
+            expanded: LocSet = []
+            for loc, d in locs:
+                expanded.extend(apply_index(loc, d, selector.index, env))
+            locs = expanded
+    return _dedup(locs)
+
+
+def ref_static_type(ref: Ref, env: FuncEnv):
+    """Static C type of a reference (for array decay detection)."""
+    loc = env.var_loc(ref.base)
+    base_type = env.base_type(loc)
+    if base_type is None:
+        return None
+    current = base_type
+    if ref.deref:
+        from repro.frontend.ctypes import PointerType, decay
+
+        current = decay(current)
+        if isinstance(current, PointerType):
+            current = current.pointee
+        else:
+            return None
+    for selector in ref.path:
+        if current is None:
+            return None
+        if isinstance(selector, FieldSel):
+            from repro.frontend.ctypes import StructType
+
+            if isinstance(current, StructType):
+                current = current.field_type(selector.name)
+            else:
+                return None
+        else:
+            if isinstance(current, ArrayType):
+                current = current.element
+            # pointer indexing does not change the element type here
+    return current
+
+
+def r_locations_ref(ref: Ref, pts: PointsToSet, env: FuncEnv) -> LocSet:
+    """R-location set of a reference used as an rvalue."""
+    static_type = ref_static_type(ref, env)
+    llocs = l_locations(ref, pts, env)
+    if isinstance(static_type, ArrayType):
+        # Array-to-pointer decay: the value of an array expression is
+        # the address of its first element.  A location already inside
+        # an array keeps its part (one head/tail split per array); the
+        # heap absorbs array structure entirely.
+        return _dedup(
+            [
+                (
+                    loc
+                    if loc.is_heap
+                    or (loc.path and loc.path[-1] in (HEAD, TAIL))
+                    else loc.with_part(HEAD),
+                    d,
+                )
+                for loc, d in llocs
+            ]
+        )
+    result: LocSet = []
+    for loc, d1 in llocs:
+        for target, d2 in pts.targets_of(loc):
+            result.append((target, d1.both(d2)))
+    return _dedup(result)
+
+
+def r_locations(
+    operand: Operand,
+    pts: PointsToSet,
+    env: FuncEnv,
+    pointer_context: bool = True,
+) -> LocSet:
+    """R-location set of any SIMPLE operand (Table 1, bottom rows)."""
+    if isinstance(operand, Const):
+        if pointer_context and operand.is_null:
+            return [(NULL, D)]
+        return []
+    if isinstance(operand, AddrOf):
+        inner = operand.ref
+        if not inner.deref and not inner.path:
+            base = env.var_loc(inner.base)
+            return [(base, D)]
+        return l_locations(inner, pts, env)
+    return r_locations_ref(operand, pts, env)

@@ -1,0 +1,337 @@
+"""Mapping and unmapping of points-to information across calls
+(Section 4.1 of the paper).
+
+**Map** prepares the callee's input set from the caller's set at the
+call-site: formals inherit the relationships of the corresponding
+actuals, globals keep their names, and every location *invisible* to
+the callee (caller locals, caller parameters, the caller's own
+symbolic names) is represented by a *symbolic name* generated from the
+callee-side access path that reaches it (``1_x`` for the target of
+formal ``x``, ``2_x`` for the target of ``1_x``, ...).
+
+The correspondence ``symbolic name -> invisible variables`` is the
+*map information*; it is deposited on the invocation-graph node and
+drives **unmap**, which rewrites the callee's output back into the
+caller's name space.  Key properties implemented here:
+
+* an invisible variable is represented by at most one symbolic name
+  (Property 3.1) — the first reaching access path wins, and definite
+  relationships are mapped before possible ones (the paper's accuracy
+  heuristic, illustrated by its x/y/a/b example);
+* a symbolic name may represent several invisible variables; any
+  relationship involving such a name is weakened to possible, and the
+  unmap performs only weak updates through it;
+* strong updates on unmap are performed exactly for caller locations
+  whose representative stands for them alone (globals, and symbolic
+  names with a single represented invisible).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.frontend.ctypes import StructType
+from repro.core.env import FuncEnv
+from repro.core.lvalues import r_locations
+from repro.core.locations import NULL, AbsLoc, LocKind, retval_loc, symbolic_name
+from repro.core.pointsto import D, P, Definiteness, PointsToSet
+from repro.simple.ir import Const, Operand, Ref, SimpleFunction
+
+
+@dataclass
+class MapInfo:
+    """Per-call mapping information (stored on the IG node)."""
+
+    #: callee symbolic root -> caller roots it represents (ordered).
+    to_caller: dict[AbsLoc, tuple[AbsLoc, ...]] = field(default_factory=dict)
+    #: caller invisible root -> its unique callee symbolic root.
+    from_caller: dict[AbsLoc, AbsLoc] = field(default_factory=dict)
+    #: visible caller roots (globals, heap) whose relationships were
+    #: carried into the callee — these are owned by the callee output.
+    visible_roots: set[AbsLoc] = field(default_factory=set)
+
+    def representative_count(self, callee_root: AbsLoc) -> int:
+        return len(self.to_caller.get(callee_root, ()))
+
+    def describe(self) -> str:
+        lines = []
+        for sym, roots in sorted(
+            self.to_caller.items(), key=lambda item: str(item[0])
+        ):
+            names = ", ".join(str(r) for r in sorted(roots, key=str))
+            lines.append(f"({sym}, {{{names}}})")
+        return " ".join(lines)
+
+
+def _definite_first(pairs):
+    return sorted(pairs, key=lambda item: (item[2] is not D, str(item[0]), str(item[1])))
+
+
+class _Mapper:
+    def __init__(
+        self,
+        caller_env: FuncEnv,
+        callee_env: FuncEnv,
+        input_set: PointsToSet,
+    ):
+        self.caller_env = caller_env
+        self.callee_env = callee_env
+        self.input_set = input_set
+        self.info = MapInfo()
+        self.result = PointsToSet()
+        self.queue: deque[AbsLoc] = deque()
+        self.processed: set[AbsLoc] = set()
+        # Index the caller set by source root for the reachability walk.
+        self.by_root: dict[AbsLoc, list] = {}
+        for src, tgt, definiteness in input_set.triples():
+            self.by_root.setdefault(src.root(), []).append(
+                (src, tgt, definiteness)
+            )
+
+    # -- symbolic assignment --------------------------------------------
+
+    def map_target(self, target: AbsLoc, via: AbsLoc) -> AbsLoc:
+        """Rewrite a caller-side target location into the callee's name
+        space, creating a symbolic name when it is invisible.  ``via``
+        is the callee-side source location that reaches it (it
+        determines the symbolic name's level and suffix)."""
+        if target.is_visible_everywhere:
+            self.enqueue(target.root(), visible=True)
+            return target
+        root = target.root()
+        existing = self.info.from_caller.get(root)
+        if existing is None:
+            name = symbolic_name(via)
+            root_type = self.caller_env.type_of_loc(root)
+            existing = self.callee_env.register_symbolic(name, root_type)
+            self.info.from_caller[root] = existing
+            represented = self.info.to_caller.get(existing, ())
+            if root not in represented:
+                self.info.to_caller[existing] = represented + (root,)
+            self.enqueue(root)
+        return existing.extend(target.path)
+
+    def enqueue(self, root: AbsLoc, visible: bool = False) -> None:
+        if visible:
+            if root.kind not in (LocKind.GLOBAL, LocKind.HEAP):
+                return
+            self.info.visible_roots.add(root)
+        if root not in self.processed:
+            self.queue.append(root)
+
+    # -- the walk ------------------------------------------------------------
+
+    def map_formals(
+        self, callee_fn: SimpleFunction, args: tuple[Operand, ...]
+    ) -> None:
+        """Map formal parameters from the actuals.
+
+        All pending (formal location, target, definiteness) entries are
+        collected first and mapped *definite-first across all formals*
+        — the paper's accuracy heuristic: when ``x`` possibly points to
+        ``{a, b}`` and ``y`` definitely points to ``b``, ``b`` must map
+        via ``y``'s symbolic name, keeping ``y``'s pair definite.
+        """
+        pending: list[tuple[AbsLoc, AbsLoc, Definiteness]] = []
+        formals = callee_fn.params
+        for index, (name, ctype) in enumerate(formals):
+            if not ctype.involves_pointers():
+                continue
+            formal_loc = self.callee_env.var_loc(name)
+            if index >= len(args):
+                # Missing argument (variadic mismatch): NULL, possibly.
+                for path in self.callee_env.pointer_paths(ctype):
+                    self.result.add(formal_loc.extend(path), NULL, P)
+                continue
+            arg = args[index]
+            if isinstance(ctype, StructType):
+                pending.extend(self._struct_formal_entries(formal_loc, ctype, arg))
+            else:
+                for target, definiteness in r_locations(
+                    arg, self.input_set, self.caller_env
+                ):
+                    pending.append((formal_loc, target, definiteness))
+        for formal_loc, target, definiteness in _definite_first(
+            [(f, t, d) for f, t, d in pending]
+        ):
+            mapped = self.map_target(target, via=formal_loc)
+            self.result.add(formal_loc, mapped, definiteness)
+
+    def _struct_formal_entries(
+        self, formal_loc: AbsLoc, ctype: StructType, arg: Operand
+    ) -> list[tuple[AbsLoc, AbsLoc, Definiteness]]:
+        if isinstance(arg, Const):
+            return []
+        assert isinstance(arg, Ref) and arg.is_plain_var
+        obj = self.caller_env.var_loc(arg.base)
+        entries = []
+        for path in self.callee_env.pointer_paths(ctype):
+            src = obj.extend(path)
+            for target, definiteness in self.input_set.targets_of(src):
+                entries.append((formal_loc.extend(path), target, definiteness))
+        return entries
+
+    def map_visible_roots(self) -> None:
+        for root in list(self.by_root):
+            if root.kind in (LocKind.GLOBAL, LocKind.HEAP):
+                self.enqueue(root, visible=True)
+
+    def drain(self) -> None:
+        while self.queue:
+            root = self.queue.popleft()
+            if root in self.processed:
+                continue
+            self.processed.add(root)
+            pairs = self.by_root.get(root, ())
+            for src, tgt, definiteness in _definite_first(pairs):
+                if root.is_visible_everywhere:
+                    mapped_src = src
+                else:
+                    rep = self.info.from_caller.get(root)
+                    if rep is None:
+                        continue  # unreachable root (defensive)
+                    mapped_src = rep.extend(src.path)
+                mapped_tgt = self.map_target(tgt, via=mapped_src)
+                self.result.add(mapped_src, mapped_tgt, definiteness)
+
+    def degrade_multi_represented(self) -> None:
+        """Weaken definite pairs through multi-represented symbolics."""
+        for src, tgt, definiteness in list(self.result.triples()):
+            if definiteness is not D:
+                continue
+            if (
+                self.info.representative_count(src.root()) > 1
+                or self.info.representative_count(tgt.root()) > 1
+            ):
+                self.result.discard(src, tgt)
+                self.result.add(src, tgt, P)
+
+
+def map_call(
+    caller_env: FuncEnv,
+    callee_env: FuncEnv,
+    input_set: PointsToSet,
+    args: tuple[Operand, ...],
+    callee_fn: SimpleFunction,
+) -> tuple[PointsToSet, MapInfo]:
+    """Compute the callee's input points-to set and the map information
+    for one call (the *map* box of Figure 3)."""
+    mapper = _Mapper(caller_env, callee_env, input_set)
+    mapper.map_formals(callee_fn, args)
+    mapper.map_visible_roots()
+    mapper.drain()
+    mapper.degrade_multi_represented()
+    return mapper.result, mapper.info
+
+
+# ---------------------------------------------------------------------------
+# Unmap
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnmapResult:
+    """Caller-side set after the call plus the unmapped return value."""
+
+    output: PointsToSet
+    #: (retval sub-path, caller-side target, definiteness) entries.
+    returns: list[tuple[tuple[str, ...], AbsLoc, Definiteness]]
+    #: Locations of callee locals that escaped (dangling pointers).
+    dangling: list[AbsLoc] = field(default_factory=list)
+
+
+def unmap_call(
+    caller_input: PointsToSet,
+    callee_output: PointsToSet,
+    map_info: MapInfo,
+    callee_fn: SimpleFunction,
+) -> UnmapResult:
+    """Rewrite the callee's output back into the caller's name space
+    (the *unmap* box of Figure 3)."""
+    dangling: list[AbsLoc] = []
+
+    def unrewrite(loc: AbsLoc) -> list[tuple[AbsLoc, bool]]:
+        """Caller-side images of a callee location, flagged unique."""
+        if loc.is_visible_everywhere:
+            return [(loc, True)]
+        root = loc.root()
+        caller_roots = map_info.to_caller.get(root)
+        if caller_roots is None:
+            if root.kind in (LocKind.LOCAL, LocKind.PARAM):
+                dangling.append(loc)
+            return []
+        unique = len(caller_roots) == 1
+        return [(r.extend(loc.path), unique) for r in caller_roots]
+
+    # Group the callee's pairs by the caller root they describe.
+    new_rels: dict[AbsLoc, list[tuple[AbsLoc, AbsLoc, Definiteness]]] = {}
+    returns: list[tuple[tuple[str, ...], AbsLoc, Definiteness]] = []
+    ret_root = retval_loc(callee_fn.name)
+
+    for src, tgt, definiteness in callee_output.triples():
+        src_root = src.root()
+        if src_root == ret_root:
+            for caller_tgt, unique in unrewrite(tgt):
+                ret_def = definiteness if unique else P
+                returns.append((src.path, caller_tgt, ret_def))
+            continue
+        if src_root.kind in (
+            LocKind.LOCAL,
+            LocKind.PARAM,
+            LocKind.RETVAL,
+            LocKind.FUNCTION,
+        ):
+            continue  # the callee's frame dies with the call
+        sources = unrewrite(src)
+        if not sources:
+            continue
+        targets = unrewrite(tgt)
+        if not targets:
+            continue  # dangling target: the relationship cannot be named
+        for caller_src, s_unique in sources:
+            for caller_tgt, t_unique in targets:
+                out_def = definiteness if (s_unique and t_unique) else P
+                new_rels.setdefault(caller_src.root(), []).append(
+                    (caller_src, caller_tgt, out_def)
+                )
+
+    # Decide, per represented caller root, between strong and weak update.
+    result = caller_input.copy()
+    updates: dict[AbsLoc, bool] = {}  # caller root -> strong?
+    for sym_root, caller_roots in map_info.to_caller.items():
+        strong = len(caller_roots) == 1
+        for root in caller_roots:
+            updates[root] = updates.get(root, True) and strong
+    for root in map_info.visible_roots:
+        updates[root] = not root.is_heap and updates.get(root, True)
+    for root in new_rels:
+        # Roots the callee created relationships for without inheriting
+        # any (e.g. the heap on its first allocation, or a global the
+        # caller never initialized): nothing to kill, everything to add.
+        if root not in updates:
+            updates[root] = not root.is_heap
+
+    for root, strong in updates.items():
+        if root.represents_multiple():
+            strong = False
+        if strong:
+            _kill_root(result, root)
+            for caller_src, caller_tgt, definiteness in new_rels.get(root, ()):
+                result.add(caller_src, caller_tgt, definiteness)
+        else:
+            _weaken_root(result, root)
+            for caller_src, caller_tgt, _ in new_rels.get(root, ()):
+                result.add(caller_src, caller_tgt, P)
+
+    return UnmapResult(result, returns, dangling)
+
+
+def _kill_root(pts: PointsToSet, root: AbsLoc) -> None:
+    for src in [s for s in pts.sources() if s.root() == root]:
+        pts.kill_source(src)
+
+
+def _weaken_root(pts: PointsToSet, root: AbsLoc) -> None:
+    for src in [s for s in pts.sources() if s.root() == root]:
+        pts.weaken_source(src)

@@ -1,0 +1,240 @@
+"""The points-to set abstraction (Definitions 3.1-3.3 of the paper).
+
+A :class:`PointsToSet` holds triples ``(x, y, D|P)`` over abstract
+stack locations.  It provides the operations the flow rules of Figure 1
+and the interprocedural rules of Figure 4 need: gen, kill,
+definite-to-possible weakening, merge (the paper's ``Merge``), subset
+testing, and queries for L-/R-location computation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+from repro.core.locations import AbsLoc
+
+
+class Definiteness(enum.Enum):
+    """Whether a relationship holds on all paths (D) or some (P)."""
+
+    D = "D"
+    P = "P"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def both(self, other: "Definiteness") -> "Definiteness":
+        """``d1 ∧ d2`` of Table 1: definite only if both are."""
+        if self is Definiteness.D and other is Definiteness.D:
+            return Definiteness.D
+        return Definiteness.P
+
+
+D = Definiteness.D
+P = Definiteness.P
+
+
+class PointsToSet:
+    """A mutable set of points-to triples.
+
+    Stored as ``{(src, tgt): bool}`` with True meaning definite.  The
+    class maintains the invariant that a definite relationship is its
+    source's only relationship (a location that definitely points to
+    ``y`` on all paths cannot point to anything else), which
+    :meth:`check_invariants` verifies for the test suite.
+    """
+
+    __slots__ = ("_rel", "_by_src")
+
+    def __init__(self) -> None:
+        self._rel: dict[tuple[AbsLoc, AbsLoc], bool] = {}
+        self._by_src: dict[AbsLoc, set[AbsLoc]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[tuple[AbsLoc, AbsLoc, Definiteness]]
+    ) -> "PointsToSet":
+        result = cls()
+        for src, tgt, definiteness in triples:
+            result.add(src, tgt, definiteness)
+        return result
+
+    def copy(self) -> "PointsToSet":
+        result = PointsToSet()
+        result._rel = dict(self._rel)
+        result._by_src = {src: set(tgts) for src, tgts in self._by_src.items()}
+        return result
+
+    # -- basic mutation ---------------------------------------------------
+
+    def add(self, src: AbsLoc, tgt: AbsLoc, definiteness: Definiteness) -> None:
+        """Insert a triple; an existing P never upgrades silently to D
+        unless added as D explicitly."""
+        key = (src, tgt)
+        if definiteness is D:
+            self._rel[key] = True
+        else:
+            self._rel.setdefault(key, False)
+        self._by_src.setdefault(src, set()).add(tgt)
+
+    def discard(self, src: AbsLoc, tgt: AbsLoc) -> None:
+        self._rel.pop((src, tgt), None)
+        targets = self._by_src.get(src)
+        if targets is not None:
+            targets.discard(tgt)
+            if not targets:
+                del self._by_src[src]
+
+    def kill_source(self, src: AbsLoc) -> None:
+        """Remove every relationship whose source is ``src``."""
+        targets = self._by_src.pop(src, None)
+        if targets is None:
+            return
+        for tgt in targets:
+            self._rel.pop((src, tgt), None)
+
+    def weaken_source(self, src: AbsLoc) -> None:
+        """Turn every definite relationship from ``src`` into possible."""
+        for tgt in self._by_src.get(src, ()):
+            key = (src, tgt)
+            if self._rel.get(key):
+                self._rel[key] = False
+
+    # -- queries ------------------------------------------------------------
+
+    def targets_of(self, src: AbsLoc) -> list[tuple[AbsLoc, Definiteness]]:
+        result = []
+        for tgt in self._by_src.get(src, ()):
+            result.append((tgt, D if self._rel[(src, tgt)] else P))
+        return result
+
+    def sources_of(self, tgt: AbsLoc) -> list[tuple[AbsLoc, Definiteness]]:
+        return [
+            (src, D if definite else P)
+            for (src, other), definite in self._rel.items()
+            if other == tgt
+        ]
+
+    def has(self, src: AbsLoc, tgt: AbsLoc) -> bool:
+        return (src, tgt) in self._rel
+
+    def definiteness(self, src: AbsLoc, tgt: AbsLoc) -> Definiteness | None:
+        flag = self._rel.get((src, tgt))
+        if flag is None:
+            return None
+        return D if flag else P
+
+    def sources(self) -> Iterator[AbsLoc]:
+        return iter(self._by_src)
+
+    def triples(self) -> Iterator[tuple[AbsLoc, AbsLoc, Definiteness]]:
+        for (src, tgt), definite in self._rel.items():
+            yield src, tgt, D if definite else P
+
+    def locations(self) -> set[AbsLoc]:
+        result: set[AbsLoc] = set()
+        for src, tgt in self._rel:
+            result.add(src)
+            result.add(tgt)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._rel)
+
+    def __bool__(self) -> bool:
+        return bool(self._rel)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointsToSet):
+            return NotImplemented
+        return self._rel == other._rel
+
+    def __hash__(self):  # mutable; identity hashing would mislead
+        raise TypeError("PointsToSet is unhashable")
+
+    def __str__(self) -> str:
+        items = sorted(
+            f"({src},{tgt},{d})" for src, tgt, d in self.triples()
+        )
+        return "{" + " ".join(items) + "}"
+
+    __repr__ = __str__
+
+    def is_subset_of(self, other: "PointsToSet") -> bool:
+        """Containment in the precision order (D below P): every triple
+        of ``self`` must be covered by a triple of ``other`` that is at
+        most as precise.  ``(x,y,P)`` is *not* covered by ``(x,y,D)`` —
+        an analysis result computed under a definite assumption may not
+        be reused for a merely-possible input."""
+        for key, definite in self._rel.items():
+            other_def = other._rel.get(key)
+            if other_def is None:
+                return False
+            if not definite and other_def:
+                return False
+        return True
+
+    # -- the Merge operation ------------------------------------------------
+
+    def merge(self, other: "PointsToSet") -> "PointsToSet":
+        """The paper's ``Merge``: union of relationships; a pair is
+        definite only when definite in *both* inputs (a relationship
+        present in only one branch holds on some paths only)."""
+        result = PointsToSet()
+        for key, definite in self._rel.items():
+            other_def = other._rel.get(key)
+            if other_def is None:
+                result._rel[key] = False
+            else:
+                result._rel[key] = definite and other_def
+            result._by_src.setdefault(key[0], set()).add(key[1])
+        for key, definite in other._rel.items():
+            if key not in self._rel:
+                result._rel[key] = False
+                result._by_src.setdefault(key[0], set()).add(key[1])
+        return result
+
+    # -- invariants (used by property tests) ---------------------------------
+
+    def check_invariants(self) -> list[str]:
+        """Return a list of violated-invariant descriptions (empty = ok)."""
+        problems = []
+        definite_sources: dict[AbsLoc, AbsLoc] = {}
+        for (src, tgt), definite in self._rel.items():
+            if definite:
+                if src in definite_sources:
+                    problems.append(
+                        f"{src} definitely points to both "
+                        f"{definite_sources[src]} and {tgt}"
+                    )
+                definite_sources[src] = tgt
+        for src, tgt in definite_sources.items():
+            for other in self._by_src.get(src, ()):
+                if other != tgt:
+                    problems.append(
+                        f"{src} definitely points to {tgt} but also "
+                        f"possibly to {other}"
+                    )
+        for (src, tgt), definite in self._rel.items():
+            if definite and (src.represents_multiple() or tgt.represents_multiple()):
+                problems.append(
+                    f"definite relationship on multi-location "
+                    f"abstract location: ({src},{tgt},D)"
+                )
+            if src.is_null:
+                problems.append(f"NULL used as a points-to source: {src}->{tgt}")
+        return problems
+
+
+def merge_all(sets: Iterable[PointsToSet | None]) -> PointsToSet | None:
+    """Merge a collection of sets; None (bottom) elements are ignored.
+    Returns None if every input is None."""
+    result: PointsToSet | None = None
+    for item in sets:
+        if item is None:
+            continue
+        result = item if result is None else result.merge(item)
+    return result

@@ -1,0 +1,379 @@
+"""Metric collectors for the paper's evaluation (Tables 2-6).
+
+Each ``collect_*`` function takes a finished
+:class:`~repro.core.analysis.PointsToAnalysis` and returns a row
+object mirroring one line of the corresponding table.  Pairs whose
+target is NULL are excluded throughout, matching the paper's counting
+rule ("points-to relationships contributed by [NULL initialization]
+are not counted in the statistics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import PointsToAnalysis
+from repro.core.invocation_graph import IGNodeKind, call_site_count
+from repro.core.locations import AbsLoc, LocKind
+from repro.core.pointsto import D
+from repro.core.transforms import (
+    IndirectRef,
+    find_pointer_replacements,
+    indirect_references,
+)
+from repro.simple.ir import BasicStmt
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — benchmark characteristics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    lines: int
+    simple_stmts: int
+    min_vars: int
+    max_vars: int
+    description: str = ""
+
+
+def collect_table2(
+    analysis: PointsToAnalysis, name: str, description: str = ""
+) -> Table2Row:
+    program = analysis.program
+    per_function_vars: list[int] = []
+    for fn in program.functions.values():
+        locations: set[AbsLoc] = set()
+        for stmt in fn.iter_stmts():
+            info = analysis.at_stmt(stmt.stmt_id)
+            if info is None:
+                continue
+            for src, tgt, _ in info.triples():
+                locations.add(src)
+                if not tgt.is_null:
+                    locations.add(tgt)
+        declared = len(fn.params) + len(fn.local_types)
+        per_function_vars.append(max(len(locations), declared))
+    if not per_function_vars:
+        per_function_vars = [0]
+    return Table2Row(
+        benchmark=name,
+        lines=program.source_lines,
+        simple_stmts=program.count_basic_stmts(),
+        min_vars=min(per_function_vars),
+        max_vars=max(per_function_vars),
+        description=description,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — points-to statistics for indirect references
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FormPair:
+    """Counts split by reference form: ``*x``-style vs ``x[i][j]``-style."""
+
+    deref: int = 0
+    array: int = 0
+
+    def add(self, form: str) -> None:
+        if form == "array":
+            self.array += 1
+        else:
+            self.deref += 1
+
+    @property
+    def total(self) -> int:
+        return self.deref + self.array
+
+    def __str__(self) -> str:
+        return f"{self.deref}/{self.array}"
+
+
+@dataclass
+class Table3Row:
+    benchmark: str
+    one_definite: FormPair = field(default_factory=FormPair)
+    one_possible: FormPair = field(default_factory=FormPair)
+    two: FormPair = field(default_factory=FormPair)
+    three: FormPair = field(default_factory=FormPair)
+    four_plus: FormPair = field(default_factory=FormPair)
+    zero: FormPair = field(default_factory=FormPair)
+    indirect_refs: int = 0
+    scalar_replaceable: int = 0
+    pairs_to_stack: int = 0
+    pairs_to_heap: int = 0
+
+    @property
+    def pairs_total(self) -> int:
+        return self.pairs_to_stack + self.pairs_to_heap
+
+    @property
+    def average(self) -> float:
+        if self.indirect_refs == 0:
+            return 0.0
+        return self.pairs_total / self.indirect_refs
+
+    @property
+    def single_definite_fraction(self) -> float:
+        if self.indirect_refs == 0:
+            return 0.0
+        return self.one_definite.total / self.indirect_refs
+
+    @property
+    def single_target_fraction(self) -> float:
+        """Fraction with a single non-NULL target (the paper's 90.76%
+        'should not be NULL when dereferenced' figure)."""
+        if self.indirect_refs == 0:
+            return 0.0
+        singles = self.one_definite.total + self.one_possible.total
+        return singles / self.indirect_refs
+
+
+def collect_table3(analysis: PointsToAnalysis, name: str) -> Table3Row:
+    row = Table3Row(benchmark=name)
+    refs = indirect_references(analysis)
+    row.indirect_refs = len(refs)
+    row.scalar_replaceable = len(find_pointer_replacements(analysis))
+    for ref in refs:
+        bucket = _resolution_bucket(ref)
+        bucket_field = {
+            "1D": row.one_definite,
+            "1P": row.one_possible,
+            "2": row.two,
+            "3": row.three,
+            "4+": row.four_plus,
+            "0": row.zero,
+        }[bucket]
+        bucket_field.add(ref.form)
+        for target, _ in ref.targets:
+            if target.is_heap:
+                row.pairs_to_heap += 1
+            else:
+                row.pairs_to_stack += 1
+    return row
+
+
+def _resolution_bucket(ref: IndirectRef) -> str:
+    count = len(ref.targets)
+    if count == 0:
+        return "0"
+    if count == 1:
+        return "1D" if ref.targets[0][1] is D else "1P"
+    if count == 2:
+        return "2"
+    if count == 3:
+        return "3"
+    return "4+"
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — categorization of pairs used by indirect references
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table4Row:
+    benchmark: str
+    from_counts: dict[str, int] = field(
+        default_factory=lambda: {"lo": 0, "gl": 0, "fp": 0, "sy": 0}
+    )
+    to_counts: dict[str, int] = field(
+        default_factory=lambda: {"lo": 0, "gl": 0, "fp": 0, "sy": 0}
+    )
+
+
+_KIND_CATEGORY = {
+    LocKind.LOCAL: "lo",
+    LocKind.GLOBAL: "gl",
+    LocKind.PARAM: "fp",
+    LocKind.SYMBOLIC: "sy",
+}
+
+
+def collect_table4(analysis: PointsToAnalysis, name: str) -> Table4Row:
+    """From/to categories of stack-targeted pairs used by indirect
+    references.  The *from* side is the dereferenced pointer's
+    location; the *to* side is the pointed-to stack location."""
+    row = Table4Row(benchmark=name)
+    for ref in indirect_references(analysis):
+        env = analysis.env(ref.func)
+        source = env.var_loc(ref.ref.base)
+        for target, _ in ref.targets:
+            if target.is_heap:
+                continue
+            from_cat = _KIND_CATEGORY.get(source.kind)
+            to_cat = _KIND_CATEGORY.get(target.kind)
+            if target.is_function:
+                to_cat = "gl"  # function addresses are static (global)
+            if from_cat:
+                row.from_counts[from_cat] += 1
+            if to_cat:
+                row.to_counts[to_cat] += 1
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — general points-to statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table5Row:
+    benchmark: str
+    stack_to_stack: int = 0
+    stack_to_heap: int = 0
+    heap_to_heap: int = 0
+    heap_to_stack: int = 0
+    statements: int = 0
+    max_per_stmt: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.stack_to_stack
+            + self.stack_to_heap
+            + self.heap_to_heap
+            + self.heap_to_stack
+        )
+
+    @property
+    def average(self) -> float:
+        if self.statements == 0:
+            return 0.0
+        return self.total / self.statements
+
+
+def collect_table5(analysis: PointsToAnalysis, name: str) -> Table5Row:
+    """Sum of pairs valid at each statement of the simplified program,
+    classified by source/target memory region (NULL pairs excluded;
+    function-location targets count as stack — they are named static
+    locations)."""
+    row = Table5Row(benchmark=name)
+    for fn in analysis.program.functions.values():
+        for stmt in fn.iter_stmts():
+            if not isinstance(stmt, BasicStmt):
+                continue
+            info = analysis.at_stmt(stmt.stmt_id)
+            if info is None:
+                continue
+            row.statements += 1
+            valid = 0
+            for src, tgt, _ in info.triples():
+                if tgt.is_null:
+                    continue
+                valid += 1
+                if src.is_heap and tgt.is_heap:
+                    row.heap_to_heap += 1
+                elif src.is_heap:
+                    row.heap_to_stack += 1
+                elif tgt.is_heap:
+                    row.stack_to_heap += 1
+                else:
+                    row.stack_to_stack += 1
+            row.max_per_stmt = max(row.max_per_stmt, valid)
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Table 6 — invocation graph statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table6Row:
+    benchmark: str
+    ig_nodes: int = 0
+    call_sites: int = 0
+    functions: int = 0
+    recursive_nodes: int = 0
+    approximate_nodes: int = 0
+
+    @property
+    def avg_per_call_site(self) -> float:
+        """(nodes - 1) / call-sites — each non-root node is one
+        invocation of some call-site."""
+        if self.call_sites == 0:
+            return 0.0
+        return (self.ig_nodes - 1) / self.call_sites
+
+    @property
+    def avg_per_function(self) -> float:
+        if self.functions == 0:
+            return 0.0
+        return self.ig_nodes / self.functions
+
+
+def collect_table6(analysis: PointsToAnalysis, name: str) -> Table6Row:
+    ig = analysis.ig
+    return Table6Row(
+        benchmark=name,
+        ig_nodes=ig.node_count(),
+        call_sites=call_site_count(analysis.program),
+        functions=len(ig.functions_called()),
+        recursive_nodes=ig.count_kind(IGNodeKind.RECURSIVE),
+        approximate_nodes=ig.count_kind(IGNodeKind.APPROXIMATE),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suite-level summary (the headline percentages of Section 6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SuiteSummary:
+    total_indirect_refs: int = 0
+    total_pairs_used: int = 0
+    total_one_definite: int = 0
+    total_single_target: int = 0
+    total_scalar_replaceable: int = 0
+    total_pairs_to_heap: int = 0
+
+    @property
+    def overall_average(self) -> float:
+        if self.total_indirect_refs == 0:
+            return 0.0
+        return self.total_pairs_used / self.total_indirect_refs
+
+    @property
+    def pct_definite_single(self) -> float:
+        if self.total_indirect_refs == 0:
+            return 0.0
+        return 100.0 * self.total_one_definite / self.total_indirect_refs
+
+    @property
+    def pct_scalar_replaceable(self) -> float:
+        if self.total_indirect_refs == 0:
+            return 0.0
+        return 100.0 * self.total_scalar_replaceable / self.total_indirect_refs
+
+    @property
+    def pct_single_target(self) -> float:
+        if self.total_indirect_refs == 0:
+            return 0.0
+        return 100.0 * self.total_single_target / self.total_indirect_refs
+
+    @property
+    def pct_heap_pairs(self) -> float:
+        if self.total_pairs_used == 0:
+            return 0.0
+        return 100.0 * self.total_pairs_to_heap / self.total_pairs_used
+
+
+def summarize_suite(rows: list[Table3Row]) -> SuiteSummary:
+    summary = SuiteSummary()
+    for row in rows:
+        summary.total_indirect_refs += row.indirect_refs
+        summary.total_pairs_used += row.pairs_total
+        summary.total_one_definite += row.one_definite.total
+        summary.total_single_target += (
+            row.one_definite.total + row.one_possible.total
+        )
+        summary.total_scalar_replaceable += row.scalar_replaceable
+        summary.total_pairs_to_heap += row.pairs_to_heap
+    return summary

@@ -1,0 +1,165 @@
+"""Transformations driven by definite points-to information.
+
+The paper's flagship client (Section 1): *pointer replacement* — given
+``x = *q`` and the fact that ``q`` definitely points to ``y``, replace
+the indirect reference with the direct one, ``x = y``.  The
+replacement is legal only when the definite target is a named,
+directly-addressable location in the current scope: not an invisible
+variable (symbolic name), not the heap, and not an array-tail summary
+(footnote 7 of the paper).
+
+:func:`find_pointer_replacements` reports every replaceable indirect
+reference; :func:`indirect_references` enumerates all indirect
+references with their resolved target sets (the raw material of
+Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import PointsToAnalysis
+from repro.core.locations import AbsLoc, TAIL
+from repro.core.pointsto import D, Definiteness
+from repro.simple.ir import (
+    BasicKind,
+    BasicStmt,
+    IndexSel,
+    Ref,
+    SReturn,
+    Stmt,
+)
+
+
+@dataclass(frozen=True)
+class IndirectRef:
+    """One occurrence of an indirect reference in a statement."""
+
+    func: str
+    stmt_id: int
+    ref: Ref
+    #: 'deref' for *x / (*x).f forms; 'array' for x[i][j]-style forms
+    #: (a dereference combined with array subscripts) — the two
+    #: sub-rows of Table 3.
+    form: str
+    #: Targets of the *dereferenced pointer* itself, NULL excluded —
+    #: the paper's metric ("the number of stack locations pointed to
+    #: by the dereferenced pointer").
+    targets: tuple[tuple[AbsLoc, Definiteness], ...]
+    #: True when NULL was also among the pointer's targets.
+    may_be_null: bool = False
+
+    @property
+    def single_definite(self) -> bool:
+        return len(self.targets) == 1 and self.targets[0][1] is D
+
+
+@dataclass(frozen=True)
+class Replacement:
+    """A pointer replacement opportunity ``*q -> y``."""
+
+    func: str
+    stmt_id: int
+    ref: Ref
+    target: AbsLoc
+
+    def __str__(self) -> str:
+        return f"{self.func}: {self.ref} -> {self.target}"
+
+
+def ref_form(ref: Ref) -> str:
+    if any(isinstance(sel, IndexSel) for sel in ref.path):
+        return "array"
+    return "deref"
+
+
+def refs_in_stmt(stmt: Stmt) -> list[Ref]:
+    """Every variable reference appearing in a basic statement."""
+    refs: list[Ref] = []
+    if isinstance(stmt, BasicStmt):
+        if stmt.lhs is not None:
+            refs.append(stmt.lhs)
+        rvalue = stmt.rvalue
+        if isinstance(rvalue, Ref):
+            refs.append(rvalue)
+        elif rvalue is not None and hasattr(rvalue, "ref"):
+            refs.append(rvalue.ref)  # AddrOf
+        for operand in stmt.operands:
+            if isinstance(operand, Ref):
+                refs.append(operand)
+            elif hasattr(operand, "ref"):
+                refs.append(operand.ref)
+        for arg in stmt.args:
+            if isinstance(arg, Ref):
+                refs.append(arg)
+    elif isinstance(stmt, SReturn) and isinstance(stmt.value, Ref):
+        refs.append(stmt.value)
+    return refs
+
+
+def indirect_references(analysis: PointsToAnalysis) -> list[IndirectRef]:
+    """All indirect references in the program, resolved against the
+    per-statement (context-merged) points-to information.
+
+    Unreachable statements (never recorded) are skipped, matching the
+    paper's counting over analyzed program points.
+    """
+    result: list[IndirectRef] = []
+    for fn in analysis.program.functions.values():
+        env = analysis.env(fn.name)
+        for stmt in fn.iter_stmts():
+            if not isinstance(stmt, (BasicStmt, SReturn)):
+                continue
+            info = analysis.at_stmt(stmt.stmt_id)
+            if info is None:
+                continue
+            for ref in refs_in_stmt(stmt):
+                if not ref.deref:
+                    continue
+                pointer = env.var_loc(ref.base)
+                raw = info.targets_of(pointer)
+                targets = tuple(
+                    (loc, d)
+                    for loc, d in sorted(raw, key=lambda t: str(t[0]))
+                    if not loc.is_null
+                )
+                may_be_null = any(loc.is_null for loc, _ in raw)
+                result.append(
+                    IndirectRef(
+                        fn.name,
+                        stmt.stmt_id,
+                        ref,
+                        ref_form(ref),
+                        targets,
+                        may_be_null,
+                    )
+                )
+    return result
+
+
+def replaceable(target: AbsLoc) -> bool:
+    """Whether a definite target admits pointer replacement: it must be
+    a named location in scope — not invisible (symbolic), not heap,
+    and not an array-tail summary."""
+    if target.is_symbolic or target.is_heap or target.is_null:
+        return False
+    if TAIL in target.path:
+        return False
+    return True
+
+
+def find_pointer_replacements(
+    analysis: PointsToAnalysis,
+) -> list[Replacement]:
+    """Indirect references that definite information lets us replace
+    with direct references (Table 3's 'Scalar Rep' column)."""
+    result = []
+    for indirect in indirect_references(analysis):
+        if not indirect.single_definite:
+            continue
+        target, _ = indirect.targets[0]
+        if replaceable(target):
+            result.append(
+                Replacement(indirect.func, indirect.stmt_id, indirect.ref, target)
+            )
+    return result

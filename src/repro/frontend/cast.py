@@ -1,0 +1,321 @@
+"""Abstract syntax tree for the supported C subset.
+
+(`cast` = *C AST*; the name avoids clashing with the builtin ``ast``.)
+
+The parser produces these nodes with types already resolved on
+declarations; expression types are computed lazily by the simplifier
+using :mod:`repro.frontend.ctypes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.ctypes import CType
+from repro.frontend.errors import NO_LOC, SourceLoc
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+    loc: SourceLoc
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operators.
+
+    ``op`` is one of ``- + ! ~ * & ++pre --pre ++post --post``.
+    """
+
+    op: str
+    operand: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operators: arithmetic, relational, logical, bitwise."""
+
+    op: str
+    left: Expr
+    right: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; ``op`` is ``=`` or a compound form like ``+=``."""
+
+    op: str
+    target: Expr
+    value: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then_expr: Expr
+    else_expr: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Call(Expr):
+    """A call: ``func`` is an arbitrary expression (direct calls use an
+    :class:`Ident`; indirect calls dereference a function pointer)."""
+
+    func: Expr
+    args: list[Expr] = field(default_factory=list)
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Subscript(Expr):
+    base: Expr
+    index: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (``arrow`` False) or ``base->field`` (``arrow`` True)."""
+
+    base: Expr
+    field: str
+    arrow: bool
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Cast(Expr):
+    to_type: CType
+    operand: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class SizeofType(Expr):
+    of_type: CType
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Comma(Expr):
+    exprs: list[Expr]
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class InitList(Expr):
+    """A brace-enclosed initializer list (arrays / structs)."""
+
+    items: list[Expr]
+    loc: SourceLoc = NO_LOC
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+    loc: SourceLoc
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local declaration appearing in a block."""
+
+    decls: list["VarDecl"]
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Compound(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_stmt: Stmt
+    else_stmt: Stmt | None = None
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class For(Stmt):
+    init: Expr | None
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+    init_decls: list["VarDecl"] | None = None
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr
+    body: Stmt
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Case(Stmt):
+    value: Expr
+    stmt: Stmt | None
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Default(Stmt):
+    stmt: Stmt | None
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Break(Stmt):
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Continue(Stmt):
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Label(Stmt):
+    """A label; used as a *program-point marker* for analysis queries."""
+
+    name: str
+    stmt: Stmt | None
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class Empty(Stmt):
+    loc: SourceLoc = NO_LOC
+
+
+# ---------------------------------------------------------------------------
+# Declarations / top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    type: CType
+    init: Expr | None = None
+    storage: str | None = None  # 'static', 'extern', etc.
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str
+    type: CType
+    loc: SourceLoc = NO_LOC
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    return_type: CType
+    params: list[ParamDecl]
+    body: Compound
+    variadic: bool = False
+    loc: SourceLoc = NO_LOC
+
+    @property
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole parsed program."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+    globals: list[VarDecl] = field(default_factory=list)
+    #: Function declarations without bodies (externs / forward decls).
+    prototypes: dict[str, CType] = field(default_factory=dict)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def has_function(self, name: str) -> bool:
+        return any(fn.name == name for fn in self.functions)

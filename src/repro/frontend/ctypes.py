@@ -1,0 +1,175 @@
+"""Representation of C types for the supported subset.
+
+Types are immutable value objects.  Struct and union types carry a
+*tag* plus an ordered field list; the parser interns them in a tag
+namespace so that two references to ``struct node`` share one object
+(enabling recursive types via forward references, which are patched in
+place by the parser before type checking completes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CType:
+    """Base class for all C types."""
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_function_pointer(self) -> bool:
+        return isinstance(self, PointerType) and isinstance(
+            self.pointee, FunctionType
+        )
+
+    def is_arithmetic(self) -> bool:
+        return isinstance(self, (IntType, FloatType, EnumType))
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (StructType, ArrayType))
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def pointer_level(self) -> int:
+        """Depth of pointer indirection (``int**`` -> 2, arrays skip)."""
+        if isinstance(self, PointerType):
+            return 1 + self.pointee.pointer_level()
+        if isinstance(self, ArrayType):
+            return self.element.pointer_level()
+        return 0
+
+    def strip_arrays(self) -> "CType":
+        """Peel array layers, returning the ultimate element type."""
+        current: CType = self
+        while isinstance(current, ArrayType):
+            current = current.element
+        return current
+
+    def involves_pointers(self) -> bool:
+        """True if values of this type can contain a pointer.
+
+        Used by the analysis to decide which locations are relevant to
+        points-to information.
+        """
+        if isinstance(self, PointerType):
+            return True
+        if isinstance(self, ArrayType):
+            return self.element.involves_pointers()
+        if isinstance(self, StructType):
+            return any(f.type.involves_pointers() for f in self.fields)
+        return False
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    """Any integral type; ``name`` keeps the source spelling."""
+
+    name: str = "int"
+    signed: bool = True
+
+    def __str__(self) -> str:
+        return self.name if self.signed else f"unsigned {self.name}"
+
+
+@dataclass(frozen=True)
+class FloatType(CType):
+    name: str = "double"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class EnumType(CType):
+    tag: str
+
+    def __str__(self) -> str:
+        return f"enum {self.tag}"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType
+    length: int | None = None  # None for incomplete / parameter arrays
+
+    def __str__(self) -> str:
+        size = "" if self.length is None else str(self.length)
+        return f"{self.element}[{size}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: CType
+
+
+@dataclass(eq=False)
+class StructType(CType):
+    """A struct or union.  Mutable so forward references can be completed."""
+
+    tag: str
+    fields: list[StructField] = field(default_factory=list)
+    is_union: bool = False
+    complete: bool = False
+
+    def field_type(self, name: str) -> CType | None:
+        for f in self.fields:
+            if f.name == name:
+                return f.type
+        return None
+
+    def __str__(self) -> str:
+        keyword = "union" if self.is_union else "struct"
+        return f"{keyword} {self.tag}"
+
+    def __hash__(self) -> int:  # identity hashing: structs are interned
+        return id(self)
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    return_type: CType
+    param_types: tuple[CType, ...]
+    variadic: bool = False
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        if self.variadic:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.return_type}({params})"
+
+
+# Commonly shared instances.
+VOID = VoidType()
+INT = IntType("int")
+CHAR = IntType("char")
+SHORT = IntType("short")
+LONG = IntType("long")
+UNSIGNED_INT = IntType("int", signed=False)
+FLOAT = FloatType("float")
+DOUBLE = FloatType("double")
+
+
+def decay(ctype: CType) -> CType:
+    """Array-to-pointer and function-to-pointer decay for rvalue use."""
+    if isinstance(ctype, ArrayType):
+        return PointerType(ctype.element)
+    if isinstance(ctype, FunctionType):
+        return PointerType(ctype)
+    return ctype

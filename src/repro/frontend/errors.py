@@ -1,0 +1,45 @@
+"""Source locations and diagnostic exceptions for the C frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A position in the source text (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: str = "<source>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for synthesized nodes with no source counterpart.
+NO_LOC = SourceLoc(0, 0, "<synthetic>")
+
+
+class CFrontendError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, loc: SourceLoc | None = None):
+        self.message = message
+        self.loc = loc
+        if loc is not None:
+            super().__init__(f"{loc}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(CFrontendError):
+    """Raised on malformed tokens."""
+
+
+class ParseError(CFrontendError):
+    """Raised on syntax errors."""
+
+
+class SemanticError(CFrontendError):
+    """Raised on type errors, undeclared names, and unsupported constructs."""

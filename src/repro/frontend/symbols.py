@@ -1,0 +1,90 @@
+"""Scoped symbol tables used by the parser and the simplifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.ctypes import CType
+from repro.frontend.errors import SemanticError, SourceLoc
+
+
+@dataclass
+class Symbol:
+    """A declared name.
+
+    ``kind`` is one of ``'local'``, ``'global'``, ``'param'``,
+    ``'function'``, ``'enum_const'``, ``'typedef'``.
+    """
+
+    name: str
+    type: CType
+    kind: str
+    value: int | None = None  # for enum constants
+
+
+class Scope:
+    """One lexical scope; chains to its parent."""
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+        self.tags: dict[str, object] = {}  # struct/union/enum tag namespace
+
+    def declare(self, symbol: Symbol, loc: SourceLoc | None = None) -> Symbol:
+        existing = self.symbols.get(symbol.name)
+        if existing is not None:
+            # Allow re-declaration of functions/externs with the same type.
+            if existing.kind == symbol.kind and existing.type == symbol.type:
+                return existing
+            raise SemanticError(f"redeclaration of '{symbol.name}'", loc)
+        self.symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+    def lookup_tag(self, tag: str) -> object | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if tag in scope.tags:
+                return scope.tags[tag]
+            scope = scope.parent
+        return None
+
+    def declare_tag(self, tag: str, type_obj: object) -> None:
+        self.tags[tag] = type_obj
+
+    def is_typedef(self, name: str) -> bool:
+        symbol = self.lookup(name)
+        return symbol is not None and symbol.kind == "typedef"
+
+
+class SymbolTable:
+    """A stack of scopes with convenience helpers."""
+
+    def __init__(self) -> None:
+        self.global_scope = Scope()
+        self.current = self.global_scope
+
+    def push(self) -> Scope:
+        self.current = Scope(self.current)
+        return self.current
+
+    def pop(self) -> None:
+        if self.current.parent is None:
+            raise SemanticError("cannot pop the global scope")
+        self.current = self.current.parent
+
+    def declare(self, symbol: Symbol, loc: SourceLoc | None = None) -> Symbol:
+        return self.current.declare(symbol, loc)
+
+    def lookup(self, name: str) -> Symbol | None:
+        return self.current.lookup(name)
+
+    def at_global_scope(self) -> bool:
+        return self.current is self.global_scope

@@ -1,0 +1,758 @@
+"""The concrete SIMPLE machine.
+
+Memory is a set of :class:`MemObject` instances — one per variable
+instance (per activation), heap allocation, global, and function —
+each holding cells addressed by concrete paths of field names and
+integer indexes.  Pointers are (object, path) pairs; NULL is a
+distinguished pointer.  Reading a never-written cell yields NULL,
+matching the analysis's assumption that all pointers start NULL.
+
+Execution is a direct recursive interpretation of the SIMPLE tree;
+``break``/``continue``/``return`` unwind with signals.  A step budget
+bounds runaway loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.frontend.ctypes import (
+    ArrayType,
+    CType,
+    PointerType,
+    StructType,
+)
+from repro.simple.ir import (
+    AddrOf,
+    BasicKind,
+    BasicStmt,
+    Const,
+    FieldSel,
+    IndexSel,
+    Operand,
+    Ref,
+    SBlock,
+    SBreak,
+    SContinue,
+    SDoWhile,
+    SFor,
+    SIf,
+    SReturn,
+    SSwitch,
+    SWhile,
+    SimpleFunction,
+    SimpleProgram,
+    Stmt,
+)
+from repro.simple.simplify import simplify_source
+
+
+class InterpreterError(Exception):
+    """Base class for runtime failures of the interpreted program."""
+
+
+class NullDereference(InterpreterError):
+    """The program dereferenced NULL (or an integer used as pointer)."""
+
+
+class ExecutionLimit(InterpreterError):
+    """The step budget was exhausted."""
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+_OBJECT_IDS = itertools.count(1)
+
+
+@dataclass(eq=False)
+class MemObject:
+    """One allocated region: a variable instance, heap block, global,
+    function, or the string-literal pool."""
+
+    kind: str  # 'local' | 'param' | 'global' | 'heap' | 'function' | 'string'
+    name: str
+    func: str | None = None
+    frame_id: int | None = None
+    ctype: CType | None = None
+    cells: dict[tuple, object] = field(default_factory=dict)
+    object_id: int = field(default_factory=lambda: next(_OBJECT_IDS))
+
+    def __repr__(self) -> str:
+        scope = f"{self.func}#{self.frame_id}::" if self.func else ""
+        return f"<obj {scope}{self.name}>"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A concrete address: an object plus a cell path."""
+
+    obj: MemObject
+    path: tuple = ()
+
+    @property
+    def is_null(self) -> bool:
+        return self.obj.kind == "null"
+
+    def __repr__(self) -> str:
+        if self.is_null:
+            return "<NULL>"
+        suffix = "".join(
+            f"[{p}]" if isinstance(p, int) else f".{p}" for p in self.path
+        )
+        return f"&{self.obj.name}{suffix}"
+
+
+_NULL_OBJECT = MemObject("null", "NULL")
+NULL_PTR = Pointer(_NULL_OBJECT)
+
+
+@dataclass(frozen=True)
+class StructVal:
+    """A struct rvalue: a snapshot of cells relative to the struct."""
+
+    cells: tuple
+
+
+@dataclass
+class Frame:
+    """One procedure activation."""
+
+    fn: SimpleFunction
+    frame_id: int
+    objects: dict[str, MemObject] = field(default_factory=dict)
+
+
+def _as_number(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Pointer):
+        return 0 if value.is_null else value.obj.object_id
+    return 0
+
+
+def _wrap_int(value: int) -> int:
+    """C 32-bit signed wraparound semantics for integer arithmetic."""
+    return ((value + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C integer division: truncation toward zero."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, Pointer):
+        return not value.is_null
+    if isinstance(value, (int, float)):
+        return value != 0
+    return False
+
+
+#: Externals the interpreter models as returning int 0 with no effect.
+_INERT_EXTERNALS = frozenset(
+    {
+        "printf", "fprintf", "sprintf", "puts", "putchar", "putc",
+        "fputs", "fputc", "perror", "fflush", "free", "srand",
+        "scanf", "fscanf", "getchar", "exit",
+    }
+)
+
+_MATH_EXTERNALS = {
+    "sqrt": lambda a: math.sqrt(abs(a)),
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "log": lambda a: math.log(abs(a) + 1e-12),
+    "fabs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "pow": None,  # handled separately (two args)
+    "abs": abs,
+}
+
+
+class Interpreter:
+    """Executes a SIMPLE program from ``main``."""
+
+    def __init__(
+        self,
+        program: SimpleProgram,
+        observer=None,
+        max_steps: int = 500_000,
+    ):
+        self.program = program
+        self.observer = observer
+        self.max_steps = max_steps
+        self.steps = 0
+        self._frame_ids = itertools.count(1)
+        self.globals: dict[str, MemObject] = {}
+        self.functions: dict[str, MemObject] = {}
+        self.heap_objects: list[MemObject] = []
+        self.frames: list[Frame] = []
+        self._rand_state = 12345
+        self.external_calls: list[str] = []
+
+        for name, ctype in program.global_types.items():
+            self.globals[name] = MemObject("global", name, ctype=ctype)
+        for name in list(program.functions) + list(program.externals):
+            self.functions[name] = MemObject("function", name)
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def current_frame(self) -> Frame | None:
+        return self.frames[-1] if self.frames else None
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ExecutionLimit(f"exceeded {self.max_steps} steps")
+
+    def _base_object(self, name: str) -> MemObject:
+        frame = self.current_frame
+        if frame is not None:
+            obj = frame.objects.get(name)
+            if obj is not None:
+                return obj
+            fn = frame.fn
+            if name in fn.local_types or name in dict(fn.params):
+                kind = "param" if name in dict(fn.params) else "local"
+                obj = MemObject(
+                    kind,
+                    name,
+                    func=fn.name,
+                    frame_id=frame.frame_id,
+                    ctype=fn.var_type(name),
+                )
+                frame.objects[name] = obj
+                return obj
+        if name in self.globals:
+            return self.globals[name]
+        if name in self.functions:
+            return self.functions[name]
+        raise InterpreterError(f"unknown variable '{name}'")
+
+    def _type_at(self, obj: MemObject, path: tuple) -> CType | None:
+        current = obj.ctype
+        for element in path:
+            if current is None:
+                return None
+            if isinstance(element, int):
+                if isinstance(current, ArrayType):
+                    current = current.element
+                # pointer-style indexing keeps the element type
+            else:
+                if isinstance(current, StructType):
+                    current = current.field_type(element)
+                else:
+                    return None
+        return current
+
+    @staticmethod
+    def _pointer_difference(left: Pointer, right: Pointer) -> int:
+        if left.is_null and right.is_null:
+            return 0
+        if left.obj is right.obj:
+            left_idx = left.path[-1] if left.path and isinstance(
+                left.path[-1], int
+            ) else 0
+            right_idx = right.path[-1] if right.path and isinstance(
+                right.path[-1], int
+            ) else 0
+            left_prefix = left.path[:-1] if left.path and isinstance(
+                left.path[-1], int
+            ) else left.path
+            right_prefix = right.path[:-1] if right.path and isinstance(
+                right.path[-1], int
+            ) else right.path
+            if left_prefix == right_prefix:
+                return left_idx - right_idx
+        return 0
+
+    def _pointer_add(self, ptr: Pointer, offset: int) -> Pointer:
+        if ptr.is_null:
+            raise NullDereference("arithmetic on NULL")
+        if offset == 0:
+            return ptr
+        path = ptr.path
+        if path and isinstance(path[-1], int):
+            return Pointer(ptr.obj, path[:-1] + (path[-1] + offset,))
+        return Pointer(ptr.obj, path + (offset,))
+
+    # -- reference resolution ---------------------------------------------
+
+    def resolve_ref(self, ref: Ref) -> Pointer:
+        """The concrete address a reference denotes."""
+        base = self._base_object(ref.base)
+        if ref.deref:
+            value = self.read_cell(base, ())
+            if not isinstance(value, Pointer) or value.is_null:
+                raise NullDereference(f"dereferencing {ref.base}")
+            if value.obj.kind == "function":
+                raise InterpreterError("data access through function pointer")
+            address = value
+        else:
+            address = Pointer(base, ())
+        # Immediately after a dereference, the first subscript is
+        # pointer arithmetic (`p[j]` is `*(p + j)`: it steps over
+        # elements of the *containing* array — rows, for a pointer to
+        # an array).  Once a field is selected or one pointer step was
+        # taken, further subscripts select within the current object.
+        pointer_step_pending = ref.deref
+        for selector in ref.path:
+            if isinstance(selector, FieldSel):
+                address = Pointer(address.obj, address.path + (selector.name,))
+                pointer_step_pending = False
+            else:
+                assert isinstance(selector, IndexSel)
+                index = self._index_value(selector)
+                if pointer_step_pending:
+                    address = self._pointer_add_or_enter(address, index)
+                    pointer_step_pending = False
+                else:
+                    address = self._apply_index(address, index)
+        return address
+
+    def _pointer_add_or_enter(self, address: Pointer, index: int) -> Pointer:
+        """Pointer-style subscript right after a dereference."""
+        if address.path and isinstance(address.path[-1], int):
+            return Pointer(
+                address.obj, address.path[:-1] + (address.path[-1] + index,)
+            )
+        if isinstance(self._type_at(address.obj, address.path), ArrayType):
+            # pointer to a whole array: subscripting enters it
+            return Pointer(address.obj, address.path + (index,))
+        if index == 0:
+            return address
+        return Pointer(address.obj, address.path + (index,))
+
+    def _index_value(self, selector: IndexSel) -> int:
+        if selector.expr is None:
+            return 0
+        value = self.eval_operand(selector.expr)
+        number = _as_number(value)
+        return int(number)
+
+    def _apply_index(self, address: Pointer, index: int) -> Pointer:
+        current = self._type_at(address.obj, address.path)
+        if isinstance(current, ArrayType):
+            return Pointer(address.obj, address.path + (index,))
+        return self._pointer_add(address, index)
+
+    def read_cell(self, obj: MemObject, path: tuple):
+        """Read a cell; never-written cells read as NULL for pointer
+        types (matching the analysis's initialization) and 0 for
+        arithmetic types."""
+        value = obj.cells.get(path)
+        if value is not None:
+            return value
+        ctype = self._type_at(obj, path)
+        if ctype is None or isinstance(ctype, PointerType):
+            return NULL_PTR
+        return 0
+
+    def write_cell(self, obj: MemObject, path: tuple, value) -> None:
+        obj.cells[path] = value
+
+    def read_ref(self, ref: Ref):
+        address = self.resolve_ref(ref)
+        ctype = self._type_at(address.obj, address.path)
+        if isinstance(ctype, ArrayType):
+            # array-to-pointer decay: the value of an array expression
+            # is the address of its first element
+            return Pointer(address.obj, address.path + (0,))
+        if isinstance(ctype, StructType):
+            return self._snapshot_struct(address)
+        return self.read_cell(address.obj, address.path)
+
+    def _snapshot_struct(self, address: Pointer) -> StructVal:
+        prefix = address.path
+        collected = []
+        for key, value in address.obj.cells.items():
+            if key[: len(prefix)] == prefix:
+                collected.append((key[len(prefix):], value))
+        return StructVal(tuple(sorted(collected, key=lambda kv: str(kv[0]))))
+
+    def write_ref(self, ref: Ref, value) -> None:
+        address = self.resolve_ref(ref)
+        if isinstance(value, StructVal):
+            for sub_path, sub_value in value.cells:
+                self.write_cell(address.obj, address.path + sub_path, sub_value)
+            return
+        self.write_cell(address.obj, address.path, value)
+
+    def address_of(self, ref: Ref) -> Pointer:
+        base = self._base_object(ref.base)
+        if not ref.deref and not ref.path and base.kind == "function":
+            return Pointer(base, ())
+        return self.resolve_ref(ref)
+
+    # -- operand evaluation ---------------------------------------------------
+
+    def eval_operand(self, operand: Operand):
+        if isinstance(operand, Const):
+            value = operand.value
+            if isinstance(value, (int, float)):
+                return value
+            return 0
+        if isinstance(operand, AddrOf):
+            return self.address_of(operand.ref)
+        assert isinstance(operand, Ref)
+        return self.read_ref(operand)
+
+    # -- operators ---------------------------------------------------------
+
+    def _binop(self, op: str, left, right):
+        if op in ("==", "!="):
+            if isinstance(left, Pointer) or isinstance(right, Pointer):
+                left_ptr = left if isinstance(left, Pointer) else None
+                right_ptr = right if isinstance(right, Pointer) else None
+                if left_ptr is None:
+                    left_ptr = NULL_PTR if _as_number(left) == 0 else None
+                if right_ptr is None:
+                    right_ptr = NULL_PTR if _as_number(right) == 0 else None
+                if left_ptr is None or right_ptr is None:
+                    same = False
+                else:
+                    same = (
+                        left_ptr.obj is right_ptr.obj
+                        and left_ptr.path == right_ptr.path
+                    ) or (left_ptr.is_null and right_ptr.is_null)
+                return int(same) if op == "==" else int(not same)
+            same = _as_number(left) == _as_number(right)
+            return int(same) if op == "==" else int(not same)
+
+        if op in ("&&", "||"):
+            a, b = _truthy(left), _truthy(right)
+            return int(a and b) if op == "&&" else int(a or b)
+
+        # pointer arithmetic (pointer difference must be checked first)
+        if (
+            isinstance(left, Pointer)
+            and isinstance(right, Pointer)
+            and op == "-"
+        ):
+            return self._pointer_difference(left, right)
+        if isinstance(left, Pointer) and not left.is_null and op in ("+", "-"):
+            offset = int(_as_number(right))
+            return self._pointer_add(left, offset if op == "+" else -offset)
+        if isinstance(right, Pointer) and not right.is_null and op == "+":
+            return self._pointer_add(right, int(_as_number(left)))
+        if (
+            isinstance(left, Pointer)
+            and isinstance(right, Pointer)
+            and op in ("<", ">", "<=", ">=")
+        ):
+            difference = self._pointer_difference(left, right)
+            if op == "<":
+                return int(difference < 0)
+            if op == ">":
+                return int(difference > 0)
+            if op == "<=":
+                return int(difference <= 0)
+            return int(difference >= 0)
+
+        a, b = _as_number(left), _as_number(right)
+        both_int = isinstance(a, int) and isinstance(b, int)
+        if op == "+":
+            return _wrap_int(a + b) if both_int else a + b
+        if op == "-":
+            return _wrap_int(a - b) if both_int else a - b
+        if op == "*":
+            return _wrap_int(a * b) if both_int else a * b
+        if op == "/":
+            if b == 0:
+                return 0
+            if both_int:
+                return _wrap_int(_trunc_div(a, b))
+            return a / b
+        if op == "%":
+            if b == 0 or not both_int:
+                return 0
+            return _wrap_int(a - b * _trunc_div(a, b))
+        if op == "<":
+            return int(a < b)
+        if op == ">":
+            return int(a > b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">=":
+            return int(a >= b)
+        int_a, int_b = int(a), int(b)
+        if op == "<<":
+            return int_a << (int_b & 63)
+        if op == ">>":
+            return int_a >> (int_b & 63)
+        if op == "&":
+            return int_a & int_b
+        if op == "|":
+            return int_a | int_b
+        if op == "^":
+            return int_a ^ int_b
+        raise InterpreterError(f"unknown binary operator {op!r}")
+
+    def _unop(self, op: str, value):
+        if op == "!":
+            return int(not _truthy(value))
+        number = _as_number(value)
+        if op == "-":
+            return -number
+        if op == "+":
+            return number
+        if op == "~":
+            return ~int(number)
+        raise InterpreterError(f"unknown unary operator {op!r}")
+
+    # -- statements ---------------------------------------------------------
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        self._tick()
+        if isinstance(stmt, BasicStmt):
+            self.exec_basic(stmt)
+        elif isinstance(stmt, SBlock):
+            for child in stmt.stmts:
+                self.exec_stmt(child)
+        elif isinstance(stmt, SIf):
+            if _truthy(self.eval_operand(stmt.cond)):
+                self.exec_stmt(stmt.then_block)
+            elif stmt.else_block is not None:
+                self.exec_stmt(stmt.else_block)
+        elif isinstance(stmt, SWhile):
+            self._exec_while(stmt)
+        elif isinstance(stmt, SDoWhile):
+            self._exec_do_while(stmt)
+        elif isinstance(stmt, SFor):
+            self._exec_for(stmt)
+        elif isinstance(stmt, SSwitch):
+            self._exec_switch(stmt)
+        elif isinstance(stmt, SBreak):
+            raise _BreakSignal()
+        elif isinstance(stmt, SContinue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, SReturn):
+            value = None
+            if stmt.value is not None:
+                value = self.eval_operand(stmt.value)
+            raise _ReturnSignal(value)
+        else:
+            raise InterpreterError(f"cannot execute {type(stmt).__name__}")
+
+    def _cond_holds(self, stmt) -> bool:
+        if stmt.cond is None:
+            return True
+        return _truthy(self.eval_operand(stmt.cond))
+
+    def _exec_while(self, stmt: SWhile) -> None:
+        while True:
+            self._tick()
+            self.exec_stmt(stmt.cond_eval)
+            if not self._cond_holds(stmt):
+                return
+            try:
+                self.exec_stmt(stmt.body)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                continue
+
+    def _exec_do_while(self, stmt: SDoWhile) -> None:
+        while True:
+            self._tick()
+            try:
+                self.exec_stmt(stmt.body)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                pass
+            self.exec_stmt(stmt.cond_eval)
+            if not self._cond_holds(stmt):
+                return
+
+    def _exec_for(self, stmt: SFor) -> None:
+        self.exec_stmt(stmt.init)
+        while True:
+            self._tick()
+            self.exec_stmt(stmt.cond_eval)
+            if not self._cond_holds(stmt):
+                return
+            try:
+                self.exec_stmt(stmt.body)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                pass
+            self.exec_stmt(stmt.step)
+
+    def _exec_switch(self, stmt: SSwitch) -> None:
+        selector = int(_as_number(self.eval_operand(stmt.cond)))
+        start = None
+        default_index = None
+        for position, case in enumerate(stmt.cases):
+            if selector in case.values:
+                start = position
+                break
+            if not case.values:
+                default_index = position
+        if start is None:
+            start = default_index
+        if start is None:
+            return
+        try:
+            for case in stmt.cases[start:]:
+                self.exec_stmt(case.body)
+                if not case.falls_through:
+                    return
+        except _BreakSignal:
+            return
+
+    # -- basic statements -------------------------------------------------------
+
+    def exec_basic(self, stmt: BasicStmt) -> None:
+        if self.observer is not None:
+            self.observer(stmt, self)
+        kind = stmt.kind
+        if kind is BasicKind.NOP:
+            return
+        if kind is BasicKind.ALLOC:
+            self._exec_alloc(stmt)
+            return
+        if kind is BasicKind.CALL:
+            self._exec_call(stmt)
+            return
+        if kind in (BasicKind.COPY, BasicKind.ADDR, BasicKind.CONST):
+            value = self.eval_operand(stmt.rvalue)
+            self.write_ref(stmt.lhs, value)
+            return
+        if kind is BasicKind.UNOP:
+            value = self._unop(stmt.op, self.eval_operand(stmt.operands[0]))
+            self.write_ref(stmt.lhs, value)
+            return
+        if kind is BasicKind.BINOP:
+            left = self.eval_operand(stmt.operands[0])
+            right = self.eval_operand(stmt.operands[1])
+            self.write_ref(stmt.lhs, self._binop(stmt.op, left, right))
+            return
+        raise InterpreterError(f"cannot execute basic kind {kind}")
+
+    def _exec_alloc(self, stmt: BasicStmt) -> None:
+        pointee = None
+        if isinstance(stmt.lhs_type, PointerType):
+            pointee = stmt.lhs_type.pointee
+        obj = MemObject("heap", f"heap#{len(self.heap_objects)}", ctype=pointee)
+        self.heap_objects.append(obj)
+        if stmt.lhs is not None:
+            self.write_ref(stmt.lhs, Pointer(obj, ()))
+
+    def _exec_call(self, stmt: BasicStmt) -> None:
+        if stmt.callee is not None:
+            name = stmt.callee
+        else:
+            value = self.read_cell(self._base_object(stmt.callee_ptr), ())
+            if not isinstance(value, Pointer) or value.is_null:
+                raise NullDereference("call through NULL function pointer")
+            if value.obj.kind != "function":
+                raise InterpreterError("call through non-function pointer")
+            name = value.obj.name
+        if name in self.program.functions:
+            result = self.call_function(name, list(stmt.args))
+        else:
+            result = self._call_external(name, stmt)
+        if stmt.lhs is not None:
+            self.write_ref(stmt.lhs, result if result is not None else 0)
+
+    def call_function(self, name: str, args: list[Operand]):
+        fn = self.program.functions[name]
+        arg_values = [self.eval_operand(a) for a in args]
+        frame = Frame(fn, next(self._frame_ids))
+        for index, (param, ctype) in enumerate(fn.params):
+            obj = MemObject(
+                "param", param, func=name, frame_id=frame.frame_id, ctype=ctype
+            )
+            frame.objects[param] = obj
+            if index < len(arg_values):
+                value = arg_values[index]
+                if isinstance(value, StructVal):
+                    for sub_path, sub_value in value.cells:
+                        obj.cells[sub_path] = sub_value
+                else:
+                    obj.cells[()] = value
+        self.frames.append(frame)
+        try:
+            self.exec_stmt(fn.body)
+            return None
+        except _ReturnSignal as signal:
+            return signal.value
+        finally:
+            self.frames.pop()
+
+    def _call_external(self, name: str, stmt: BasicStmt):
+        self.external_calls.append(name)
+        if name == "rand":
+            self._rand_state = (self._rand_state * 1103515245 + 12345) % (1 << 31)
+            return self._rand_state >> 16
+        if name == "pow" and len(stmt.args) >= 2:
+            a = _as_number(self.eval_operand(stmt.args[0]))
+            b = _as_number(self.eval_operand(stmt.args[1]))
+            try:
+                return float(a) ** float(b)
+            except (OverflowError, ValueError):
+                return 0.0
+        if name in _MATH_EXTERNALS and stmt.args:
+            fn = _MATH_EXTERNALS[name]
+            if fn is not None:
+                value = _as_number(self.eval_operand(stmt.args[0]))
+                try:
+                    return fn(value)
+                except (OverflowError, ValueError):
+                    return 0.0
+        for arg in stmt.args:
+            self.eval_operand(arg)  # argument side effects already done
+        if name in _INERT_EXTERNALS:
+            return 0
+        return 0  # unknown external: inert, returns 0
+
+    # -- entry --------------------------------------------------------------
+
+    def run(self, entry: str = "main"):
+        """Execute global initializers then ``entry``; returns its
+        return value (None for void)."""
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 20_000))
+        try:
+            for stmt in self.program.global_init.stmts:
+                self.exec_stmt(stmt)
+            return self.call_function(entry, [])
+        except RecursionError:
+            raise ExecutionLimit(
+                "interpreted recursion exceeded the host stack"
+            ) from None
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+
+def run_source(source: str, max_steps: int = 500_000, observer=None):
+    """Parse, lower, and execute C source; returns (exit value,
+    interpreter) for inspection."""
+    program = simplify_source(source)
+    interp = Interpreter(program, observer=observer, max_steps=max_steps)
+    value = interp.run()
+    return value, interp

@@ -1,0 +1,300 @@
+"""Differential soundness checking: analysis vs concrete execution.
+
+For a given program, run the points-to analysis, then execute the
+program on the concrete machine; at every executed basic statement,
+compare the machine's memory against the analysis's recorded set
+(Definition 3.3's safety conditions):
+
+1. **No missing relationships** — if location ``x`` concretely holds
+   the address of location ``y`` (both nameable from the current
+   procedure), the analysis must report ``(x, y, D|P)``.
+2. **No spurious definite relationships** — if the analysis reports
+   ``(x, y, D)`` at an executed point, the machine must agree that
+   ``x`` holds the address of ``y``.
+3. **No falsely-unreachable code** — an executed statement must have
+   been analyzed.
+
+Locations only nameable in *other* stack frames are skipped: inside a
+callee they are represented by symbolic names whose concrete meaning
+is the per-call map information; the checks here stick to the
+directly-nameable core, which already exercises kill/gen, merging,
+mapping and unmapping end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import AnalysisOptions, PointsToAnalysis, analyze
+from repro.core.locations import (
+    HEAD,
+    HEAP,
+    NULL,
+    TAIL,
+    AbsLoc,
+    LocKind,
+    function_loc,
+    global_loc,
+)
+from repro.simple.ir import BasicStmt
+from repro.simple.simplify import STRING_LIT_VAR, simplify_source
+from repro.interp.machine import (
+    ExecutionLimit,
+    Frame,
+    Interpreter,
+    InterpreterError,
+    MemObject,
+    NullDereference,
+    Pointer,
+)
+
+
+@dataclass
+class SoundnessViolation:
+    kind: str  # 'missing-pair' | 'false-definite' | 'unreachable-executed'
+    stmt_id: int
+    func: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] stmt {self.stmt_id} in {self.func}: {self.detail}"
+
+
+@dataclass
+class SoundnessReport:
+    violations: list[SoundnessViolation] = field(default_factory=list)
+    statements_executed: int = 0
+    statements_checked: int = 0
+    facts_checked: int = 0
+    exit_value: object = None
+    halted: str | None = None  # 'null-deref' | 'step-limit' | None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{status}: {self.statements_executed} stmts executed, "
+            f"{self.statements_checked} checked, "
+            f"{self.facts_checked} facts compared"
+            + (f", halted: {self.halted}" if self.halted else "")
+        )
+
+
+def _flatten_path(path: tuple) -> tuple | None:
+    """Concrete cell path -> abstract location path: each maximal run
+    of integer indexes becomes one head/tail marker."""
+    result: list[str] = []
+    run: list[int] | None = None
+    for element in path:
+        if isinstance(element, int):
+            if element < 0:
+                return None  # out-of-bounds trickery: not nameable
+            if run is None:
+                run = []
+            run.append(element)
+        else:
+            if run is not None:
+                result.append(HEAD if all(v == 0 for v in run) else TAIL)
+                run = None
+            result.append(element)
+    if run is not None:
+        result.append(HEAD if all(v == 0 for v in run) else TAIL)
+    return tuple(result)
+
+
+class _Checker:
+    def __init__(
+        self,
+        analysis: PointsToAnalysis,
+        report: SoundnessReport,
+        max_checks_per_stmt: int = 4,
+    ):
+        self.analysis = analysis
+        self.report = report
+        self.max_checks_per_stmt = max_checks_per_stmt
+        self._per_stmt_counts: dict[int, int] = {}
+
+    # -- naming ---------------------------------------------------------
+
+    def abstract_root(self, obj: MemObject, frame: Frame) -> AbsLoc | None:
+        if obj.kind == "global":
+            if obj.name == STRING_LIT_VAR:
+                return global_loc(STRING_LIT_VAR)
+            return global_loc(obj.name)
+        if obj.kind == "heap":
+            return HEAP
+        if obj.kind == "function":
+            return function_loc(obj.name)
+        if obj.kind == "null":
+            return NULL
+        if obj.kind in ("local", "param") and obj.frame_id == frame.frame_id:
+            kind = LocKind.PARAM if obj.kind == "param" else LocKind.LOCAL
+            return AbsLoc(obj.name, kind, frame.fn.name)
+        return None  # another frame's location: symbolic in this scope
+
+    def abstract_loc(
+        self, obj: MemObject, path: tuple, frame: Frame
+    ) -> AbsLoc | None:
+        root = self.abstract_root(obj, frame)
+        if root is None:
+            return None
+        if root.is_heap or root.is_null or root.is_function:
+            return root
+        flattened = _flatten_path(path)
+        if flattened is None:
+            return None
+        return root.extend(flattened)
+
+    def abstract_pointer(self, value, frame: Frame) -> AbsLoc | None:
+        if not isinstance(value, Pointer):
+            return None
+        if value.is_null:
+            return NULL
+        return self.abstract_loc(value.obj, value.path, frame)
+
+    # -- the check -------------------------------------------------------
+
+    def __call__(self, stmt: BasicStmt, interp: Interpreter) -> None:
+        self.report.statements_executed += 1
+        count = self._per_stmt_counts.get(stmt.stmt_id, 0)
+        if count >= self.max_checks_per_stmt:
+            return
+        self._per_stmt_counts[stmt.stmt_id] = count + 1
+
+        frame = interp.current_frame
+        if frame is None:
+            return  # global initializer context
+        recorded = self.analysis.at_stmt(stmt.stmt_id)
+        if recorded is None:
+            self.report.violations.append(
+                SoundnessViolation(
+                    "unreachable-executed",
+                    stmt.stmt_id,
+                    frame.fn.name,
+                    f"executed '{stmt}' which the analysis never reached",
+                )
+            )
+            return
+        self.report.statements_checked += 1
+
+        nameable_objects = list(frame.objects.values())
+        nameable_objects.extend(interp.globals.values())
+        nameable_objects.extend(interp.heap_objects)
+
+        # Condition 1: every concrete fact is reported.
+        for obj in nameable_objects:
+            for path, value in list(obj.cells.items()):
+                if not isinstance(value, Pointer):
+                    continue
+                src = self.abstract_loc(obj, path, frame)
+                if src is None or src.is_null:
+                    continue
+                tgt = self.abstract_pointer(value, frame)
+                if tgt is None:
+                    continue
+                self.report.facts_checked += 1
+                if not recorded.has(src, tgt):
+                    self.report.violations.append(
+                        SoundnessViolation(
+                            "missing-pair",
+                            stmt.stmt_id,
+                            frame.fn.name,
+                            f"memory has {src} -> {tgt} but the analysis "
+                            f"reports no such pair at '{stmt}'",
+                        )
+                    )
+
+        # Condition 2: every definite pair is realized.
+        for src, tgt, definiteness in recorded.triples():
+            if str(definiteness) != "D":
+                continue
+            if src.kind in (LocKind.SYMBOLIC, LocKind.RETVAL):
+                continue
+            if src.func is not None and src.func != frame.fn.name:
+                continue
+            cells = self._concrete_cells(src, frame, interp)
+            for obj, path in cells:
+                value = obj.cells.get(path, None)
+                if value is None:
+                    from repro.interp.machine import NULL_PTR
+
+                    value = NULL_PTR
+                self.report.facts_checked += 1
+                actual = self.abstract_pointer(value, frame)
+                if actual is None:
+                    if isinstance(value, Pointer):
+                        continue  # points into another frame: unverifiable
+                    actual_desc = f"non-pointer {value!r}"
+                    if tgt.is_null and value == 0:
+                        continue  # integer zero is a valid NULL
+                    self.report.violations.append(
+                        SoundnessViolation(
+                            "false-definite",
+                            stmt.stmt_id,
+                            frame.fn.name,
+                            f"analysis says {src} definitely -> {tgt}, "
+                            f"but memory holds {actual_desc}",
+                        )
+                    )
+                elif actual != tgt:
+                    self.report.violations.append(
+                        SoundnessViolation(
+                            "false-definite",
+                            stmt.stmt_id,
+                            frame.fn.name,
+                            f"analysis says {src} definitely -> {tgt}, "
+                            f"but memory has {src} -> {actual}",
+                        )
+                    )
+
+    def _concrete_cells(
+        self, loc: AbsLoc, frame: Frame, interp: Interpreter
+    ) -> list[tuple[MemObject, tuple]]:
+        """Concrete cells whose abstract name is exactly ``loc``.
+        Multi-cell answers (array tails) are excluded — a definite
+        relationship never involves them."""
+        if loc.kind is LocKind.GLOBAL:
+            obj = interp.globals.get(loc.base)
+        elif loc.kind in (LocKind.LOCAL, LocKind.PARAM):
+            obj = frame.objects.get(loc.base)
+        else:
+            return []
+        if obj is None:
+            return [] if loc.path else []
+        if TAIL in loc.path:
+            return []
+        matches = []
+        candidate_paths = set(obj.cells)
+        candidate_paths.add(())
+        for path in candidate_paths:
+            if _flatten_path(path) == loc.path:
+                matches.append((obj, path))
+        if not matches and not loc.path:
+            matches.append((obj, ()))
+        return matches
+
+
+def check_soundness(
+    source: str,
+    options: AnalysisOptions | None = None,
+    max_steps: int = 200_000,
+    max_checks_per_stmt: int = 4,
+) -> SoundnessReport:
+    """Analyze and execute ``source``; compare at every basic statement."""
+    program = simplify_source(source)
+    analysis = analyze(program, options)
+    report = SoundnessReport()
+    checker = _Checker(analysis, report, max_checks_per_stmt)
+    interp = Interpreter(program, observer=checker, max_steps=max_steps)
+    try:
+        report.exit_value = interp.run()
+    except NullDereference:
+        report.halted = "null-deref"
+    except ExecutionLimit:
+        report.halted = "step-limit"
+    except InterpreterError as error:
+        report.halted = f"error: {error}"
+    return report

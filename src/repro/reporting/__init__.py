@@ -1,0 +1,21 @@
+"""Renderers for the paper's tables and figures."""
+
+from repro.reporting.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_suite_summary,
+    render_livc_study,
+)
+
+__all__ = [
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "render_suite_summary",
+    "render_livc_study",
+]

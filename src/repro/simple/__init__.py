@@ -1,0 +1,66 @@
+"""The SIMPLE intermediate representation and the simplification pass.
+
+SIMPLE is McCAT's structured IR (Hendren et al., LCPC '92): complex C
+statements are compiled into *basic statements* in which every variable
+reference has at most one level of pointer indirection, conditions are
+side-effect free, and procedure arguments are constants or variable
+names.  Control flow is kept compositional (``if``/``while``/``do``/
+``for``/``switch``/``break``/``continue``/``return``), which is what
+lets the points-to analysis of :mod:`repro.core` be defined by
+structural induction (Figure 1 of the paper).
+"""
+
+from repro.simple.ir import (
+    AddrOf,
+    BasicStmt,
+    Const,
+    IndexClass,
+    Operand,
+    Ref,
+    SBlock,
+    SBreak,
+    SContinue,
+    SDoWhile,
+    SFor,
+    SIf,
+    SReturn,
+    SSwitch,
+    SWhile,
+    Selector,
+    FieldSel,
+    IndexSel,
+    SimpleFunction,
+    SimpleProgram,
+    Stmt,
+)
+from repro.simple.simplify import SimplifyError, simplify_program, simplify_source
+from repro.simple.printer import print_program, print_function
+
+__all__ = [
+    "AddrOf",
+    "BasicStmt",
+    "Const",
+    "IndexClass",
+    "Operand",
+    "Ref",
+    "SBlock",
+    "SBreak",
+    "SContinue",
+    "SDoWhile",
+    "SFor",
+    "SIf",
+    "SReturn",
+    "SSwitch",
+    "SWhile",
+    "Selector",
+    "FieldSel",
+    "IndexSel",
+    "SimpleFunction",
+    "SimpleProgram",
+    "Stmt",
+    "SimplifyError",
+    "simplify_program",
+    "simplify_source",
+    "print_program",
+    "print_function",
+]

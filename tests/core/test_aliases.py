@@ -1,0 +1,143 @@
+"""Section 7.1: alias pairs from points-to sets (Figures 8 and 9)."""
+
+from repro.core.aliases import alias_pairs, explicit_alias_pairs, may_alias
+from repro.core.analysis import analyze_source
+from repro.core.locations import AbsLoc, LocKind
+
+
+def L(name):
+    return AbsLoc(name, LocKind.LOCAL, "main")
+
+
+def pairs_at(source, label, max_depth=2, include_null=False):
+    result = analyze_source(source)
+    return explicit_alias_pairs(result.at_label(label), max_depth, include_null)
+
+
+FIGURE8 = """
+int main() {
+    int **x, *y, z, w;
+    S1: x = &y;
+    S2: y = &z;
+    S3: y = &w;
+    S4: return 0;
+}
+"""
+
+FIGURE9 = """
+int main() {
+    int **a, *b, c;
+    if (c) {
+        S1: a = &b;
+    } else {
+        S2: b = &c;
+    }
+    S3: return 0;
+}
+"""
+
+
+class TestFigure8:
+    def test_s2_alias_pairs(self):
+        # After S1 (observed at S2): (*x, y) and (**x, *y).  The second
+        # pair exists through y's current NULL value, as a symbolic
+        # pair-tracker would report it.
+        pairs = pairs_at(FIGURE8, "S2", include_null=True)
+        assert "(*x,y)" in pairs
+        assert "(**x,*y)" in pairs
+
+    def test_s3_includes_z_chain(self):
+        pairs = pairs_at(FIGURE8, "S3")
+        assert "(*y,z)" in pairs
+        assert "(**x,z)" in pairs
+
+    def test_s4_no_spurious_stale_pair(self):
+        # After y = &w, the pair (**x, z) must be gone: the paper's
+        # point is that points-to kills avoid Landi/Ryder's spurious
+        # (**x, z) at S3's successor.
+        pairs = pairs_at(FIGURE8, "S4")
+        assert "(*y,w)" in pairs
+        assert "(**x,w)" in pairs
+        assert "(**x,z)" not in pairs
+        assert "(*y,z)" not in pairs
+
+
+class TestFigure9:
+    def test_transitive_closure_introduces_spurious_pair(self):
+        # The converse example: the closure of {(a,b,P),(b,c,P)}
+        # reports (**a, c) although no execution path realizes it —
+        # exactly the imprecision the paper concedes in Figure 9.
+        pairs = pairs_at(FIGURE9, "S3")
+        assert "(*a,b)" in pairs
+        assert "(*b,c)" in pairs
+        assert "(**a,c)" in pairs  # spurious, inherent to the closure
+
+
+class TestMayAlias:
+    SOURCE = """
+    int main() {
+        int x, y;
+        int *p, *q, *r;
+        int c;
+        p = &x;
+        if (c) q = &x; else q = &y;
+        r = &y;
+        END: return 0;
+    }
+    """
+
+    def test_overlapping_targets_alias(self):
+        result = analyze_source(self.SOURCE)
+        pts = result.at_label("END")
+        assert may_alias(pts, L("p"), L("q"), depth_x=1, depth_y=1)
+
+    def test_disjoint_targets_do_not_alias(self):
+        result = analyze_source(self.SOURCE)
+        pts = result.at_label("END")
+        assert not may_alias(pts, L("p"), L("r"), depth_x=1, depth_y=1)
+
+    def test_pointer_and_its_target(self):
+        result = analyze_source(self.SOURCE)
+        pts = result.at_label("END")
+        # *p and x denote the same location
+        assert may_alias(pts, L("p"), L("x"), depth_x=1, depth_y=0)
+
+    def test_depth_two(self):
+        source = """
+        int main() {
+            int z; int *y; int **x;
+            y = &z; x = &y;
+            END: return 0;
+        }
+        """
+        result = analyze_source(source)
+        pts = result.at_label("END")
+        assert may_alias(pts, L("x"), L("z"), depth_x=2, depth_y=0)
+
+
+class TestClosureMechanics:
+    def test_null_excluded_by_default(self):
+        source = "int main() { int *p; p = 0; END: return 0; }"
+        result = analyze_source(source)
+        assert pairs_at(source, "END") == set()
+
+    def test_depth_limit_respected(self):
+        source = """
+        int main() {
+            int d; int *c; int **b; int ***a;
+            c = &d; b = &c; a = &b;
+            END: return 0;
+        }
+        """
+        result = analyze_source(source)
+        pairs = alias_pairs(result.at_label("END"), max_depth=1)
+        rendered = {str(p) for p in pairs}
+        assert "(*a,b)" in rendered
+        assert not any("**" in p for p in rendered)
+
+    def test_two_pointers_same_target_alias_each_other(self):
+        source = """
+        int main() { int x; int *p, *q; p = &x; q = &x; END: return 0; }
+        """
+        pairs = pairs_at(source, "END")
+        assert "(*p,*q)" in pairs

@@ -1,0 +1,222 @@
+"""Deep-structure analysis tests: symbolic-name chains, k-limits,
+struct parameters, and combinations that stress map/unmap."""
+
+from repro.core.analysis import analyze_source
+from repro.core.locations import MAX_SYMBOLIC_LEVEL
+
+
+def at(source, label, skip_null=True):
+    return analyze_source(source).triples_at(label, skip_null=skip_null)
+
+
+class TestSymbolicChains:
+    def test_five_level_pointer_chain(self):
+        source = """
+        void probe(int *****p) { IN: ; }
+        int main() {
+            int v; int *l1; int **l2; int ***l3; int ****l4;
+            l1 = &v; l2 = &l1; l3 = &l2; l4 = &l3;
+            probe(&l4);
+            return 0;
+        }
+        """
+        triples = at(source, "IN")
+        sources = {s for s, t, d in triples}
+        assert {"p", "1_p", "2_p", "3_p", "4_p"} <= sources
+
+    def test_writing_through_deep_chain(self):
+        source = """
+        void deep_set(int ***ppp, int *v) { **ppp = v; }
+        int main() {
+            int a, b;
+            int *p; int **pp;
+            p = &a;
+            pp = &p;
+            deep_set(&pp, &b);
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("p", "b", "D") in triples
+
+    def test_level_cap_terminates_deep_recursion(self):
+        # growing a stack chain deeper than MAX_SYMBOLIC_LEVEL must
+        # still converge
+        assert MAX_SYMBOLIC_LEVEL < 20
+        source = """
+        struct frame { struct frame *caller; int depth; };
+        int deepest(struct frame *f) {
+            struct frame mine;
+            mine.caller = f;
+            mine.depth = f != 0 ? 1 : 0;
+            if (mine.depth < 40)
+                return deepest(&mine);
+            return 0;
+        }
+        int main() { return deepest(0); }
+        """
+        result = analyze_source(source)
+        assert result.point_info  # converged
+
+
+class TestStructParameters:
+    def test_struct_by_value_copies_pointers(self):
+        source = """
+        int g;
+        struct box { int *p; int pad; };
+        void look(struct box b) { IN: ; }
+        int main() {
+            struct box v;
+            v.p = &g;
+            look(v);
+            return 0;
+        }
+        """
+        triples = at(source, "IN")
+        assert ("b.p", "g", "D") in triples
+
+    def test_struct_by_value_mutation_does_not_escape(self):
+        source = """
+        int g1, g2;
+        struct box { int *p; };
+        void flip(struct box b) { b.p = &g2; }
+        int main() {
+            struct box v;
+            v.p = &g1;
+            flip(v);
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("v.p", "g1", "D") in triples
+        assert not any(t == "g2" for s, t, d in triples if s == "v.p")
+
+    def test_struct_with_invisible_pointer_field(self):
+        source = """
+        struct box { int *p; };
+        void look(struct box b) { IN: ; }
+        int main() {
+            int local;
+            struct box v;
+            v.p = &local;
+            look(v);
+            return 0;
+        }
+        """
+        triples = at(source, "IN")
+        field_targets = [t for s, t, d in triples if s == "b.p"]
+        assert len(field_targets) == 1
+        assert field_targets[0].startswith("1_")
+
+    def test_nested_struct_parameter(self):
+        source = """
+        int g;
+        struct in { int *ip; };
+        struct out { struct in inner; };
+        void look(struct out o) { IN: ; }
+        int main() {
+            struct out v;
+            v.inner.ip = &g;
+            look(v);
+            return 0;
+        }
+        """
+        triples = at(source, "IN")
+        assert ("o.inner.ip", "g", "D") in triples
+
+
+class TestPointersToPointerFields:
+    def test_field_address_passed_down(self):
+        source = """
+        int g;
+        struct holder { int *slot; };
+        void fill(int **where) { *where = &g; }
+        int main() {
+            struct holder h;
+            fill(&h.slot);
+            OUT: return 0;
+        }
+        """
+        assert ("h.slot", "g", "D") in at(source, "OUT")
+
+    def test_array_element_address_passed_down(self):
+        source = """
+        int g;
+        void fill(int **where) { *where = &g; }
+        int main() {
+            int *slots[4];
+            fill(&slots[0]);
+            OUT: return 0;
+        }
+        """
+        assert ("slots[head]", "g", "D") in at(source, "OUT")
+
+    def test_tail_element_write_is_weak(self):
+        source = """
+        int g;
+        void fill(int **where) { *where = &g; }
+        int main() {
+            int *slots[4];
+            int sel;
+            fill(&slots[sel]);
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("slots[head]", "g", "P") in triples
+        assert ("slots[tail]", "g", "P") in triples
+
+
+class TestHeapStructures:
+    def test_heap_fields_absorbed(self):
+        source = """
+        struct node { struct node *next; int *data; };
+        int g;
+        int main() {
+            struct node *n;
+            n = (struct node *) malloc(16);
+            n->data = &g;
+            n->next = n;
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("heap", "g", "P") in triples
+        assert ("heap", "heap", "P") in triples
+
+    def test_pointer_retrieved_from_heap(self):
+        source = """
+        int g;
+        int main() {
+            int **cell;
+            int *out;
+            cell = (int **) malloc(8);
+            *cell = &g;
+            out = *cell;
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("out", "g", "P") in triples
+
+    def test_global_into_heap_and_back_through_call(self):
+        source = """
+        int g;
+        struct node { int *data; };
+        struct node *wrap(int *v) {
+            struct node *n;
+            n = (struct node *) malloc(8);
+            n->data = v;
+            return n;
+        }
+        int *unwrap(struct node *n) { return n->data; }
+        int main() {
+            struct node *boxed;
+            int *back;
+            boxed = wrap(&g);
+            back = unwrap(boxed);
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("back", "g", "P") in triples

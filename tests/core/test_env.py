@@ -1,0 +1,136 @@
+"""FuncEnv: name resolution, location typing, pointer-path enumeration."""
+
+import pytest
+
+from repro.core.env import FuncEnv
+from repro.core.locations import HEAD, HEAP, NULL, TAIL, AbsLoc, LocKind
+from repro.frontend.ctypes import ArrayType, INT, PointerType
+from repro.simple import simplify_source
+
+SOURCE = """
+struct inner { int *ip; };
+struct outer { struct inner nested; int *direct; int plain; };
+struct list { struct list *next; int data; };
+int g;
+int *gp;
+int garr[4];
+int *gparr[4];
+struct outer gstruct;
+int nested_arr[2][3];
+struct list pool[5];
+
+int helper(int *a, struct outer o) { return 0; }
+
+int main() {
+    int x;
+    int *p;
+    struct outer local_struct;
+    return helper(p, local_struct);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return simplify_source(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def main_env(program):
+    return FuncEnv(program, "main")
+
+
+@pytest.fixture(scope="module")
+def helper_env(program):
+    return FuncEnv(program, "helper")
+
+
+class TestVarLoc:
+    def test_local(self, main_env):
+        loc = main_env.var_loc("x")
+        assert loc.kind is LocKind.LOCAL and loc.func == "main"
+
+    def test_param(self, helper_env):
+        loc = helper_env.var_loc("a")
+        assert loc.kind is LocKind.PARAM and loc.func == "helper"
+
+    def test_global(self, main_env):
+        loc = main_env.var_loc("g")
+        assert loc.kind is LocKind.GLOBAL and loc.func is None
+
+    def test_function(self, main_env):
+        loc = main_env.var_loc("helper")
+        assert loc.kind is LocKind.FUNCTION
+
+    def test_unknown_raises(self, main_env):
+        with pytest.raises(KeyError):
+            main_env.var_loc("nothing")
+
+    def test_symbolic_registration(self, helper_env):
+        loc = helper_env.register_symbolic("1_a", INT)
+        assert loc.kind is LocKind.SYMBOLIC
+        assert helper_env.var_loc("1_a") == loc
+
+    def test_symbolic_keeps_first_type(self, helper_env):
+        helper_env.register_symbolic("1_z", INT)
+        helper_env.register_symbolic("1_z", PointerType(INT))
+        loc = helper_env.var_loc("1_z")
+        assert helper_env.base_type(loc) is INT
+
+
+class TestTypeOfLoc:
+    def test_scalar(self, main_env):
+        assert main_env.type_of_loc(main_env.var_loc("g")) is not None
+
+    def test_field_path(self, main_env):
+        loc = main_env.var_loc("gstruct").with_field("direct")
+        assert isinstance(main_env.type_of_loc(loc), PointerType)
+
+    def test_nested_field_path(self, main_env):
+        loc = (
+            main_env.var_loc("gstruct")
+            .with_field("nested")
+            .with_field("ip")
+        )
+        assert isinstance(main_env.type_of_loc(loc), PointerType)
+
+    def test_array_part(self, main_env):
+        loc = main_env.var_loc("gparr").with_part(HEAD)
+        assert isinstance(main_env.type_of_loc(loc), PointerType)
+
+    def test_multidim_array_flattens(self, main_env):
+        loc = main_env.var_loc("nested_arr").with_part(TAIL)
+        assert main_env.type_of_loc(loc) is INT
+
+    def test_array_of_structs_field(self, main_env):
+        loc = main_env.var_loc("pool").with_part(HEAD).with_field("next")
+        assert isinstance(main_env.type_of_loc(loc), PointerType)
+
+    def test_heap_is_untyped(self, main_env):
+        assert main_env.type_of_loc(HEAP) is None
+
+    def test_bad_path_is_none(self, main_env):
+        loc = main_env.var_loc("g").with_field("nonsense")
+        assert main_env.type_of_loc(loc) is None
+
+
+class TestPointerPaths:
+    def test_scalar_pointer(self, main_env, program):
+        ctype = program.global_types["gp"]
+        assert main_env.pointer_paths(ctype) == [()]
+
+    def test_non_pointer(self, main_env, program):
+        assert main_env.pointer_paths(program.global_types["g"]) == []
+
+    def test_array_of_pointers(self, main_env, program):
+        paths = main_env.pointer_paths(program.global_types["gparr"])
+        assert set(paths) == {(HEAD,), (TAIL,)}
+
+    def test_struct_paths(self, main_env, program):
+        paths = set(main_env.pointer_paths(program.global_types["gstruct"]))
+        assert paths == {("nested", "ip"), ("direct",)}
+
+    def test_array_of_structs(self, main_env, program):
+        paths = set(main_env.pointer_paths(program.global_types["pool"]))
+        assert (HEAD, "next") in paths
+        assert (TAIL, "next") in paths

@@ -1,0 +1,240 @@
+"""Andersen / Steensgaard baselines, and the precision ordering
+against the paper's flow- and context-sensitive analysis."""
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS
+from repro.core.analysis import analyze_source
+from repro.core.flowinsensitive import (
+    AndersenAnalysis,
+    andersen,
+    steensgaard,
+)
+from repro.core.statistics import collect_table3
+from repro.simple import simplify_source
+
+
+def solve(source):
+    return andersen(simplify_source(source))
+
+
+class TestAndersenRules:
+    def test_address_of(self):
+        a = solve("int main() { int x; int *p; p = &x; return 0; }")
+        assert a.targets_of_var("main", "p") == {"main::x"}
+
+    def test_copy(self):
+        a = solve("""
+        int main() { int x; int *p, *q; p = &x; q = p; return 0; }
+        """)
+        assert a.targets_of_var("main", "q") == {"main::x"}
+
+    def test_store_and_load(self):
+        a = solve("""
+        int main() {
+            int x; int *p; int **pp; int *q;
+            pp = &p;
+            *pp = &x;     /* store */
+            q = *pp;      /* load  */
+            return 0;
+        }
+        """)
+        assert a.targets_of_var("main", "p") == {"main::x"}
+        assert a.targets_of_var("main", "q") == {"main::x"}
+
+    def test_flow_insensitivity_accumulates(self):
+        # The defining weakness: assignments at different points merge.
+        a = solve("""
+        int main() { int x, y; int *p; p = &x; p = &y; return 0; }
+        """)
+        assert a.targets_of_var("main", "p") == {"main::x", "main::y"}
+
+    def test_heap_single_node(self):
+        a = solve("""
+        int main() {
+            int *p, *q;
+            p = (int *) malloc(4);
+            q = (int *) malloc(4);
+            return 0;
+        }
+        """)
+        assert a.targets_of_var("main", "p") == {"heap"}
+        assert a.targets_of_var("main", "q") == {"heap"}
+
+    def test_call_binds_formals(self):
+        a = solve("""
+        int *keep;
+        void take(int *x) { keep = x; }
+        int main() { int v; take(&v); return 0; }
+        """)
+        assert a.targets_of_var("take", "x") == {"main::v"}
+        assert a.targets_of_var("main", "keep") == {"main::v"}
+
+    def test_return_values_flow(self):
+        a = solve("""
+        int g;
+        int *get(void) { return &g; }
+        int main() { int *p; p = get(); return 0; }
+        """)
+        assert a.targets_of_var("main", "p") == {"g"}
+
+    def test_function_pointers_resolved_on_the_fly(self):
+        a = solve("""
+        int g; int *gp;
+        void set_g(void) { gp = &g; }
+        void unused(void) { gp = 0; }
+        int main() {
+            void (*f)(void);
+            f = set_g;
+            f();
+            return 0;
+        }
+        """)
+        assert a.targets_of_var("main", "gp") == {"g"}
+        assert set().union(*a._resolved_callees.values()) == {"set_g"}
+
+    def test_context_insensitivity_merges_callers(self):
+        a = solve("""
+        int *identity(int *x) { return x; }
+        int main() {
+            int u, v; int *p, *q;
+            p = identity(&u);
+            q = identity(&v);
+            return 0;
+        }
+        """)
+        # one summary for identity: both callers' targets merge
+        assert a.targets_of_var("main", "p") == {"main::u", "main::v"}
+
+    def test_benchmarks_solve(self):
+        for name in ("hash", "toplev", "dry", "mway"):
+            a = andersen(simplify_source(BENCHMARKS[name].source))
+            assert a.average_targets_per_indirect_ref() > 0
+
+
+class TestSteensgaard:
+    def test_unification_merges_classes(self):
+        s = steensgaard(simplify_source("""
+        int main() {
+            int x, y; int *p, *q;
+            p = &x;
+            q = &y;
+            p = q;        /* unifies the two pointee classes */
+            return 0;
+        }
+        """))
+        assert s.same_class("main", "p", "main", "q")
+
+    def test_unrelated_pointers_stay_apart(self):
+        s = steensgaard(simplify_source("""
+        int main() {
+            int x, y; int *p, *q;
+            p = &x;
+            q = &y;
+            return 0;
+        }
+        """))
+        assert not s.same_class("main", "p", "main", "q")
+
+    def test_return_value_unifies_callers(self):
+        # the precision ladder's bottom rung: one summary, unified
+        s = steensgaard(simplify_source("""
+        int *identity(int *x) { return x; }
+        int main() {
+            int u, v; int *p, *q;
+            p = identity(&u);
+            q = identity(&v);
+            return 0;
+        }
+        """))
+        assert s.same_class("main", "p", "main", "q")
+
+    def test_benchmarks_solve(self):
+        for name in ("hash", "csuite"):
+            s = steensgaard(simplify_source(BENCHMARKS[name].source))
+            assert s.class_count() > 0
+
+
+def emami_average_array_collapsed(source):
+    """Average targets per indirect ref with each array's head/tail
+    pair counted once — Andersen collapses arrays to a single node, so
+    the fair comparison does too."""
+    from repro.core.transforms import indirect_references
+    from repro.core.locations import HEAD, TAIL
+
+    analysis = analyze_source(source)
+    total = refs = 0
+    for ref in indirect_references(analysis):
+        collapsed = set()
+        for target, _d in ref.targets:
+            path = tuple(
+                "[]" if element in (HEAD, TAIL) else element
+                for element in target.path
+            )
+            collapsed.add((target.base, target.func, path))
+        refs += 1
+        total += len(collapsed)
+    return total / refs if refs else 0.0
+
+
+class TestAndersenSoundness:
+    """Differential: every pointer value the machine ever stores in a
+    variable must be covered by Andersen's (flow-insensitive) set."""
+
+    @pytest.mark.parametrize("name", ["hash", "dry", "config", "toplev"])
+    def test_concrete_facts_covered(self, name):
+        from repro.interp.machine import Interpreter, Pointer
+
+        program = simplify_source(BENCHMARKS[name].source)
+        solved = andersen(program)
+        mismatches = []
+
+        def observer(stmt, interp):
+            frame = interp.current_frame
+            if frame is None:
+                return
+            for obj in list(frame.objects.values()) + list(
+                interp.globals.values()
+            ):
+                if obj.kind not in ("local", "param", "global"):
+                    continue
+                if obj.kind != "global" and obj.frame_id != frame.frame_id:
+                    continue
+                value = obj.cells.get(())
+                if not isinstance(value, Pointer) or value.is_null:
+                    continue
+                if obj.kind != "global" and obj.func != frame.fn.name:
+                    continue
+                func = frame.fn.name if obj.kind != "global" else "__globals"
+                targets = solved.targets_of_var(func, obj.name)
+                expected = value.obj.name
+                if value.obj.kind == "heap":
+                    expected = "heap"
+                covered = any(
+                    t == expected or t.endswith(f"::{expected}")
+                    for t in targets
+                )
+                if not covered:
+                    mismatches.append((obj.name, expected, targets))
+
+        interp = Interpreter(program, observer=observer, max_steps=200_000)
+        try:
+            interp.run()
+        except Exception:
+            pass
+        assert not mismatches, mismatches[:5]
+
+
+class TestPrecisionOrdering:
+    @pytest.mark.parametrize(
+        "name", ["dry", "config", "travel", "csuite", "mway", "genetic"]
+    )
+    def test_paper_analysis_at_least_as_precise_as_andersen(self, name):
+        source = BENCHMARKS[name].source
+        emami_avg = emami_average_array_collapsed(source)
+        ander = andersen(simplify_source(source))
+        assert emami_avg <= ander.average_targets_per_indirect_ref() + 1e-9, (
+            name,
+            emami_avg,
+            ander.average_targets_per_indirect_ref(),
+        )

@@ -1,0 +1,200 @@
+"""Figure 4: memoized ordinary calls and the recursion fixed point."""
+
+from repro.core.analysis import analyze_source
+from repro.core.invocation_graph import IGNodeKind
+
+
+def at(source, label, skip_null=True):
+    return analyze_source(source).triples_at(label, skip_null=skip_null)
+
+
+class TestMemoization:
+    def test_same_input_reuses_stored_output(self):
+        source = """
+        int g; int *gp;
+        void f(void) { gp = &g; }
+        int main() { f(); f(); OUT: return 0; }
+        """
+        result = analyze_source(source)
+        assert result.triples_at("OUT") == [("gp", "g", "D")]
+        nodes = [n for n in result.ig.nodes() if n.func == "f"]
+        assert len(nodes) == 2
+        assert all(n.stored_input is not None for n in nodes[:1])
+
+    def test_different_contexts_analyzed_separately(self):
+        source = """
+        void copy(int **dst, int *src) { *dst = src; }
+        int main() {
+            int a, b; int *p, *q;
+            copy(&p, &a);
+            copy(&q, &b);
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        assert ("p", "a", "D") in triples
+        assert ("q", "b", "D") in triples
+        # context-sensitivity: no cross-pollution
+        assert ("p", "b", "P") not in triples
+        assert ("q", "a", "P") not in triples
+
+    def test_chain_of_calls(self):
+        source = """
+        int g;
+        void inner(int **q) { *q = &g; }
+        void outer(int **q) { inner(q); }
+        int main() { int *p; outer(&p); OUT: return 0; }
+        """
+        assert at(source, "OUT") == [("p", "g", "D")]
+
+
+class TestRecursion:
+    def test_recursive_identity(self):
+        source = """
+        int *walk(int *p, int n) {
+            if (n == 0) return p;
+            return walk(p, n - 1);
+        }
+        int main() { int a; int *p, *q;
+            p = &a; q = walk(p, 10); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("q", "a", "P") in triples or ("q", "a", "D") in triples
+
+    def test_recursive_list_walk(self):
+        source = """
+        struct node { struct node *next; };
+        struct node *last(struct node *n) {
+            if (n->next == 0) return n;
+            return last(n->next);
+        }
+        int main() {
+            struct node n1, n2, n3;
+            struct node *e;
+            n1.next = &n2; n2.next = &n3; n3.next = 0;
+            e = last(&n1);
+            OUT: return 0;
+        }
+        """
+        triples = at(source, "OUT")
+        e_targets = {t for s, t, d in triples if s == "e"}
+        assert e_targets == {"n1", "n2", "n3"}
+
+    def test_mutual_recursion_converges(self):
+        source = """
+        int g; int *gp;
+        void even(int n);
+        void odd(int n) { gp = &g; if (n > 0) even(n - 1); }
+        void even(int n) { if (n > 0) odd(n - 1); }
+        int main() { even(4); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("gp", "g", "P") in triples
+
+    def test_recursion_building_heap_structure(self):
+        source = """
+        struct node { struct node *next; };
+        struct node *build(int n) {
+            struct node *head;
+            if (n == 0) return 0;
+            head = (struct node *) malloc(8);
+            head->next = build(n - 1);
+            return head;
+        }
+        int main() { struct node *l; l = build(5); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("l", "heap", "P") in triples
+
+    def test_infinite_recursion_makes_continuation_unreachable(self):
+        source = """
+        void forever(void) { forever(); }
+        int main() { forever(); DEAD: return 0; }
+        """
+        result = analyze_source(source)
+        assert result.triples_at("DEAD") == []
+
+    def test_recursion_through_pointer_mutation(self):
+        source = """
+        void grow(int **pp, int *v, int n) {
+            *pp = v;
+            if (n > 0) grow(pp, v, n - 1);
+        }
+        int main() { int a; int *p; grow(&p, &a, 3); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert any(s == "p" and t == "a" for s, t, d in triples)
+
+
+class TestExternals:
+    def test_pure_external_has_no_effect(self):
+        source = """
+        int main() { int a; int *p; p = &a;
+            printf("hello");
+            OUT: return 0; }
+        """
+        result = analyze_source(source)
+        assert result.triples_at("OUT") == [("p", "a", "D")]
+        assert not result.warnings
+
+    def test_unknown_external_warns(self):
+        source = """
+        int main() { int a; int *p; p = &a;
+            mystery(p);
+            OUT: return 0; }
+        """
+        result = analyze_source(source)
+        assert any("mystery" in w for w in result.warnings)
+        assert result.triples_at("OUT") == [("p", "a", "D")]
+
+    def test_strcpy_returns_first_argument(self):
+        source = """
+        int main() { char buf[16]; char *r;
+            r = strcpy(buf, "x");
+            OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("r", "buf[head]", "D") in triples
+
+    def test_getenv_returns_heapish_pointer(self):
+        source = """
+        int main() { char *v; v = getenv("HOME"); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("v", "heap", "P") in triples
+
+    def test_free_is_pure(self):
+        source = """
+        int main() { int *p; p = (int *) malloc(4); free(p);
+            OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("p", "heap", "P") in triples
+
+
+class TestContextSensitivityVsInsensitive:
+    SOURCE = """
+    int *identity(int *x) { return x; }
+    int main() {
+        int a, b; int *p, *q;
+        p = identity(&a);
+        q = identity(&b);
+        OUT: return 0;
+    }
+    """
+
+    def test_context_sensitive_keeps_contexts_apart(self):
+        triples = at(self.SOURCE, "OUT")
+        assert ("p", "a", "D") in triples
+        assert ("q", "b", "D") in triples
+        assert ("p", "b", "P") not in triples
+
+    def test_context_insensitive_ablation_merges(self):
+        from repro.core.analysis import AnalysisOptions, analyze_source
+
+        result = analyze_source(
+            self.SOURCE, AnalysisOptions(context_sensitive=False)
+        )
+        triples = result.triples_at("OUT")
+        # the shared node merges both call contexts
+        assert ("q", "b", "P") in triples or ("q", "b", "D") in triples

@@ -1,0 +1,283 @@
+"""Figure 1: the intraprocedural flow rules, tested through small
+single-function programs."""
+
+from repro.core.analysis import analyze_source
+
+
+def at(source, label, skip_null=True):
+    return analyze_source(source).triples_at(label, skip_null=skip_null)
+
+
+def wrap(body, decls="int a, b, c; int *p, *q; int **pp;"):
+    return "int main() { " + decls + body + " END: return 0; }"
+
+
+class TestGenRules:
+    def test_address_assignment_generates_definite(self):
+        assert at(wrap("p = &a;"), "END") == [("p", "a", "D")]
+
+    def test_copy_propagates_targets(self):
+        assert at(wrap("p = &a; q = p;"), "END") == [
+            ("p", "a", "D"),
+            ("q", "a", "D"),
+        ]
+
+    def test_store_through_definite_pointer(self):
+        triples = at(wrap("pp = &p; *pp = &a;"), "END")
+        assert ("p", "a", "D") in triples
+
+    def test_load_through_pointer(self):
+        triples = at(wrap("p = &a; pp = &p; q = *pp;"), "END")
+        assert ("q", "a", "D") in triples
+
+    def test_null_assignment_kills(self):
+        triples = at(wrap("p = &a; p = 0;"), "END", skip_null=False)
+        assert ("p", "NULL", "D") in triples
+        assert ("p", "a", "D") not in triples
+
+
+class TestKillRules:
+    def test_strong_update_on_direct_assignment(self):
+        triples = at(wrap("p = &a; p = &b;"), "END")
+        assert triples == [("p", "b", "D")]
+
+    def test_strong_update_through_definite_pointer(self):
+        # *pp = &b kills p's old target because pp definitely points to p.
+        triples = at(wrap("p = &a; pp = &p; *pp = &b;"), "END")
+        assert ("p", "b", "D") in triples
+        assert ("p", "a", "D") not in triples
+        assert ("p", "a", "P") not in triples
+
+    def test_weak_update_through_possible_pointer(self):
+        source = wrap(
+            "p = &a; q = &b; if (c) pp = &p; else pp = &q; *pp = &c;"
+        )
+        triples = at(source, "END")
+        # both p and q may have been overwritten: old targets weaken,
+        # new target possible on both
+        assert ("p", "a", "P") in triples
+        assert ("p", "c", "P") in triples
+        assert ("q", "b", "P") in triples
+        assert ("q", "c", "P") in triples
+        assert not any(d == "D" and s in ("p", "q") for s, _, d in triples)
+
+    def test_no_strong_update_on_array_tail(self):
+        source = wrap(
+            "t[1] = &a; t[2] = &b;",
+            decls="int *t[8]; int a, b;",
+        )
+        triples = at(source, "END")
+        # writing t[2] must not kill t[1]'s entry: both live in t[tail]
+        assert ("t[tail]", "a", "P") in triples
+        assert ("t[tail]", "b", "P") in triples
+
+    def test_strong_update_on_array_head(self):
+        source = wrap(
+            "t[0] = &a; t[0] = &b;",
+            decls="int *t[8]; int a, b;",
+        )
+        triples = at(source, "END")
+        assert ("t[head]", "b", "D") in triples
+        assert not any(t == "a" for _, t, _ in triples)
+
+
+class TestIfRule:
+    def test_both_branches_assign_same_target(self):
+        triples = at(wrap("if (c) p = &a; else p = &a;"), "END")
+        assert triples == [("p", "a", "D")]
+
+    def test_branches_disagree_makes_possible(self):
+        triples = at(wrap("if (c) p = &a; else p = &b;"), "END")
+        assert set(triples) == {("p", "a", "P"), ("p", "b", "P")}
+
+    def test_no_else_keeps_fallthrough(self):
+        triples = at(wrap("p = &a; if (c) p = &b;"), "END")
+        assert set(triples) == {("p", "a", "P"), ("p", "b", "P")}
+
+    def test_assignment_before_if_stays_definite(self):
+        triples = at(wrap("p = &a; if (c) b = 1; else b = 2;"), "END")
+        assert ("p", "a", "D") in triples
+
+
+class TestLoopFixedPoint:
+    def test_while_merges_loop_entry(self):
+        source = wrap("p = &a; while (c) { p = &b; }")
+        triples = at(source, "END")
+        assert set(triples) == {("p", "a", "P"), ("p", "b", "P")}
+
+    def test_pointer_chase_in_loop(self):
+        source = """
+        struct node { struct node *next; };
+        int main() {
+            struct node n1, n2, n3;
+            struct node *p;
+            n1.next = &n2; n2.next = &n3; n3.next = 0;
+            p = &n1;
+            while (p != 0) { p = p->next; }
+            END: return 0;
+        }
+        """
+        triples = at(source, "END")
+        ps = {t for s, t, d in triples if s == "p"}
+        assert ps == {"n1", "n2", "n3"}
+
+    def test_do_while_executes_at_least_once(self):
+        source = wrap("do { p = &a; } while (c);")
+        triples = at(source, "END")
+        assert triples == [("p", "a", "D")]
+
+    def test_for_loop_body_possible_after_exit(self):
+        source = wrap("for (b = 0; b < 3; b++) { p = &a; }")
+        triples = at(source, "END")
+        assert ("p", "a", "P") in triples
+
+    def test_break_carries_state_to_exit(self):
+        source = wrap("while (1) { p = &a; break; }")
+        triples = at(source, "END")
+        assert triples == [("p", "a", "D")]
+
+    def test_infinite_loop_without_break_makes_exit_unreachable(self):
+        source = wrap("p = &a; while (1) { b = 1; } p = &b;")
+        result = analyze_source(source)
+        assert result.triples_at("END") == []
+
+    def test_continue_merges_at_loop_head(self):
+        source = wrap(
+            "while (c) { if (b) { p = &a; continue; } p = &b; }"
+        )
+        triples = at(source, "END")
+        assert ("p", "a", "P") in triples and ("p", "b", "P") in triples
+
+
+class TestSwitchRule:
+    def test_disjoint_cases_merge_possible(self):
+        source = wrap(
+            "switch (c) { case 1: p = &a; break; case 2: p = &b; break; }"
+        )
+        triples = at(source, "END")
+        assert set(triples) == {("p", "a", "P"), ("p", "b", "P")}
+
+    def test_all_cases_with_default_same_target(self):
+        source = wrap(
+            "switch (c) { case 1: p = &a; break; default: p = &a; }"
+        )
+        triples = at(source, "END")
+        assert triples == [("p", "a", "D")]
+
+    def test_fallthrough_accumulates(self):
+        source = wrap(
+            "switch (c) { case 1: p = &a; case 2: q = p; break; default: ; }"
+        )
+        triples = at(source, "END")
+        assert ("q", "a", "P") in triples
+
+    def test_return_inside_switch(self):
+        source = """
+        int main() {
+            int c; int *p; int a;
+            switch (c) { case 1: return 1; default: p = &a; }
+            END: return 0;
+        }
+        """
+        triples = at(source, "END")
+        assert triples == [("p", "a", "D")]
+
+
+class TestReturnHandling:
+    def test_code_after_return_unreachable(self):
+        source = """
+        int main() {
+            int *p; int a, b;
+            p = &a;
+            return 0;
+            DEAD: p = &b;
+        }
+        """
+        result = analyze_source(source)
+        assert result.triples_at("DEAD") == []
+
+    def test_early_return_in_branch(self):
+        source = """
+        int main() {
+            int *p; int a, b, c;
+            p = &a;
+            if (c) { p = &b; return 1; }
+            END: return 0;
+        }
+        """
+        triples = at(source, "END")
+        assert triples == [("p", "a", "D")]
+
+
+class TestPointerArithmetic:
+    def test_increment_smears_array_parts(self):
+        source = wrap(
+            "p = &arr[0]; p = p + 1;",
+            decls="int arr[8]; int *p;",
+        )
+        triples = {t for t in at(source, "END") if not t[0].startswith("__t")}
+        assert triples == {
+            ("p", "arr[head]", "P"),
+            ("p", "arr[tail]", "P"),
+        }
+
+    def test_arithmetic_on_scalar_target_stays(self):
+        source = wrap("p = &a; p = p + 1;")
+        triples = [t for t in at(source, "END") if not t[0].startswith("__t")]
+        assert triples == [("p", "a", "D")]
+
+    def test_pointer_difference_is_not_pointer(self):
+        source = wrap(
+            "p = &arr[0]; q = &arr[3]; b = q - p;",
+            decls="int arr[8]; int *p, *q; int b;",
+        )
+        triples = at(source, "END")
+        assert ("b", "arr[head]", "P") not in triples
+
+
+class TestAggregateCopy:
+    def test_struct_assignment_copies_pointer_fields(self):
+        source = """
+        struct s { int *p; int *q; };
+        int main() {
+            struct s x, y;
+            int a, b;
+            x.p = &a; x.q = &b;
+            y = x;
+            END: return 0;
+        }
+        """
+        triples = at(source, "END")
+        assert ("y.p", "a", "D") in triples
+        assert ("y.q", "b", "D") in triples
+
+    def test_struct_copy_through_pointers(self):
+        source = """
+        struct s { int *p; };
+        int main() {
+            struct s x, y;
+            struct s *px, *py;
+            int a;
+            x.p = &a;
+            px = &x; py = &y;
+            *py = *px;
+            END: return 0;
+        }
+        """
+        triples = at(source, "END")
+        assert ("y.p", "a", "D") in triples
+
+    def test_nested_struct_copy(self):
+        source = """
+        struct in { int *ip; };
+        struct out { struct in i; };
+        int main() {
+            struct out x, y;
+            int a;
+            x.i.ip = &a;
+            y = x;
+            END: return 0;
+        }
+        """
+        triples = at(source, "END")
+        assert ("y.i.ip", "a", "D") in triples

@@ -1,0 +1,131 @@
+"""Unit tests for abstract stack locations and symbolic names."""
+
+from repro.core.locations import (
+    HEAD,
+    HEAP,
+    NULL,
+    TAIL,
+    AbsLoc,
+    LocKind,
+    function_loc,
+    global_loc,
+    retval_loc,
+    symbolic_name,
+)
+
+
+def local(name, func="f", path=()):
+    return AbsLoc(name, LocKind.LOCAL, func, tuple(path))
+
+
+def param(name, func="f", path=()):
+    return AbsLoc(name, LocKind.PARAM, func, tuple(path))
+
+
+def symbolic(name, func="f", path=()):
+    return AbsLoc(name, LocKind.SYMBOLIC, func, tuple(path))
+
+
+class TestAbsLoc:
+    def test_equality_includes_function(self):
+        assert local("p", "f") != local("p", "g")
+        assert local("p", "f") == local("p", "f")
+
+    def test_root_strips_path(self):
+        loc = local("s", path=("next",))
+        assert loc.root() == local("s")
+
+    def test_extend_and_with_field(self):
+        loc = local("s").with_field("next").with_field("data")
+        assert loc.path == ("next", "data")
+
+    def test_str_rendering(self):
+        assert str(local("a", path=("f", HEAD))) == "a.f[head]"
+        assert str(HEAP) == "heap"
+
+    def test_replace_last_part(self):
+        loc = local("a", path=(HEAD,))
+        assert loc.replace_last_part(TAIL).path == (TAIL,)
+
+    def test_special_predicates(self):
+        assert HEAP.is_heap and not HEAP.is_null
+        assert NULL.is_null
+        assert function_loc("f").is_function
+        assert symbolic("1_x").is_symbolic
+
+    def test_visibility(self):
+        assert global_loc("g").is_visible_everywhere
+        assert HEAP.is_visible_everywhere
+        assert NULL.is_visible_everywhere
+        assert function_loc("f").is_visible_everywhere
+        assert not local("x").is_visible_everywhere
+        assert not param("p").is_visible_everywhere
+        assert not symbolic("1_p").is_visible_everywhere
+
+    def test_represents_multiple(self):
+        assert HEAP.represents_multiple()
+        assert local("a", path=(TAIL,)).represents_multiple()
+        assert not local("a", path=(HEAD,)).represents_multiple()
+        assert not local("a").represents_multiple()
+
+    def test_retval_location(self):
+        loc = retval_loc("f")
+        assert loc.kind is LocKind.RETVAL and loc.func == "f"
+
+
+class TestSymbolicNames:
+    def test_first_level_from_formal(self):
+        assert symbolic_name(param("x")) == "1_x"
+
+    def test_second_level_from_symbolic(self):
+        assert symbolic_name(symbolic("1_x")) == "2_x"
+
+    def test_third_level(self):
+        assert symbolic_name(symbolic("2_x")) == "3_x"
+
+    def test_field_path_distinguishes_targets(self):
+        via_next = symbolic_name(symbolic("1_p", path=("next",)))
+        via_data = symbolic_name(symbolic("1_p", path=("ptr",)))
+        assert via_next != via_data
+        assert via_next == "2_p$next"
+
+    def test_from_global(self):
+        assert symbolic_name(global_loc("g")) == "1_g"
+
+    def test_array_parts_ignored_in_name(self):
+        name = symbolic_name(param("x", path=(HEAD,)))
+        assert name == "1_x"
+
+    def test_level_cap_reached_is_stable(self):
+        loc = symbolic("1_x")
+        for _ in range(20):
+            name = symbolic_name(loc)
+            loc = symbolic(name)
+        assert symbolic_name(loc) == loc.base  # fixed point
+
+    def test_field_suffix_truncation_is_idempotent(self):
+        loc = symbolic("1_p", path=("next",))
+        seen = set()
+        for _ in range(30):
+            name = symbolic_name(loc)
+            loc = symbolic(name, path=("next",))
+            if name in seen:
+                break
+            seen.add(name)
+        else:
+            raise AssertionError("symbolic names never stabilized")
+
+    def test_name_space_is_finite_under_any_derivation(self):
+        frontier = [param("p", path=("a",)), param("q")]
+        produced = set()
+        for _ in range(200):
+            if not frontier:
+                break
+            source = frontier.pop()
+            name = symbolic_name(source)
+            if name in produced:
+                continue
+            produced.add(name)
+            frontier.append(symbolic(name, path=("a",)))
+            frontier.append(symbolic(name))
+        assert len(produced) < 150

@@ -1,0 +1,241 @@
+"""Table 1, row by row: L-location and R-location computation.
+
+Each test sets up a points-to set S and checks the L-/R-location sets
+of one reference form against the table.
+"""
+
+from repro.core.env import FuncEnv
+from repro.core.locations import HEAD, HEAP, NULL, TAIL, AbsLoc, LocKind
+from repro.core.lvalues import l_locations, r_locations
+from repro.core.pointsto import D, P, PointsToSet
+from repro.simple import simplify_source
+from repro.simple.ir import (
+    AddrOf,
+    Const,
+    FieldSel,
+    IndexClass,
+    IndexSel,
+    Ref,
+)
+
+SOURCE = """
+struct rec { int f; int *q; struct rec *link; };
+int g;
+int main() {
+    int a, y, z;
+    int *p, *b;
+    int **pp;
+    int arr[10];
+    int *parr[10];
+    struct rec s;
+    struct rec *sp;
+    int (*pa)[10];
+    return 0;
+}
+"""
+
+
+def setup():
+    program = simplify_source(SOURCE)
+    env = FuncEnv(program, "main")
+    return env
+
+
+def L(name):
+    return AbsLoc(name, LocKind.LOCAL, "main")
+
+
+def make(*triples):
+    return PointsToSet.from_triples(triples)
+
+
+ENV = setup()
+
+
+class TestAmpersandRows:
+    """Rows &a, &a.f, &a[0], &a[i]."""
+
+    def test_addr_of_scalar(self):
+        rlocs = r_locations(AddrOf(Ref("a")), make(), ENV)
+        assert rlocs == [(L("a"), D)]
+
+    def test_addr_of_field(self):
+        rlocs = r_locations(AddrOf(Ref("s").with_field("f")), make(), ENV)
+        assert rlocs == [(L("s").with_field("f"), D)]
+
+    def test_addr_of_array_zero(self):
+        ref = Ref("arr").with_index(IndexClass.ZERO)
+        rlocs = r_locations(AddrOf(ref), make(), ENV)
+        assert rlocs == [(L("arr").with_part(HEAD), D)]
+
+    def test_addr_of_array_positive(self):
+        ref = Ref("arr").with_index(IndexClass.POSITIVE)
+        rlocs = r_locations(AddrOf(ref), make(), ENV)
+        assert rlocs == [(L("arr").with_part(TAIL), D)]
+
+    def test_addr_of_array_unknown(self):
+        ref = Ref("arr").with_index(IndexClass.UNKNOWN)
+        rlocs = dict(r_locations(AddrOf(ref), make(), ENV))
+        assert rlocs == {
+            L("arr").with_part(HEAD): P,
+            L("arr").with_part(TAIL): P,
+        }
+
+
+class TestPlainVariableRows:
+    """Rows a, a.f, a[0], a[i]."""
+
+    def test_lloc_of_variable(self):
+        assert l_locations(Ref("p"), make(), ENV) == [(L("p"), D)]
+
+    def test_rloc_of_variable_reads_points_to(self):
+        s = make((L("p"), L("y"), D))
+        assert r_locations(Ref("p"), s, ENV) == [(L("y"), D)]
+
+    def test_rloc_of_variable_possible(self):
+        s = make((L("p"), L("y"), P), (L("p"), L("z"), P))
+        assert dict(r_locations(Ref("p"), s, ENV)) == {L("y"): P, L("z"): P}
+
+    def test_lloc_of_field(self):
+        ref = Ref("s").with_field("q")
+        assert l_locations(ref, make(), ENV) == [(L("s").with_field("q"), D)]
+
+    def test_rloc_of_field(self):
+        sq = L("s").with_field("q")
+        s = make((sq, L("a"), D))
+        ref = Ref("s").with_field("q")
+        assert r_locations(ref, s, ENV) == [(L("a"), D)]
+
+    def test_lloc_array_head(self):
+        ref = Ref("parr").with_index(IndexClass.ZERO)
+        assert l_locations(ref, make(), ENV) == [
+            (L("parr").with_part(HEAD), D)
+        ]
+
+    def test_lloc_array_tail(self):
+        ref = Ref("parr").with_index(IndexClass.POSITIVE)
+        assert l_locations(ref, make(), ENV) == [
+            (L("parr").with_part(TAIL), D)
+        ]
+
+    def test_lloc_array_unknown_is_possible_pair(self):
+        ref = Ref("parr").with_index(IndexClass.UNKNOWN)
+        assert dict(l_locations(ref, make(), ENV)) == {
+            L("parr").with_part(HEAD): P,
+            L("parr").with_part(TAIL): P,
+        }
+
+    def test_rloc_array_element(self):
+        head = L("parr").with_part(HEAD)
+        s = make((head, L("y"), D))
+        ref = Ref("parr").with_index(IndexClass.ZERO)
+        assert r_locations(ref, s, ENV) == [(L("y"), D)]
+
+    def test_array_var_decays_to_head(self):
+        rlocs = r_locations(Ref("arr"), make(), ENV)
+        assert rlocs == [(L("arr").with_part(HEAD), D)]
+
+
+class TestDereferenceRows:
+    """Rows *a, (*a).f, (*a)[0], (*a)[i]."""
+
+    def test_lloc_deref_definite(self):
+        s = make((L("p"), L("y"), D))
+        assert l_locations(Ref("p", deref=True), s, ENV) == [(L("y"), D)]
+
+    def test_lloc_deref_possible(self):
+        s = make((L("p"), L("y"), P), (L("p"), L("z"), P))
+        assert dict(l_locations(Ref("p", deref=True), s, ENV)) == {
+            L("y"): P,
+            L("z"): P,
+        }
+
+    def test_lloc_deref_skips_null(self):
+        s = make((L("p"), NULL, P), (L("p"), L("y"), P))
+        assert l_locations(Ref("p", deref=True), s, ENV) == [(L("y"), P)]
+
+    def test_rloc_deref_two_levels(self):
+        s = make((L("pp"), L("p"), D), (L("p"), L("y"), D))
+        rlocs = r_locations(Ref("pp", deref=True), s, ENV)
+        assert rlocs == [(L("y"), D)]
+
+    def test_rloc_deref_definiteness_conjunction(self):
+        # d1 ∧ d2: possible at either level makes the result possible.
+        s = make((L("pp"), L("p"), P), (L("p"), L("y"), D))
+        assert r_locations(Ref("pp", deref=True), s, ENV) == [(L("y"), P)]
+
+    def test_deref_field(self):
+        s = make((L("sp"), L("s"), D))
+        ref = Ref("sp", deref=True).with_field("q")
+        assert l_locations(ref, s, ENV) == [(L("s").with_field("q"), D)]
+
+    def test_deref_field_rloc(self):
+        sq = L("s").with_field("q")
+        s = make((L("sp"), L("s"), D), (sq, L("a"), D))
+        ref = Ref("sp", deref=True).with_field("q")
+        assert r_locations(ref, s, ENV) == [(L("a"), D)]
+
+    def test_deref_index_zero_keeps_head(self):
+        s = make((L("pa"), L("arr").with_part(HEAD), D))
+        ref = Ref("pa", deref=True).with_index(IndexClass.ZERO)
+        assert l_locations(ref, s, ENV) == [(L("arr").with_part(HEAD), D)]
+
+    def test_deref_index_positive_moves_to_tail(self):
+        s = make((L("pa"), L("arr").with_part(HEAD), D))
+        ref = Ref("pa", deref=True).with_index(IndexClass.POSITIVE)
+        assert l_locations(ref, s, ENV) == [(L("arr").with_part(TAIL), D)]
+
+    def test_deref_index_unknown_smears(self):
+        s = make((L("pa"), L("arr").with_part(HEAD), D))
+        ref = Ref("pa", deref=True).with_index(IndexClass.UNKNOWN)
+        assert dict(l_locations(ref, s, ENV)) == {
+            L("arr").with_part(HEAD): P,
+            L("arr").with_part(TAIL): P,
+        }
+
+    def test_deref_index_from_tail_positive_stays_tail(self):
+        s = make((L("pa"), L("arr").with_part(TAIL), D))
+        ref = Ref("pa", deref=True).with_index(IndexClass.POSITIVE)
+        assert l_locations(ref, s, ENV) == [(L("arr").with_part(TAIL), D)]
+
+    def test_deref_index_on_scalar_target_stays_within_object(self):
+        s = make((L("p"), L("y"), D))
+        ref = Ref("p", deref=True).with_index(IndexClass.UNKNOWN)
+        assert l_locations(ref, s, ENV) == [(L("y"), D)]
+
+    def test_heap_target_absorbs_selectors(self):
+        s = make((L("sp"), HEAP, P))
+        ref = Ref("sp", deref=True).with_field("link")
+        assert l_locations(ref, s, ENV) == [(HEAP, P)]
+
+    def test_function_targets_excluded_from_llocs(self):
+        fn = AbsLoc("f", LocKind.FUNCTION)
+        s = make((L("p"), fn, D))
+        assert l_locations(Ref("p", deref=True), s, ENV) == []
+
+
+class TestConstantsAndMalloc:
+    def test_null_constant(self):
+        assert r_locations(Const(0), make(), ENV) == [(NULL, D)]
+
+    def test_nonzero_constant_has_no_targets(self):
+        assert r_locations(Const(42), make(), ENV) == []
+
+    def test_rloc_includes_null_when_copying(self):
+        s = make((L("p"), NULL, D))
+        assert r_locations(Ref("p"), s, ENV) == [(NULL, D)]
+
+
+class TestMultiDimCollapse:
+    def test_second_index_adjusts_not_extends(self):
+        # x[i][j] on a pointer-to-array: a single head/tail layer.
+        s = make((L("pa"), L("arr").with_part(HEAD), D))
+        ref = (
+            Ref("pa", deref=True)
+            .with_index(IndexClass.ZERO)
+            .with_index(IndexClass.POSITIVE)
+        )
+        locs = l_locations(ref, s, ENV)
+        assert locs == [(L("arr").with_part(TAIL), D)]
+        assert all(loc.path.count(HEAD) + loc.path.count(TAIL) <= 1
+                   for loc, _ in locs)

@@ -1,0 +1,266 @@
+"""Section 4.1: map/unmap, invisible variables, and symbolic names —
+tested through whole-program analyses whose labels observe the mapped
+and unmapped states."""
+
+from repro.core.analysis import analyze_source
+
+
+def at(source, label, skip_null=True):
+    return analyze_source(source).triples_at(label, skip_null=skip_null)
+
+
+class TestFormalsInheritFromActuals:
+    def test_global_target_keeps_name(self):
+        source = """
+        int g;
+        void f(int *x) { IN: x = x; }
+        int main() { int *p; p = &g; f(p); return 0; }
+        """
+        assert at(source, "IN") == [("x", "g", "D")]
+
+    def test_local_target_becomes_symbolic(self):
+        source = """
+        void f(int *x) { IN: x = x; }
+        int main() { int a; int *p; p = &a; f(p); return 0; }
+        """
+        assert at(source, "IN") == [("x", "1_x", "D")]
+
+    def test_two_levels_of_symbolics(self):
+        source = """
+        void f(int **x) { IN: x = x; }
+        int main() { int a; int *p; int **pp;
+            p = &a; pp = &p; f(pp); return 0; }
+        """
+        triples = at(source, "IN")
+        assert ("x", "1_x", "D") in triples
+        assert ("1_x", "2_x", "D") in triples
+
+    def test_null_actual(self):
+        source = """
+        void f(int *x) { IN: x = x; }
+        int main() { f(0); return 0; }
+        """
+        assert at(source, "IN", skip_null=False) == [("x", "NULL", "D")]
+
+    def test_globals_keep_relationships(self):
+        source = """
+        int g; int *gp;
+        void f(void) { IN: ; }
+        int main() { gp = &g; f(); return 0; }
+        """
+        assert at(source, "IN") == [("gp", "g", "D")]
+
+    def test_missing_prototype_args_do_not_crash(self):
+        source = """
+        void f(int *x, int *y) { IN: ; }
+        int main() { int a; int *p; p = &a; f(p); return 0; }
+        """
+        triples = at(source, "IN")
+        assert ("x", "1_x", "D") in triples
+
+
+class TestProperty31:
+    """An invisible variable maps to at most one symbolic name."""
+
+    def test_two_definite_pointers_share_one_symbolic(self):
+        # The paper's example: x and y definitely point to invisible b.
+        source = """
+        void f(int *x, int *y) { IN: ; }
+        int main() { int b; int *p, *q;
+            p = &b; q = &b; f(p, q); return 0; }
+        """
+        triples = at(source, "IN")
+        targets_x = {t for s, t, d in triples if s == "x"}
+        targets_y = {t for s, t, d in triples if s == "y"}
+        assert targets_x == targets_y == {"1_x"}
+        assert ("x", "1_x", "D") in triples
+        assert ("y", "1_x", "D") in triples
+
+    def test_definite_mapped_before_possible(self):
+        # Paper's accuracy example: x -> {a,b} possible, y -> b definite.
+        # b should map via y so y's definiteness is preserved.
+        source = """
+        int c;
+        void f(int *x, int *y) { IN: ; }
+        int main() { int a, b; int *p, *q;
+            if (c) p = &a; else p = &b;
+            q = &b;
+            f(p, q); return 0; }
+        """
+        triples = at(source, "IN")
+        y_pairs = [(t, d) for s, t, d in triples if s == "y"]
+        assert len(y_pairs) == 1
+        assert y_pairs[0][1] == "D", (
+            "mapping possible relationships first would degrade y's "
+            f"definite pair: {triples}"
+        )
+
+
+class TestSymbolicSharing:
+    def test_one_symbolic_represents_two_invisibles(self):
+        source = """
+        int c;
+        void f(int *x) { IN: ; }
+        int main() { int a, b; int *p;
+            if (c) p = &a; else p = &b;
+            f(p); return 0; }
+        """
+        triples = at(source, "IN")
+        assert set(triples) == {("x", "1_x", "P")}
+
+    def test_definite_first_avoids_sharing(self):
+        # x -> {a,b} possible, y -> a definite: with the definite-first
+        # heuristic a maps via y (1_y alone), so y's pair stays
+        # definite and x's two targets stay distinct.
+        source = """
+        int c;
+        void f(int *x, int *y) { IN: ; }
+        int main() { int a, b; int *p, *q;
+            if (c) p = &a; else p = &b;
+            q = &a;
+            f(p, q); return 0; }
+        """
+        triples = at(source, "IN")
+        y_pairs = [(t, d) for s, t, d in triples if s == "y"]
+        assert y_pairs == [("1_y", "D")]
+        x_targets = {t for s, t, d in triples if s == "x"}
+        assert len(x_targets) == 2
+
+    def test_sharing_degrades_when_unavoidable(self):
+        # Both of x's possible targets are invisible and reached only
+        # via x: they share 1_x and the pair is possible.
+        source = """
+        int c;
+        void f(int **x) { IN: ; }
+        int main() { int v; int *a, *b; int **p;
+            a = &v; b = &v;
+            if (c) p = &a; else p = &b;
+            f(p); return 0; }
+        """
+        triples = at(source, "IN")
+        assert ("x", "1_x", "P") in triples
+
+
+class TestUnmapStrongUpdates:
+    def test_write_through_param_updates_caller_definitely(self):
+        source = """
+        void set(int **q, int *v) { *q = v; }
+        int main() { int x, y; int *p;
+            p = &x;
+            set(&p, &y);
+            OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("p", "y", "D") in triples
+        assert not any(t == "x" for s, t, d in triples if s == "p")
+
+    def test_write_through_shared_symbolic_is_weak(self):
+        source = """
+        int c;
+        void clear(int **q) { *q = 0; }
+        int main() { int a; int *p1, *p2; int **pp;
+            p1 = &a; p2 = &a;
+            if (c) pp = &p1; else pp = &p2;
+            clear(pp);
+            OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        # both p1 and p2 keep their old target, weakened
+        assert ("p1", "a", "P") in triples
+        assert ("p2", "a", "P") in triples
+
+    def test_global_killed_in_callee_is_killed_in_caller(self):
+        source = """
+        int g; int *gp;
+        void reset(void) { gp = 0; }
+        int main() { gp = &g; reset(); OUT: return 0; }
+        """
+        assert at(source, "OUT") == []
+
+    def test_global_set_in_callee_is_visible_in_caller(self):
+        source = """
+        int g; int *gp;
+        void point_it(void) { gp = &g; }
+        int main() { point_it(); OUT: return 0; }
+        """
+        assert at(source, "OUT") == [("gp", "g", "D")]
+
+    def test_callee_local_does_not_leak(self):
+        source = """
+        int *gp;
+        void f(void) { int local; gp = &local; }
+        int main() { f(); OUT: return 0; }
+        """
+        result = analyze_source(source)
+        assert result.triples_at("OUT") == []
+        assert any("dangling" in w for w in result.warnings)
+
+    def test_untouched_caller_locals_unchanged(self):
+        source = """
+        void noop(int *x) { }
+        int main() { int a, b; int *p, *q;
+            p = &a; q = &b;
+            noop(p);
+            OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("p", "a", "D") in triples
+        assert ("q", "b", "D") in triples
+
+
+class TestReturnValues:
+    def test_returned_global_pointer(self):
+        source = """
+        int g;
+        int *get(void) { return &g; }
+        int main() { int *p; p = get(); OUT: return 0; }
+        """
+        assert at(source, "OUT") == [("p", "g", "D")]
+
+    def test_returned_argument(self):
+        source = """
+        int *identity(int *x) { return x; }
+        int main() { int a; int *p, *q;
+            p = &a; q = identity(p); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("q", "a", "D") in triples
+
+    def test_returned_heap_pointer(self):
+        source = """
+        int *fresh(void) { return (int *) malloc(4); }
+        int main() { int *p; p = fresh(); OUT: return 0; }
+        """
+        assert at(source, "OUT") == [("p", "heap", "P")]
+
+    def test_conditionally_returned_pointers(self):
+        source = """
+        int a, b;
+        int *pick(int c) { if (c) return &a; return &b; }
+        int main() { int *p; p = pick(1); OUT: return 0; }
+        """
+        triples = set(at(source, "OUT"))
+        assert triples == {("p", "a", "P"), ("p", "b", "P")}
+
+    def test_struct_return_carries_field_pointers(self):
+        source = """
+        int g;
+        struct s { int *p; };
+        struct s make(void) { struct s v; v.p = &g; return v; }
+        int main() { struct s w; w = make(); OUT: return 0; }
+        """
+        triples = at(source, "OUT")
+        assert ("w.p", "g", "D") in triples
+
+
+class TestMapInfoOnNodes:
+    def test_map_info_records_invisibles(self):
+        source = """
+        void f(int *x) { }
+        int main() { int a; int *p; p = &a; f(p); return 0; }
+        """
+        result = analyze_source(source)
+        f_node = next(n for n in result.ig.nodes() if n.func == "f")
+        assert f_node.map_info is not None
+        described = f_node.map_info.describe()
+        assert "1_x" in described and "a" in described

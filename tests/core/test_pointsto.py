@@ -1,0 +1,207 @@
+"""Unit and property tests for the points-to set algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.locations import AbsLoc, HEAP, LocKind, NULL
+from repro.core.pointsto import D, P, PointsToSet, merge_all
+
+
+def loc(name):
+    return AbsLoc(name, LocKind.LOCAL, "f")
+
+
+A, B, C, X, Y = (loc(n) for n in "abcxy")
+
+
+def make(*triples):
+    return PointsToSet.from_triples(triples)
+
+
+class TestBasicOperations:
+    def test_add_and_query(self):
+        s = make((A, B, D))
+        assert s.has(A, B)
+        assert s.definiteness(A, B) is D
+
+    def test_possible_does_not_upgrade(self):
+        s = make((A, B, D), (A, B, P))
+        assert s.definiteness(A, B) is D
+
+    def test_explicit_definite_upgrade(self):
+        s = make((A, B, P), (A, B, D))
+        assert s.definiteness(A, B) is D
+
+    def test_kill_source(self):
+        s = make((A, B, D), (B, C, D))
+        s.kill_source(A)
+        assert not s.has(A, B)
+        assert s.has(B, C)
+
+    def test_weaken_source(self):
+        s = make((A, B, D), (B, C, D))
+        s.weaken_source(A)
+        assert s.definiteness(A, B) is P
+        assert s.definiteness(B, C) is D
+
+    def test_targets_of(self):
+        s = make((A, B, D), (B, C, P), (B, X, P))
+        assert dict(s.targets_of(B)) == {C: P, X: P}
+
+    def test_sources_of(self):
+        s = make((A, C, P), (B, C, D))
+        assert dict(s.sources_of(C)) == {A: P, B: D}
+
+    def test_discard(self):
+        s = make((A, B, D), (A, C, P))
+        s.discard(A, B)
+        assert not s.has(A, B) and s.has(A, C)
+
+    def test_copy_is_independent(self):
+        s = make((A, B, D))
+        t = s.copy()
+        t.kill_source(A)
+        assert s.has(A, B) and not t.has(A, B)
+
+    def test_len_and_bool(self):
+        assert len(make()) == 0 and not make()
+        assert len(make((A, B, P))) == 1
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make())
+
+    def test_locations(self):
+        s = make((A, B, D), (B, C, P))
+        assert s.locations() == {A, B, C}
+
+
+class TestMerge:
+    def test_definite_in_both_stays_definite(self):
+        merged = make((A, B, D)).merge(make((A, B, D)))
+        assert merged.definiteness(A, B) is D
+
+    def test_definite_in_one_becomes_possible(self):
+        merged = make((A, B, D)).merge(make())
+        assert merged.definiteness(A, B) is P
+
+    def test_union_of_pairs(self):
+        merged = make((A, B, D)).merge(make((B, C, D)))
+        assert merged.has(A, B) and merged.has(B, C)
+        assert merged.definiteness(A, B) is P
+
+    def test_mixed_definiteness(self):
+        merged = make((A, B, D)).merge(make((A, B, P)))
+        assert merged.definiteness(A, B) is P
+
+    def test_merge_all_skips_none(self):
+        result = merge_all([None, make((A, B, D)), None])
+        assert result is not None and result.definiteness(A, B) is D
+
+    def test_merge_all_empty(self):
+        assert merge_all([None, None]) is None
+
+
+class TestSubset:
+    def test_empty_subset_of_anything(self):
+        assert make().is_subset_of(make((A, B, D)))
+
+    def test_pair_subset(self):
+        assert make((A, B, P)).is_subset_of(make((A, B, P), (B, C, P)))
+
+    def test_missing_pair_not_subset(self):
+        assert not make((A, C, P)).is_subset_of(make((A, B, P)))
+
+    def test_definite_covered_by_possible(self):
+        assert make((A, B, D)).is_subset_of(make((A, B, P)))
+
+    def test_possible_not_covered_by_definite(self):
+        # An output computed under a definite assumption must not be
+        # reused for a merely-possible input.
+        assert not make((A, B, P)).is_subset_of(make((A, B, D)))
+
+
+class TestInvariantChecks:
+    def test_clean_set_has_no_problems(self):
+        assert make((A, B, D), (C, X, P), (C, Y, P)).check_invariants() == []
+
+    def test_two_definite_targets_flagged(self):
+        problems = make((A, B, D), (A, C, D)).check_invariants()
+        assert problems
+
+    def test_definite_plus_possible_flagged(self):
+        problems = make((A, B, D), (A, C, P)).check_invariants()
+        assert problems
+
+    def test_definite_to_heap_flagged(self):
+        problems = make((A, HEAP, D)).check_invariants()
+        assert problems
+
+    def test_null_source_flagged(self):
+        problems = make((NULL, A, P)).check_invariants()
+        assert problems
+
+
+# -- property-based tests ----------------------------------------------------
+
+locs = st.sampled_from([A, B, C, X, Y])
+defs = st.sampled_from([D, P])
+triples = st.lists(st.tuples(locs, locs, defs), max_size=12)
+
+
+def build(ts):
+    return PointsToSet.from_triples(ts)
+
+
+@given(triples, triples)
+@settings(max_examples=200, deadline=None)
+def test_merge_is_commutative(t1, t2):
+    assert build(t1).merge(build(t2)) == build(t2).merge(build(t1))
+
+
+@given(triples, triples, triples)
+@settings(max_examples=100, deadline=None)
+def test_merge_is_associative(t1, t2, t3):
+    a, b, c = build(t1), build(t2), build(t3)
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(triples)
+@settings(max_examples=100, deadline=None)
+def test_merge_idempotent_on_possible_sets(ts):
+    s = build([(x, y, P) for x, y, _ in ts])
+    assert s.merge(s) == s
+
+
+@given(triples, triples)
+@settings(max_examples=200, deadline=None)
+def test_both_inputs_subset_of_merge(t1, t2):
+    a, b = build(t1), build(t2)
+    merged = a.merge(b)
+    assert a.is_subset_of(merged)
+    assert b.is_subset_of(merged)
+
+
+@given(triples)
+@settings(max_examples=100, deadline=None)
+def test_subset_reflexive(ts):
+    s = build(ts)
+    assert s.is_subset_of(s)
+
+
+@given(triples, triples)
+@settings(max_examples=100, deadline=None)
+def test_merge_with_empty_weakens_to_possible(ts, _):
+    s = build(ts)
+    merged = s.merge(PointsToSet())
+    for src, tgt, _d in s.triples():
+        assert merged.definiteness(src, tgt) is P
+
+
+@given(triples)
+@settings(max_examples=100, deadline=None)
+def test_kill_removes_all_and_only_source_pairs(ts):
+    s = build(ts)
+    s.kill_source(A)
+    for src, tgt, _ in s.triples():
+        assert src != A

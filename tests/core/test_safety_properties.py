@@ -1,0 +1,106 @@
+"""Whole-analysis safety properties, checked with hypothesis over the
+random program generator.
+
+The paper's safety conditions (Definition 3.3) cannot be checked
+against a concrete execution without a C interpreter, but their
+*structural* consequences can be checked on every recorded set:
+
+* a definite relationship is its source's only relationship;
+* NULL is never a points-to *source*;
+* no definite relationship involves a multi-location abstraction
+  (heap, array tails);
+* the analysis terminates and the invocation graph stays finite.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite import BENCHMARKS, generate_program
+from repro.benchsuite.generator import GeneratorConfig
+from repro.core.analysis import analyze_source
+
+
+def check_result_invariants(result):
+    for stmt_id, info in result.point_info.items():
+        problems = info.check_invariants()
+        assert not problems, (
+            f"invariant violations at stmt {stmt_id}: {problems}"
+        )
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_analyze_safely(seed):
+    source = generate_program(seed)
+    result = analyze_source(source)
+    check_result_invariants(result)
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_larger_generated_programs_terminate(seed):
+    config = GeneratorConfig(n_functions=6, n_stmts=12, max_pointer_level=3)
+    source = generate_program(seed, config)
+    result = analyze_source(source)
+    check_result_invariants(result)
+    assert result.ig.node_count() < 5000
+
+
+def test_benchmarks_satisfy_invariants():
+    for name, bench in BENCHMARKS.items():
+        result = analyze_source(bench.source)
+        check_result_invariants(result)
+
+
+def test_deep_stack_recursion_terminates():
+    # Unbounded stack growth at runtime must still converge abstractly
+    # (the symbolic name space is finite by construction).
+    source = """
+    struct frame { struct frame *up; };
+    void push(struct frame *parent, int n) {
+        struct frame mine;
+        mine.up = parent;
+        if (n > 0) push(&mine, n - 1);
+    }
+    int main() { push(0, 100); return 0; }
+    """
+    result = analyze_source(source)
+    check_result_invariants(result)
+
+
+def test_circular_stack_structure_terminates():
+    source = """
+    struct ring { struct ring *next; };
+    void spin(struct ring *r) {
+        struct ring *cur;
+        cur = r;
+        while (cur != 0) { cur = cur->next; }
+    }
+    int main() {
+        struct ring a, b, c;
+        a.next = &b; b.next = &c; c.next = &a;
+        spin(&a);
+        return 0;
+    }
+    """
+    result = analyze_source(source)
+    check_result_invariants(result)
+
+
+def test_mutual_recursion_with_pointer_swaps_terminates():
+    source = """
+    int *ga; int *gb;
+    void f(int n);
+    void g(int n) { int *t; t = ga; ga = gb; gb = t; if (n) f(n - 1); }
+    void f(int n) { if (n) g(n - 1); }
+    int main() {
+        int x, y;
+        ga = &x; gb = &y;
+        f(9);
+        OUT: return 0;
+    }
+    """
+    result = analyze_source(source)
+    check_result_invariants(result)
+    triples = result.triples_at("OUT")
+    # after an unknown number of swaps both orders are possible
+    assert ("ga", "x", "P") in triples and ("ga", "y", "P") in triples

@@ -1,0 +1,140 @@
+"""The Table 2-6 collectors on small programs with known answers."""
+
+from repro.core.analysis import analyze_source
+from repro.core.statistics import (
+    collect_table2,
+    collect_table3,
+    collect_table4,
+    collect_table5,
+    collect_table6,
+    summarize_suite,
+)
+
+SOURCE = """
+int g; int *gp;
+void store(int **q, int *v) { *q = v; }
+int main() {
+    int a; int *p;
+    int c;
+    store(&p, &a);
+    gp = &g;
+    if (c) a = *p;
+    a = *gp;
+    return 0;
+}
+"""
+
+
+def analysis():
+    return analyze_source(SOURCE)
+
+
+class TestTable2:
+    def test_counts_statements_and_lines(self):
+        row = collect_table2(analysis(), "demo", "description here")
+        assert row.benchmark == "demo"
+        assert row.simple_stmts > 0
+        assert row.lines > 5
+        assert 0 < row.min_vars <= row.max_vars
+
+
+class TestTable3:
+    def test_indirect_reference_classes(self):
+        row = collect_table3(analysis(), "demo")
+        # *q (in store), *p, *gp — all single-target
+        assert row.indirect_refs == 3
+        assert row.one_definite.total == 3
+        assert row.average == 1.0
+
+    def test_scalar_replacement_counted(self):
+        row = collect_table3(analysis(), "demo")
+        # *p -> a and *gp -> g are replaceable; *q points to an
+        # invisible (symbolic) so it is not.
+        assert row.scalar_replaceable == 2
+
+    def test_heap_pairs(self):
+        source = """
+        int main() {
+            int *p; int x;
+            p = (int *) malloc(4);
+            x = *p;
+            return 0;
+        }
+        """
+        row = collect_table3(analyze_source(source), "heapy")
+        assert row.pairs_to_heap == 1
+        assert row.pairs_to_stack == 0
+
+
+class TestTable4:
+    def test_from_categories(self):
+        row = collect_table4(analysis(), "demo")
+        # *q: q is a formal parameter; *p: p local; *gp: gp global.
+        assert row.from_counts["fp"] == 1
+        assert row.from_counts["lo"] == 1
+        assert row.from_counts["gl"] == 1
+
+    def test_to_categories(self):
+        row = collect_table4(analysis(), "demo")
+        # *q's target is symbolic (1_v's referent a is invisible
+        # in store), *p -> a local, *gp -> g global.
+        assert row.to_counts["sy"] == 1
+        assert row.to_counts["lo"] == 1
+        assert row.to_counts["gl"] == 1
+
+
+class TestTable5:
+    def test_no_heap_to_stack_in_clean_program(self):
+        row = collect_table5(analysis(), "demo")
+        assert row.heap_to_stack == 0
+        assert row.stack_to_stack > 0
+        assert row.statements > 0
+        assert row.max_per_stmt >= 1
+
+    def test_heap_to_heap_counted(self):
+        source = """
+        struct n { struct n *next; };
+        int main() {
+            struct n *a, *b;
+            a = (struct n *) malloc(8);
+            b = (struct n *) malloc(8);
+            a->next = b;
+            b = a;
+            LAST: return 0;
+        }
+        """
+        row = collect_table5(analyze_source(source), "x")
+        assert row.heap_to_heap > 0
+
+    def test_average_consistent_with_total(self):
+        row = collect_table5(analysis(), "demo")
+        assert abs(row.average * row.statements - row.total) < 1e-9
+
+
+class TestTable6:
+    def test_graph_counts(self):
+        row = collect_table6(analysis(), "demo")
+        assert row.ig_nodes == 2  # main + store
+        assert row.call_sites == 1  # only store(); malloc is external
+        assert row.functions == 1
+        assert row.recursive_nodes == 0
+        assert row.approximate_nodes == 0
+
+    def test_averages(self):
+        row = collect_table6(analysis(), "demo")
+        assert row.avg_per_call_site == 1.0  # (2 - 1) / 1
+        assert row.avg_per_function == 2.0  # 2 / 1
+
+
+class TestSuiteSummary:
+    def test_aggregates_rows(self):
+        rows = [collect_table3(analysis(), "a"), collect_table3(analysis(), "b")]
+        summary = summarize_suite(rows)
+        assert summary.total_indirect_refs == 6
+        assert summary.overall_average == 1.0
+        assert summary.pct_definite_single == 100.0
+
+    def test_empty_suite(self):
+        summary = summarize_suite([])
+        assert summary.overall_average == 0.0
+        assert summary.pct_heap_pairs == 0.0

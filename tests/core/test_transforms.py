@@ -1,0 +1,146 @@
+"""Pointer replacement and indirect-reference enumeration."""
+
+from repro.core.analysis import analyze_source
+from repro.core.transforms import (
+    find_pointer_replacements,
+    indirect_references,
+)
+
+
+class TestIndirectReferences:
+    def test_counts_each_occurrence(self):
+        source = """
+        int main() {
+            int a; int *p;
+            p = &a;
+            *p = 1;
+            a = *p;
+            return 0;
+        }
+        """
+        refs = indirect_references(analyze_source(source))
+        assert len(refs) == 2
+
+    def test_form_classification(self):
+        source = """
+        int main() {
+            int arr[4]; int *p; int x;
+            p = arr;
+            x = *p;
+            x = p[2];
+            return 0;
+        }
+        """
+        refs = indirect_references(analyze_source(source))
+        forms = sorted(r.form for r in refs)
+        assert forms == ["array", "deref"]
+
+    def test_unreachable_statements_skipped(self):
+        source = """
+        int main() {
+            int a; int *p;
+            p = &a;
+            return 0;
+            *p = 1;
+        }
+        """
+        refs = indirect_references(analyze_source(source))
+        assert refs == []
+
+    def test_null_target_tracked_separately(self):
+        source = """
+        int c;
+        int main() {
+            int a; int *p;
+            if (c) p = &a; else p = 0;
+            *p = 1;
+            return 0;
+        }
+        """
+        refs = indirect_references(analyze_source(source))
+        assert len(refs) == 1
+        assert refs[0].may_be_null
+        assert len(refs[0].targets) == 1  # single non-NULL target
+
+    def test_single_definite(self):
+        source = """
+        int main() { int a; int *p; p = &a; *p = 1; return 0; }
+        """
+        refs = indirect_references(analyze_source(source))
+        assert refs[0].single_definite
+
+
+class TestPointerReplacement:
+    def test_definite_local_target_is_replaceable(self):
+        source = """
+        int main() { int a, x; int *q; q = &a; x = *q; return 0; }
+        """
+        reps = find_pointer_replacements(analyze_source(source))
+        assert len(reps) == 1
+        assert str(reps[0].target) == "a"
+
+    def test_possible_target_not_replaceable(self):
+        source = """
+        int c;
+        int main() {
+            int a, b, x; int *q;
+            if (c) q = &a; else q = &b;
+            x = *q;
+            return 0;
+        }
+        """
+        assert find_pointer_replacements(analyze_source(source)) == []
+
+    def test_invisible_target_not_replaceable(self):
+        # Footnote 7: replacement cannot be done when the pointer
+        # definitely points to an invisible variable.
+        source = """
+        void f(int *q) { int x; x = *q; }
+        int main() { int a; f(&a); return 0; }
+        """
+        reps = find_pointer_replacements(analyze_source(source))
+        assert all(r.func != "f" for r in reps)
+
+    def test_heap_target_not_replaceable(self):
+        source = """
+        int main() {
+            int x; int *q;
+            q = (int *) malloc(4);
+            x = *q;
+            return 0;
+        }
+        """
+        assert find_pointer_replacements(analyze_source(source)) == []
+
+    def test_array_head_target_is_replaceable(self):
+        source = """
+        int main() {
+            int arr[4]; int x; int *q;
+            q = &arr[0];
+            x = *q;
+            return 0;
+        }
+        """
+        reps = find_pointer_replacements(analyze_source(source))
+        assert len(reps) == 1
+        assert "arr[head]" in str(reps[0].target)
+
+    def test_array_tail_target_not_replaceable(self):
+        source = """
+        int main() {
+            int arr[4]; int x; int *q;
+            q = &arr[2];
+            x = *q;
+            return 0;
+        }
+        """
+        assert find_pointer_replacements(analyze_source(source)) == []
+
+    def test_global_target_replaceable_in_callee(self):
+        source = """
+        int g;
+        void f(void) { int x; int *q; q = &g; x = *q; }
+        int main() { f(); return 0; }
+        """
+        reps = find_pointer_replacements(analyze_source(source))
+        assert any(str(r.target) == "g" for r in reps)

@@ -1,0 +1,116 @@
+"""Declarator stress tests: the gnarly corners of C's declarator
+grammar that the points-to analysis depends on getting right."""
+
+from repro.frontend import parse
+from repro.frontend.ctypes import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+)
+
+
+def gtype(source, name):
+    unit = parse(source)
+    for decl in unit.globals:
+        if decl.name == name:
+            return decl.type
+    return unit.prototypes.get(name)
+
+
+class TestFunctionPointerShapes:
+    def test_function_returning_function_pointer(self):
+        t = gtype("int (*get_handler(int which))(int, int);", "get_handler")
+        assert isinstance(t, FunctionType)
+        assert t.return_type.is_function_pointer()
+
+    def test_pointer_to_array_of_function_pointers(self):
+        t = gtype("int (*(*table_ptr)[8])(void);", "table_ptr")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.pointee, ArrayType)
+        assert t.pointee.element.is_function_pointer()
+
+    def test_function_pointer_taking_function_pointer(self):
+        t = gtype("void (*combinator)(void (*)(int));", "combinator")
+        assert t.is_function_pointer()
+        inner_param = t.pointee.param_types[0]
+        assert inner_param.is_function_pointer()
+
+    def test_typedef_of_function_pointer(self):
+        t = gtype(
+            "typedef int (*binop)(int, int); binop op_table[4];",
+            "op_table",
+        )
+        assert isinstance(t, ArrayType)
+        assert t.element.is_function_pointer()
+
+    def test_typedef_of_function_type(self):
+        t = gtype("typedef int handler(int); handler *h;", "h")
+        assert t.is_function_pointer()
+
+    def test_struct_with_function_pointer_matrix(self):
+        t = gtype(
+            "struct ops { int (*tbl[2][3])(void); } vops;",
+            "vops",
+        )
+        field = t.field_type("tbl")
+        assert isinstance(field, ArrayType)
+        assert field.element.element.is_function_pointer()
+
+
+class TestPointerArrayShapes:
+    def test_array_of_pointers_to_arrays(self):
+        t = gtype("int (*rows[4])[16];", "rows")
+        assert isinstance(t, ArrayType)
+        assert isinstance(t.element, PointerType)
+        assert isinstance(t.element.pointee, ArrayType)
+
+    def test_pointer_to_pointer_to_array(self):
+        t = gtype("double (**pp)[8];", "pp")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.pointee, PointerType)
+        assert isinstance(t.pointee.pointee, ArrayType)
+
+    def test_three_dimensional_array(self):
+        t = gtype("char cube[2][3][4];", "cube")
+        assert t.length == 2
+        assert t.element.length == 3
+        assert t.element.element.length == 4
+
+    def test_const_everywhere(self):
+        t = gtype("const char * const names[3];", "names")
+        assert isinstance(t, ArrayType)
+        assert isinstance(t.element, PointerType)
+
+
+class TestMixedDeclarations:
+    def test_mixed_declarator_list(self):
+        unit = parse("int x, *p, a[3], (*fp)(void), **pp;")
+        types = {d.name: d.type for d in unit.globals}
+        assert not types["x"].is_pointer()
+        assert types["p"].is_pointer()
+        assert isinstance(types["a"], ArrayType)
+        assert types["pp"].pointer_level() == 2
+        assert unit.prototypes == {} or "fp" not in unit.prototypes
+        assert types["fp"].is_function_pointer()
+
+    def test_struct_tag_and_instance_same_statement(self):
+        t = gtype("struct list { struct list *next; } *head;", "head")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.pointee, StructType)
+
+    def test_forward_struct_pointer(self):
+        t = gtype("struct later; struct later *p; struct later { int x; };", "p")
+        assert isinstance(t, PointerType)
+
+    def test_self_referential_pair(self):
+        source = """
+        struct a;
+        struct b { struct a *pa; };
+        struct a { struct b *pb; };
+        struct a root;
+        """
+        t = gtype(source, "root")
+        pb = t.field_type("pb")
+        assert isinstance(pb, PointerType)
+        assert pb.pointee.field_type("pa").pointee is t

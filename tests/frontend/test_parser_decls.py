@@ -1,0 +1,239 @@
+"""Parser tests: declarations, declarators, types."""
+
+import pytest
+
+from repro.frontend import parse
+from repro.frontend.ctypes import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+)
+from repro.frontend.errors import ParseError
+
+
+def global_type(source, name):
+    unit = parse(source)
+    for decl in unit.globals:
+        if decl.name == name:
+            return decl.type
+    raise AssertionError(f"no global {name}")
+
+
+class TestScalarDeclarations:
+    def test_int(self):
+        assert str(global_type("int x;", "x")) == "int"
+
+    def test_unsigned(self):
+        t = global_type("unsigned int x;", "x")
+        assert isinstance(t, IntType) and not t.signed
+
+    def test_unsigned_without_int(self):
+        t = global_type("unsigned x;", "x")
+        assert isinstance(t, IntType) and not t.signed
+
+    def test_char_short_long(self):
+        assert str(global_type("char c;", "c")) == "char"
+        assert str(global_type("short s;", "s")) == "short"
+        assert str(global_type("long l;", "l")) == "long"
+
+    def test_double_and_float(self):
+        assert str(global_type("double d;", "d")) == "double"
+        assert str(global_type("float f;", "f")) == "float"
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, *b, c[4];")
+        types = {d.name: str(d.type) for d in unit.globals}
+        assert types == {"a": "int", "b": "int*", "c": "int[4]"}
+
+
+class TestPointerDeclarators:
+    def test_single_pointer(self):
+        assert isinstance(global_type("int *p;", "p"), PointerType)
+
+    def test_double_pointer(self):
+        t = global_type("int **p;", "p")
+        assert t.pointer_level() == 2
+
+    def test_triple_pointer(self):
+        assert global_type("int ***p;", "p").pointer_level() == 3
+
+    def test_const_qualified_pointer(self):
+        assert global_type("const int *p;", "p").is_pointer()
+
+    def test_pointer_to_array(self):
+        t = global_type("int (*p)[10];", "p")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.pointee, ArrayType)
+        assert t.pointee.length == 10
+
+    def test_array_of_pointers(self):
+        t = global_type("int *a[10];", "a")
+        assert isinstance(t, ArrayType)
+        assert isinstance(t.element, PointerType)
+
+
+class TestArrayDeclarators:
+    def test_sized_array(self):
+        t = global_type("int a[5];", "a")
+        assert isinstance(t, ArrayType) and t.length == 5
+
+    def test_multidim_array(self):
+        t = global_type("int a[2][3];", "a")
+        assert isinstance(t, ArrayType) and t.length == 2
+        assert isinstance(t.element, ArrayType) and t.element.length == 3
+
+    def test_array_size_constant_expression(self):
+        t = global_type("int a[4 * 2 + 1];", "a")
+        assert t.length == 9
+
+    def test_array_size_from_enum(self):
+        t = global_type("enum { N = 7 }; int a[N];", "a")
+        assert t.length == 7
+
+    def test_array_size_from_sizeof(self):
+        t = global_type("int a[sizeof(int)];", "a")
+        assert t.length == 4
+
+
+class TestFunctionDeclarators:
+    def test_prototype(self):
+        unit = parse("int f(int, double);")
+        proto = unit.prototypes["f"]
+        assert isinstance(proto, FunctionType)
+        assert len(proto.param_types) == 2
+
+    def test_void_parameter_list(self):
+        proto = parse("int f(void);").prototypes["f"]
+        assert proto.param_types == ()
+
+    def test_variadic(self):
+        proto = parse("int printf(char *, ...);").prototypes["printf"]
+        assert proto.variadic
+
+    def test_function_pointer(self):
+        t = global_type("int (*fp)(int);", "fp")
+        assert t.is_function_pointer()
+
+    def test_array_of_function_pointers(self):
+        t = global_type("int (*tab[4])(int, int);", "tab")
+        assert isinstance(t, ArrayType)
+        assert t.element.is_function_pointer()
+
+    def test_function_returning_pointer(self):
+        proto = parse("int *f(void);").prototypes["f"]
+        assert isinstance(proto, FunctionType)
+        assert isinstance(proto.return_type, PointerType)
+
+    def test_function_pointer_parameter(self):
+        unit = parse("int apply(int (*f)(int), int x) { return f(x); }")
+        fn = unit.function("apply")
+        assert fn.params[0].type.is_function_pointer()
+
+    def test_parameter_array_decays(self):
+        unit = parse("int sum(int arr[10]) { return arr[0]; }")
+        assert isinstance(unit.function("sum").params[0].type, PointerType)
+
+    def test_pointer_to_function_pointer(self):
+        t = global_type("int (**pp)(void);", "pp")
+        assert isinstance(t, PointerType)
+        assert t.pointee.is_function_pointer()
+
+
+class TestStructs:
+    def test_simple_struct(self):
+        t = global_type("struct point { int x; int y; } p;", "p")
+        assert isinstance(t, StructType)
+        assert [f.name for f in t.fields] == ["x", "y"]
+
+    def test_recursive_struct(self):
+        t = global_type("struct node { int v; struct node *next; } n;", "n")
+        next_type = t.field_type("next")
+        assert isinstance(next_type, PointerType)
+        assert next_type.pointee is t
+
+    def test_struct_reference_by_tag(self):
+        unit = parse("struct s { int x; }; struct s instance;")
+        t = unit.globals[0].type
+        assert isinstance(t, StructType) and t.tag == "s"
+
+    def test_union(self):
+        t = global_type("union u { int i; double d; } v;", "v")
+        assert isinstance(t, StructType) and t.is_union
+
+    def test_nested_struct(self):
+        t = global_type(
+            "struct outer { struct inner { int x; } in; int y; } o;", "o"
+        )
+        inner = t.field_type("in")
+        assert isinstance(inner, StructType)
+        assert inner.field_type("x") is not None
+
+    def test_struct_with_pointer_fields_involves_pointers(self):
+        t = global_type("struct s { int a; int *p; } v;", "v")
+        assert t.involves_pointers()
+
+    def test_struct_without_pointers(self):
+        t = global_type("struct s { int a; double b; } v;", "v")
+        assert not t.involves_pointers()
+
+    def test_anonymous_struct(self):
+        t = global_type("struct { int x; } v;", "v")
+        assert isinstance(t, StructType)
+
+    def test_struct_field_function_pointer(self):
+        t = global_type("struct ops { int (*read)(void); } o;", "o")
+        assert t.field_type("read").is_function_pointer()
+
+
+class TestTypedefsAndEnums:
+    def test_typedef(self):
+        t = global_type("typedef int myint; myint x;", "x")
+        assert str(t) == "int"
+
+    def test_typedef_pointer(self):
+        t = global_type("typedef int *intp; intp p;", "p")
+        assert isinstance(t, PointerType)
+
+    def test_typedef_struct(self):
+        t = global_type(
+            "typedef struct node { struct node *next; } Node; Node n;", "n"
+        )
+        assert isinstance(t, StructType)
+
+    def test_typedef_in_declarator_position(self):
+        t = global_type("typedef struct s { int x; } S; S *p;", "p")
+        assert isinstance(t, PointerType)
+
+    def test_enum_constants_fold(self):
+        unit = parse("enum color { RED, GREEN = 5, BLUE }; int a[BLUE];")
+        assert unit.globals[0].type.length == 6
+
+    def test_enum_typed_global(self):
+        unit = parse("enum color { RED } c;")
+        assert str(unit.globals[0].type) == "enum color"
+
+
+class TestFunctionDefinitions:
+    def test_definition_collects_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        fn = unit.function("add")
+        assert fn.param_names == ["a", "b"]
+
+    def test_definition_and_prototype_coexist(self):
+        unit = parse("int f(int); int f(int x) { return x; }")
+        assert unit.has_function("f")
+
+    def test_void_function(self):
+        unit = parse("void f(void) { }")
+        assert str(unit.function("f").return_type) == "void"
+
+    def test_redeclaration_conflict_raises(self):
+        with pytest.raises(Exception):
+            parse("int x; double x;")
+
+    def test_globals_with_initializers(self):
+        unit = parse("int x = 5; int *p = &x;")
+        assert unit.globals[0].init is not None
+        assert unit.globals[1].init is not None

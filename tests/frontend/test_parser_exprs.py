@@ -1,0 +1,179 @@
+"""Parser tests: expressions and precedence."""
+
+import pytest
+
+from repro.frontend import cast, parse
+from repro.frontend.errors import ParseError
+
+
+def expr_of(text):
+    unit = parse("int a, b, c, d; int *p; int main() { x_result = " + text + "; }")
+    stmt = unit.function("main").body.stmts[0]
+    return stmt.expr.value
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        e = expr_of("a + b * c")
+        assert isinstance(e, cast.Binary) and e.op == "+"
+        assert isinstance(e.right, cast.Binary) and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = expr_of("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.left, cast.Binary) and e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = expr_of("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, cast.Binary) and e.left.op == "-"
+        assert isinstance(e.right, cast.Ident)
+
+    def test_comparison_below_arithmetic(self):
+        e = expr_of("a + b < c * d")
+        assert e.op == "<"
+
+    def test_logical_or_loosest(self):
+        e = expr_of("a && b || c && d")
+        assert e.op == "||"
+
+    def test_bitwise_between_comparison_and_logical(self):
+        e = expr_of("a == b & c")
+        assert e.op == "&"
+        assert e.left.op == "=="
+
+    def test_shift_precedence(self):
+        e = expr_of("a << b + c")
+        assert e.op == "<<"
+
+    def test_assignment_right_associative(self):
+        unit = parse("int main() { a = b = c; }")
+        assign = unit.function("main").body.stmts[0].expr
+        assert isinstance(assign.value, cast.Assign)
+
+    def test_conditional_expression(self):
+        e = expr_of("a ? b : c")
+        assert isinstance(e, cast.Conditional)
+
+    def test_nested_conditional_right_associative(self):
+        e = expr_of("a ? b : c ? d : a")
+        assert isinstance(e.else_expr, cast.Conditional)
+
+
+class TestUnaryAndPostfix:
+    def test_address_of(self):
+        e = expr_of("&a")
+        assert isinstance(e, cast.Unary) and e.op == "&"
+
+    def test_dereference(self):
+        e = expr_of("*p")
+        assert e.op == "*"
+
+    def test_double_dereference(self):
+        e = expr_of("**p")
+        assert e.op == "*" and e.operand.op == "*"
+
+    def test_prefix_increment(self):
+        assert expr_of("++a").op == "++pre"
+
+    def test_postfix_increment(self):
+        assert expr_of("a++").op == "++post"
+
+    def test_negation_and_not(self):
+        assert expr_of("-a").op == "-"
+        assert expr_of("!a").op == "!"
+        assert expr_of("~a").op == "~"
+
+    def test_subscript(self):
+        e = expr_of("a[b]")
+        assert isinstance(e, cast.Subscript)
+
+    def test_multidim_subscript(self):
+        e = expr_of("a[b][c]")
+        assert isinstance(e, cast.Subscript)
+        assert isinstance(e.base, cast.Subscript)
+
+    def test_member_access(self):
+        e = expr_of("a.b")
+        assert isinstance(e, cast.Member) and not e.arrow
+
+    def test_arrow_access(self):
+        e = expr_of("p->b")
+        assert isinstance(e, cast.Member) and e.arrow
+
+    def test_chained_postfix(self):
+        e = expr_of("a.b[0].c")
+        assert isinstance(e, cast.Member) and e.field == "c"
+
+    def test_call_no_args(self):
+        e = expr_of("f()")
+        assert isinstance(e, cast.Call) and e.args == []
+
+    def test_call_with_args(self):
+        e = expr_of("f(a, b + c)")
+        assert len(e.args) == 2
+
+    def test_call_through_pointer_expr(self):
+        e = expr_of("(*p)()")
+        assert isinstance(e, cast.Call)
+        assert isinstance(e.func, cast.Unary)
+
+
+class TestCastsAndSizeof:
+    def test_cast(self):
+        e = expr_of("(double) a")
+        assert isinstance(e, cast.Cast)
+        assert str(e.to_type) == "double"
+
+    def test_pointer_cast(self):
+        e = expr_of("(int *) a")
+        assert isinstance(e, cast.Cast)
+        assert e.to_type.is_pointer()
+
+    def test_parenthesized_expr_is_not_a_cast(self):
+        e = expr_of("(a) + b")
+        assert isinstance(e, cast.Binary)
+
+    def test_cast_with_typedef_name(self):
+        unit = parse("typedef int T; int main() { x = (T) y; }")
+        e = unit.function("main").body.stmts[0].expr.value
+        assert isinstance(e, cast.Cast)
+
+    def test_sizeof_type(self):
+        e = expr_of("sizeof(int)")
+        assert isinstance(e, cast.SizeofType)
+
+    def test_sizeof_expression(self):
+        e = expr_of("sizeof a")
+        assert isinstance(e, cast.SizeofExpr)
+
+    def test_sizeof_struct(self):
+        unit = parse("struct s { int x; }; int main() { y = sizeof(struct s); }")
+        e = unit.function("main").body.stmts[0].expr.value
+        assert isinstance(e, cast.SizeofType)
+
+
+class TestLiteralsAndMisc:
+    def test_char_literal_is_int(self):
+        e = expr_of("'x'")
+        assert isinstance(e, cast.IntLit) and e.value == ord("x")
+
+    def test_string_literal(self):
+        e = expr_of('"abc"')
+        assert isinstance(e, cast.StringLit)
+
+    def test_comma_expression(self):
+        unit = parse("int main() { x = (a, b, c); }")
+        e = unit.function("main").body.stmts[0].expr.value
+        assert isinstance(e, cast.Comma) and len(e.exprs) == 3
+
+    def test_compound_assignment_ops(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="):
+            unit = parse("int main() { a " + op + " 2; }")
+            assign = unit.function("main").body.stmts[0].expr
+            assert isinstance(assign, cast.Assign) and assign.op == op
+
+    def test_enum_constant_folds_to_literal(self):
+        unit = parse("enum { K = 9 }; int main() { x = K; }")
+        e = unit.function("main").body.stmts[0].expr.value
+        assert isinstance(e, cast.IntLit) and e.value == 9

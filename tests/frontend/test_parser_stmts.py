@@ -1,0 +1,158 @@
+"""Parser tests: statements and control flow."""
+
+import pytest
+
+from repro.frontend import cast, parse
+from repro.frontend.errors import ParseError
+
+
+def body_of(source, name="main"):
+    return parse(source).function(name).body.stmts
+
+
+def wrap(stmts_source):
+    return body_of("int main() { " + stmts_source + " }")
+
+
+class TestBasicStatements:
+    def test_expression_statement(self):
+        stmts = wrap("x + 1;")
+        assert isinstance(stmts[0], cast.ExprStmt)
+
+    def test_empty_statement(self):
+        assert isinstance(wrap(";")[0], cast.Empty)
+
+    def test_declaration_statement(self):
+        stmts = wrap("int x; int *p;")
+        assert all(isinstance(s, cast.DeclStmt) for s in stmts)
+
+    def test_declaration_with_initializer(self):
+        stmts = wrap("int x = 42;")
+        assert stmts[0].decls[0].init is not None
+
+    def test_compound_statement(self):
+        stmts = wrap("{ int x; x = 1; }")
+        assert isinstance(stmts[0], cast.Compound)
+
+    def test_return_with_value(self):
+        stmts = wrap("return 5;")
+        assert isinstance(stmts[0], cast.Return)
+        assert isinstance(stmts[0].value, cast.IntLit)
+
+    def test_return_without_value(self):
+        source = "void f(void) { return; }"
+        stmt = parse(source).function("f").body.stmts[0]
+        assert isinstance(stmt, cast.Return) and stmt.value is None
+
+
+class TestControlFlow:
+    def test_if(self):
+        stmt = wrap("if (x) y = 1;")[0]
+        assert isinstance(stmt, cast.If) and stmt.else_stmt is None
+
+    def test_if_else(self):
+        stmt = wrap("if (x) y = 1; else y = 2;")[0]
+        assert stmt.else_stmt is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        stmt = wrap("if (a) if (b) x = 1; else x = 2;")[0]
+        assert stmt.else_stmt is None
+        assert isinstance(stmt.then_stmt, cast.If)
+        assert stmt.then_stmt.else_stmt is not None
+
+    def test_while(self):
+        stmt = wrap("while (x) x = x - 1;")[0]
+        assert isinstance(stmt, cast.While)
+
+    def test_do_while(self):
+        stmt = wrap("do x = 1; while (x);")[0]
+        assert isinstance(stmt, cast.DoWhile)
+
+    def test_for_full(self):
+        stmt = wrap("for (i = 0; i < 10; i++) x = i;")[0]
+        assert isinstance(stmt, cast.For)
+        assert stmt.init is not None and stmt.cond is not None
+        assert stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        stmt = wrap("for (;;) break;")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_with_declaration(self):
+        stmt = wrap("for (int i = 0; i < 3; i++) ;")[0]
+        assert stmt.init_decls is not None
+
+    def test_break_and_continue(self):
+        stmts = wrap("while (1) { break; continue; }")
+        body = stmts[0].body
+        assert isinstance(body.stmts[0], cast.Break)
+        assert isinstance(body.stmts[1], cast.Continue)
+
+    def test_switch_with_cases(self):
+        stmt = wrap(
+            "switch (x) { case 1: y = 1; break; case 2: y = 2; default: y = 0; }"
+        )[0]
+        assert isinstance(stmt, cast.Switch)
+
+    def test_case_values_can_be_negative(self):
+        stmt = wrap("switch (x) { case -1: y = 1; }")[0]
+        assert isinstance(stmt, cast.Switch)
+
+    def test_goto_rejected(self):
+        with pytest.raises(ParseError, match="goto"):
+            wrap("goto end; end: ;")
+
+
+class TestLabels:
+    def test_label_on_statement(self):
+        stmt = wrap("here: x = 1;")[0]
+        assert isinstance(stmt, cast.Label) and stmt.name == "here"
+
+    def test_label_before_closing_brace(self):
+        stmt = wrap("here: ;")[0]
+        assert isinstance(stmt, cast.Label)
+
+    def test_label_not_confused_with_ternary(self):
+        stmt = wrap("x = a ? b : c;")[0]
+        assert isinstance(stmt, cast.ExprStmt)
+
+
+class TestScoping:
+    def test_local_shadows_global(self):
+        unit = parse("int x; int main() { int x; x = 1; return x; }")
+        assert unit.has_function("main")
+
+    def test_block_scoped_declaration(self):
+        stmts = wrap("{ int y; y = 1; } { int y; y = 2; }")
+        assert len(stmts) == 2
+
+    def test_undeclared_in_inner_scope_ok_at_parse_time(self):
+        # Name resolution beyond typedefs happens at simplification.
+        stmts = wrap("{ int y; } y = 1;")
+        assert len(stmts) == 2
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            wrap("x = 1")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse("int main() { if (x) {")
+
+    def test_missing_condition_parens(self):
+        with pytest.raises(ParseError):
+            wrap("if x then;")
+
+    def test_stray_token_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("int x; + 2;")
+
+    def test_error_reports_location(self):
+        try:
+            parse("int main() {\n  x = ;\n}")
+        except ParseError as error:
+            assert error.loc is not None and error.loc.line == 2
+        else:
+            raise AssertionError("expected a ParseError")

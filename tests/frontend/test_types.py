@@ -1,0 +1,99 @@
+"""Unit tests for the C type representation."""
+
+from repro.frontend.ctypes import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructField,
+    StructType,
+    decay,
+)
+
+
+class TestPredicates:
+    def test_pointer_level(self):
+        assert INT.pointer_level() == 0
+        assert PointerType(INT).pointer_level() == 1
+        assert PointerType(PointerType(INT)).pointer_level() == 2
+
+    def test_pointer_level_skips_arrays(self):
+        assert ArrayType(PointerType(INT), 4).pointer_level() == 1
+
+    def test_is_function_pointer(self):
+        fn = FunctionType(INT, (INT,))
+        assert PointerType(fn).is_function_pointer()
+        assert not PointerType(INT).is_function_pointer()
+
+    def test_strip_arrays(self):
+        nested = ArrayType(ArrayType(INT, 3), 2)
+        assert nested.strip_arrays() is INT
+
+    def test_involves_pointers_scalar(self):
+        assert not INT.involves_pointers()
+        assert PointerType(INT).involves_pointers()
+
+    def test_involves_pointers_array(self):
+        assert ArrayType(PointerType(INT), 4).involves_pointers()
+        assert not ArrayType(INT, 4).involves_pointers()
+
+    def test_involves_pointers_struct(self):
+        with_ptr = StructType("a", [StructField("p", PointerType(INT))], False, True)
+        without = StructType("b", [StructField("x", INT)], False, True)
+        assert with_ptr.involves_pointers()
+        assert not without.involves_pointers()
+
+    def test_involves_pointers_nested_struct(self):
+        inner = StructType("in", [StructField("p", PointerType(CHAR))], False, True)
+        outer = StructType("out", [StructField("i", inner)], False, True)
+        assert outer.involves_pointers()
+
+
+class TestDecay:
+    def test_array_decays_to_pointer(self):
+        decayed = decay(ArrayType(INT, 4))
+        assert isinstance(decayed, PointerType)
+        assert decayed.pointee is INT
+
+    def test_function_decays_to_pointer(self):
+        fn = FunctionType(VOID, ())
+        assert decay(fn).is_function_pointer()
+
+    def test_scalar_does_not_decay(self):
+        assert decay(INT) is INT
+
+
+class TestRendering:
+    def test_pointer_str(self):
+        assert str(PointerType(INT)) == "int*"
+
+    def test_array_str(self):
+        assert str(ArrayType(INT, 8)) == "int[8]"
+
+    def test_function_str(self):
+        assert str(FunctionType(INT, (INT, CHAR))) == "int(int, char)"
+
+    def test_variadic_function_str(self):
+        assert "..." in str(FunctionType(INT, (CHAR,), True))
+
+    def test_struct_str(self):
+        struct = StructType("node")
+        assert str(struct) == "struct node"
+        union = StructType("u", is_union=True)
+        assert str(union) == "union u"
+
+
+class TestStructFields:
+    def test_field_lookup(self):
+        s = StructType("s", [StructField("a", INT), StructField("b", CHAR)], False, True)
+        assert s.field_type("a") is INT
+        assert s.field_type("b") is CHAR
+        assert s.field_type("missing") is None
+
+    def test_struct_identity_hashing(self):
+        s1 = StructType("same", [], False, True)
+        s2 = StructType("same", [], False, True)
+        assert s1 != s2 or s1 is s2  # identity, not structural
+        assert len({s1, s2}) == 2

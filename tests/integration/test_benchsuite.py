@@ -1,0 +1,152 @@
+"""Integration: the 17-benchmark suite analyzes cleanly and shows the
+qualitative properties the paper's evaluation reports."""
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS
+from repro.core.analysis import analyze_source
+from repro.core.statistics import (
+    collect_table2,
+    collect_table3,
+    collect_table4,
+    collect_table5,
+    collect_table6,
+    summarize_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return {
+        name: analyze_source(bench.source, filename=name)
+        for name, bench in BENCHMARKS.items()
+    }
+
+
+class TestSuiteRuns:
+    def test_all_seventeen_present(self):
+        assert len(BENCHMARKS) == 17
+        expected = {
+            "genetic", "dry", "clinpack", "config", "toplev", "compress",
+            "mway", "hash", "misr", "xref", "stanford", "fixoutput",
+            "sim", "travel", "csuite", "msc", "lws",
+        }
+        assert set(BENCHMARKS) == expected
+
+    def test_all_analyze_without_unknown_externals(self, analyses):
+        for name, result in analyses.items():
+            unknown = [w for w in result.warnings if "unknown external" in w]
+            assert not unknown, f"{name}: {unknown}"
+
+    def test_every_benchmark_has_indirect_references(self, analyses):
+        for name, result in analyses.items():
+            row = collect_table3(result, name)
+            assert row.indirect_refs > 0, name
+
+    def test_labels_resolve(self, analyses):
+        for name, result in analyses.items():
+            for label in result.program.labels:
+                result.at_label(label)  # must not raise
+
+
+class TestPaperClaims:
+    """The qualitative claims of Section 6, on our suite."""
+
+    def test_no_heap_to_stack_pairs(self, analyses):
+        # "the absence of points-to relationships from heap to
+        # locations on stack" — the claim justifying the decoupled
+        # heap analysis.
+        for name, result in analyses.items():
+            row = collect_table5(result, name)
+            assert row.heap_to_stack == 0, name
+
+    def test_average_locations_per_indirect_ref_is_small(self, analyses):
+        rows = [collect_table3(r, n) for n, r in analyses.items()]
+        summary = summarize_suite(rows)
+        # paper: 1.13 overall, max 1.77 per program.  Our suite differs
+        # in absolute terms; the claim is "close to one".
+        assert 1.0 <= summary.overall_average < 1.8
+
+    def test_substantial_definite_information(self, analyses):
+        rows = [collect_table3(r, n) for n, r in analyses.items()]
+        summary = summarize_suite(rows)
+        # paper: 28.8% definite-single, 19.4% replaceable
+        assert summary.pct_definite_single > 15.0
+        assert summary.pct_scalar_replaceable > 10.0
+
+    def test_most_programs_resolve_to_single_target(self, analyses):
+        rows = [collect_table3(r, n) for n, r in analyses.items()]
+        single_dominant = sum(
+            1
+            for row in rows
+            if row.indirect_refs
+            and (row.one_definite.total + row.one_possible.total)
+            / row.indirect_refs
+            >= 0.5
+        )
+        assert single_dominant >= len(rows) // 2
+
+    def test_formal_parameters_dominate_table4(self, analyses):
+        # "most of the relationships arise from formal parameters ...
+        # points-to analysis needs to be context-sensitive"
+        total = {"lo": 0, "gl": 0, "fp": 0, "sy": 0}
+        for name, result in analyses.items():
+            row = collect_table4(result, name)
+            for key in total:
+                total[key] += row.from_counts[key]
+        assert total["fp"] == max(total.values())
+
+    def test_heap_benchmarks_have_heap_pairs(self, analyses):
+        for name in ("hash", "misr", "xref", "sim"):
+            row = collect_table3(analyses[name], name)
+            assert row.pairs_to_heap > 0, name
+
+    def test_array_benchmarks_have_array_form_refs(self, analyses):
+        for name in ("clinpack", "lws"):
+            row = collect_table3(analyses[name], name)
+            total_array_form = (
+                row.one_definite.array
+                + row.one_possible.array
+                + row.two.array
+                + row.three.array
+                + row.four_plus.array
+            )
+            assert total_array_form > 0, name
+
+    def test_recursive_benchmarks_have_recursive_nodes(self, analyses):
+        for name in ("xref", "stanford", "toplev"):
+            row = collect_table6(analyses[name], name)
+            assert row.recursive_nodes > 0, name
+            assert row.approximate_nodes >= row.recursive_nodes, name
+
+    def test_invocation_graph_stays_small(self, analyses):
+        # paper: ~1.45 nodes per call-site on average; explicit chains
+        # are practical for real programs.
+        for name, result in analyses.items():
+            row = collect_table6(result, name)
+            assert row.avg_per_call_site < 6.0, name
+
+    def test_table2_shapes(self, analyses):
+        for name, result in analyses.items():
+            row = collect_table2(result, name)
+            assert row.simple_stmts > 20, name
+            assert row.max_vars >= row.min_vars > 0, name
+
+
+class TestFunctionPointerBenchmark:
+    def test_toplev_pass_table_resolved_precisely(self, analyses):
+        result = analyses["toplev"]
+        # the three passes are bound at the single indirect call-site
+        indirect_targets = set()
+        for node in result.ig.nodes():
+            if node.func != "run_passes":
+                continue
+            for children in node.children.values():
+                indirect_targets |= set(children)
+        assert indirect_targets == {
+            "pass_check",
+            "pass_fold",
+            "pass_count",
+            "pass_height",
+            "pass_eval",
+        }

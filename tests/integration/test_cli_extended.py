@@ -1,0 +1,80 @@
+"""CLI: the interpreter-backed and client-analysis subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+HEAPY = """
+struct node { int v; struct node *next; };
+int main() {
+    struct node *a, *b;
+    a = (struct node *) malloc(8);
+    b = (struct node *) malloc(8);
+    MID: a->next = b;
+    return a->next == b;
+}
+"""
+
+BROKEN_AT_RUNTIME = """
+int main() {
+    int *p;
+    p = 0;
+    return *p;
+}
+"""
+
+
+@pytest.fixture()
+def heapy_file(tmp_path):
+    path = tmp_path / "heapy.c"
+    path.write_text(HEAPY)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_executes_and_reports(self, heapy_file, capsys):
+        assert main(["run", heapy_file]) == 0
+        out = capsys.readouterr().out
+        assert "exit value: 1" in out
+        assert "heap objects: 2" in out
+
+
+class TestSoundnessCommand:
+    def test_clean_program(self, heapy_file, capsys):
+        assert main(["soundness", heapy_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+        assert "facts compared" in out
+
+    def test_runtime_halt_is_not_a_violation(self, tmp_path, capsys):
+        path = tmp_path / "broken.c"
+        path.write_text(BROKEN_AT_RUNTIME)
+        assert main(["soundness", str(path)]) == 0
+        assert "halted: null-deref" in capsys.readouterr().out
+
+
+class TestHeapCommand:
+    def test_reports_connections(self, heapy_file, capsys):
+        assert main(["heap", heapy_file]) == 0
+        out = capsys.readouterr().out
+        assert "MID:" in out
+        assert "disconnected" in out
+
+
+class TestDotOutput:
+    def test_dot_flag(self, heapy_file, capsys):
+        assert main(["analyze", heapy_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph invocation_graph" in out
+        assert 'label="main"' in out
+
+    def test_dot_marks_recursion(self, tmp_path, capsys):
+        path = tmp_path / "rec.c"
+        path.write_text(
+            "int f(int n) { if (n) f(n - 1); return n; }"
+            "int main() { return f(3); }"
+        )
+        assert main(["analyze", str(path), "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert "(R)" in out and "(A)" in out
+        assert "style=dashed, constraint=false" in out

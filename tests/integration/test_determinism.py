@@ -1,0 +1,43 @@
+"""The analysis must be deterministic run to run: downstream passes
+and the regenerated tables depend on it."""
+
+from repro.benchsuite import BENCHMARKS
+from repro.core.analysis import analyze_source
+from repro.core.statistics import collect_table3, collect_table6
+
+
+class TestDeterminism:
+    def test_triples_stable_across_runs(self):
+        source = BENCHMARKS["dry"].source
+        first = analyze_source(source)
+        second = analyze_source(source)
+        for label in first.program.labels:
+            assert first.triples_at(label) == second.triples_at(label)
+
+    def test_statistics_stable_across_runs(self):
+        source = BENCHMARKS["toplev"].source
+        rows = []
+        for _ in range(2):
+            result = analyze_source(source)
+            t3 = collect_table3(result, "toplev")
+            t6 = collect_table6(result, "toplev")
+            rows.append(
+                (
+                    t3.indirect_refs,
+                    t3.pairs_total,
+                    t3.scalar_replaceable,
+                    t6.ig_nodes,
+                    t6.recursive_nodes,
+                    t6.approximate_nodes,
+                )
+            )
+        assert rows[0] == rows[1]
+
+    def test_warnings_stable(self):
+        source = """
+        int main() { int a; int *p; p = &a; mystery(p); return 0; }
+        """
+        assert (
+            analyze_source(source).warnings
+            == analyze_source(source).warnings
+        )

@@ -1,0 +1,48 @@
+"""The random program generator itself."""
+
+from repro.benchsuite import generate_program
+from repro.benchsuite.generator import GeneratorConfig
+from repro.frontend import parse
+from repro.simple import simplify_source
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        assert generate_program(7) == generate_program(7)
+
+    def test_different_seeds_differ(self):
+        assert generate_program(1) != generate_program(2)
+
+    def test_config_changes_output(self):
+        small = generate_program(3, GeneratorConfig(n_functions=2))
+        large = generate_program(3, GeneratorConfig(n_functions=8))
+        assert small != large
+        assert large.count("void f") > small.count("void f")
+
+
+class TestWellFormedness:
+    def test_parses(self):
+        for seed in range(25):
+            unit = parse(generate_program(seed))
+            assert unit.has_function("main")
+
+    def test_lowers(self):
+        for seed in range(25):
+            program = simplify_source(generate_program(seed))
+            assert program.count_basic_stmts() > 0
+
+    def test_contains_pointer_idioms(self):
+        joined = "\n".join(generate_program(seed) for seed in range(20))
+        assert "&" in joined
+        assert "*" in joined
+        assert "malloc" in joined
+        assert "fp(" in joined  # indirect calls are generated
+
+    def test_feature_toggles(self):
+        config = GeneratorConfig(
+            use_function_pointers=False, use_heap=False, use_structs=False
+        )
+        source = generate_program(5, config)
+        assert "malloc" not in source
+        assert "fp" not in source
+        assert "struct node" not in source

@@ -1,0 +1,55 @@
+"""Integration: the Section 6 `livc` function-pointer study."""
+
+import pytest
+
+from repro.benchsuite import livc_source
+from repro.benchsuite.livc import ENTRIES, TABLES, TOTAL_FUNCTIONS
+from repro.core.baselines import compare_function_pointer_strategies
+from repro.core.funcptr import address_taken_functions
+from repro.simple import simplify_source
+
+
+@pytest.fixture(scope="module")
+def program():
+    return simplify_source(livc_source(), filename="livc")
+
+
+@pytest.fixture(scope="module")
+def comparison(program):
+    return compare_function_pointer_strategies(program)
+
+
+class TestWorkloadShape:
+    def test_eighty_two_functions(self, program):
+        assert len(program.functions) == TOTAL_FUNCTIONS == 82
+
+    def test_seventy_two_address_taken(self, program):
+        taken = address_taken_functions(program)
+        assert len(taken) == TABLES * ENTRIES == 72
+
+    def test_three_tables_initialized(self, program):
+        addr_inits = [
+            s for s in program.global_init.stmts if s.kind.value == "addr"
+        ]
+        assert len(addr_inits) == 72
+
+
+class TestStudyResults:
+    def test_precise_binds_exactly_24_per_site(self, comparison):
+        assert set(comparison.precise_targets_per_site.values()) == {ENTRIES}
+
+    def test_precise_much_smaller_than_naive(self, comparison):
+        # paper: 203 vs 589 vs 619 — precise is several times smaller.
+        assert comparison.precise_nodes * 2 < comparison.address_taken_nodes
+        assert comparison.precise_nodes * 2 < comparison.all_functions_nodes
+
+    def test_address_taken_between_precise_and_all(self, comparison):
+        assert (
+            comparison.precise_nodes
+            < comparison.address_taken_nodes
+            < comparison.all_functions_nodes
+        )
+
+    def test_candidate_counts_match_paper_structure(self, comparison):
+        assert comparison.all_functions_count == 82
+        assert comparison.address_taken_count == 72

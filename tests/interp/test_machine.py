@@ -1,0 +1,318 @@
+"""The concrete SIMPLE interpreter: language-semantics tests."""
+
+import pytest
+
+from repro.interp import ExecutionLimit, run_source
+from repro.interp.machine import NullDereference
+
+
+def result_of(source, max_steps=200_000):
+    value, _ = run_source(source, max_steps=max_steps)
+    return value
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert result_of("int main() { return 2 + 3 * 4; }") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert result_of("int main() { int a; a = -7; return a / 2; }") == -3
+
+    def test_modulo_c_semantics(self):
+        assert result_of("int main() { int a; a = -7; return a % 3; }") == -1
+
+    def test_int_overflow_wraps(self):
+        source = """
+        int main() {
+            int x, i;
+            x = 1;
+            for (i = 0; i < 40; i++) x = x * 2;
+            return x == 0;
+        }
+        """
+        assert result_of(source) == 1  # 2^40 wraps to 0 in 32 bits
+
+    def test_bitwise(self):
+        assert result_of("int main() { return (12 & 10) | (1 << 4); }") == 24
+
+    def test_comparisons_and_logic(self):
+        assert result_of("int main() { return (3 < 5) && !(2 > 7); }") == 1
+
+    def test_float_arithmetic(self):
+        assert result_of(
+            "int main() { double d; d = 2.5 * 4.0; return (int) d; }"
+        ) == 10
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = "int main() { int x; x = 5; if (x > 3) return 1; else return 2; }"
+        assert result_of(source) == 1
+
+    def test_while_loop(self):
+        source = """
+        int main() { int i, s; s = 0; i = 0;
+            while (i < 10) { s += i; i++; } return s; }
+        """
+        assert result_of(source) == 45
+
+    def test_do_while_runs_once(self):
+        source = "int main() { int n; n = 0; do n++; while (0); return n; }"
+        assert result_of(source) == 1
+
+    def test_for_with_break_continue(self):
+        source = """
+        int main() {
+            int i, s; s = 0;
+            for (i = 0; i < 100; i++) {
+                if (i % 2) continue;
+                if (i > 10) break;
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert result_of(source) == 30  # 0+2+4+6+8+10
+
+    def test_switch_dispatch(self):
+        source = """
+        int pick(int s) {
+            switch (s) {
+                case 1: return 10;
+                case 2: case 3: return 20;
+                default: return 30;
+            }
+        }
+        int main() { return pick(1) + pick(2) + pick(3) + pick(9); }
+        """
+        assert result_of(source) == 80
+
+    def test_switch_fallthrough(self):
+        source = """
+        int main() {
+            int r; r = 0;
+            switch (1) {
+                case 1: r += 1;
+                case 2: r += 10; break;
+                case 3: r += 100;
+            }
+            return r;
+        }
+        """
+        assert result_of(source) == 11
+
+    def test_short_circuit_protects_deref(self):
+        source = """
+        struct box { int v; };
+        int main() {
+            struct box *p;
+            p = 0;
+            if (p != 0 && p->v > 0) return 1;
+            return 2;
+        }
+        """
+        assert result_of(source) == 2
+
+    def test_step_limit(self):
+        with pytest.raises(ExecutionLimit):
+            run_source("int main() { while (1) ; return 0; }", max_steps=1000)
+
+
+class TestPointers:
+    def test_address_and_deref(self):
+        assert result_of(
+            "int main() { int x; int *p; x = 41; p = &x; *p = *p + 1; return x; }"
+        ) == 42
+
+    def test_multi_level(self):
+        source = """
+        int main() {
+            int a, b; int *p; int **pp;
+            a = 1; b = 2;
+            p = &a; pp = &p;
+            *pp = &b;
+            return *p;
+        }
+        """
+        assert result_of(source) == 2
+
+    def test_null_deref_raises(self):
+        with pytest.raises(NullDereference):
+            run_source("int main() { int *p; p = 0; return *p; }")
+
+    def test_uninitialized_pointer_is_null(self):
+        with pytest.raises(NullDereference):
+            run_source("int main() { int *p; return *p; }")
+
+    def test_pointer_equality(self):
+        source = """
+        int main() {
+            int x, y; int *p, *q;
+            p = &x; q = &x;
+            if (p == q && p != &y) return 1;
+            return 0;
+        }
+        """
+        assert result_of(source) == 1
+
+    def test_pointer_arithmetic_walk(self):
+        source = """
+        int main() {
+            int a[5]; int *p; int s, i;
+            for (i = 0; i < 5; i++) a[i] = i + 1;
+            s = 0;
+            for (p = a; p < a + 5; p = p + 1) s += *p;
+            return s;
+        }
+        """
+        assert result_of(source) == 15
+
+    def test_pointer_difference(self):
+        source = """
+        int main() {
+            int a[10]; int *p, *q;
+            p = &a[2]; q = &a[7];
+            return q - p;
+        }
+        """
+        assert result_of(source) == 5
+
+
+class TestAggregates:
+    def test_struct_fields(self):
+        source = """
+        struct point { int x, y; };
+        int main() {
+            struct point p;
+            p.x = 3; p.y = 4;
+            return p.x * p.x + p.y * p.y;
+        }
+        """
+        assert result_of(source) == 25
+
+    def test_struct_copy(self):
+        source = """
+        struct pair { int a; int *p; };
+        int main() {
+            struct pair u, v;
+            int x;
+            x = 9;
+            u.a = 5; u.p = &x;
+            v = u;
+            u.a = 0;
+            return v.a + *v.p;
+        }
+        """
+        assert result_of(source) == 14
+
+    def test_struct_passed_by_value(self):
+        source = """
+        struct pair { int a, b; };
+        int sum(struct pair q) { q.a = 100; return q.a + q.b; }
+        int main() {
+            struct pair p;
+            p.a = 1; p.b = 2;
+            sum(p);
+            return p.a;  /* unchanged: pass by value */
+        }
+        """
+        assert result_of(source) == 1
+
+    def test_struct_returned_by_value(self):
+        source = """
+        struct pair { int a, b; };
+        struct pair make(int x) { struct pair p; p.a = x; p.b = x * 2; return p; }
+        int main() { struct pair q; q = make(5); return q.a + q.b; }
+        """
+        assert result_of(source) == 15
+
+    def test_two_dimensional_array(self):
+        source = """
+        int main() {
+            int m[3][3]; int i, j, s;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 3; j++)
+                    m[i][j] = i * 3 + j;
+            s = 0;
+            for (i = 0; i < 3; i++) s += m[i][i];
+            return s;
+        }
+        """
+        assert result_of(source) == 12  # 0 + 4 + 8
+
+    def test_array_of_structs(self):
+        source = """
+        struct item { int v; };
+        int main() {
+            struct item items[4]; int i, s;
+            for (i = 0; i < 4; i++) items[i].v = i * i;
+            s = 0;
+            for (i = 0; i < 4; i++) s += items[i].v;
+            return s;
+        }
+        """
+        assert result_of(source) == 14
+
+
+class TestCallsAndHeap:
+    def test_recursion(self):
+        source = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { return fib(10); }
+        """
+        assert result_of(source) == 55
+
+    def test_output_parameter(self):
+        source = """
+        void out(int *dst, int v) { *dst = v; }
+        int main() { int x; out(&x, 77); return x; }
+        """
+        assert result_of(source) == 77
+
+    def test_heap_linked_list(self):
+        source = """
+        struct node { int v; struct node *next; };
+        int main() {
+            struct node *head, *p; int i, s;
+            head = 0;
+            for (i = 1; i <= 4; i++) {
+                p = (struct node *) malloc(8);
+                p->v = i; p->next = head; head = p;
+            }
+            s = 0;
+            for (p = head; p != 0; p = p->next) s = s * 10 + p->v;
+            return s;
+        }
+        """
+        assert result_of(source) == 4321
+
+    def test_function_pointer_call(self):
+        source = """
+        int inc(int x) { return x + 1; }
+        int dec(int x) { return x - 1; }
+        int main() {
+            int (*f)(int);
+            int r;
+            f = inc; r = f(10);
+            f = dec; r = f(r);
+            return r;
+        }
+        """
+        assert result_of(source) == 10
+
+    def test_function_pointer_through_table(self):
+        source = """
+        int a(void) { return 1; }
+        int b(void) { return 2; }
+        int (*tab[2])(void) = { a, b };
+        int main() { return tab[0]() + tab[1](); }
+        """
+        assert result_of(source) == 3
+
+    def test_global_initializers_run(self):
+        source = "int x = 41; int main() { return x + 1; }"
+        assert result_of(source) == 42
+
+    def test_externals_are_inert(self):
+        source = 'int main() { printf("hi %d", 1); return 7; }'
+        assert result_of(source) == 7

@@ -1,0 +1,102 @@
+"""Printer round-trips and whole-program SIMPLE invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite import BENCHMARKS, generate_program
+from repro.simple import print_function, print_program, simplify_source
+from repro.simple.ir import AddrOf, BasicKind, BasicStmt, Const, Ref
+
+
+class TestPrinter:
+    SOURCE = """
+    struct node { int v; struct node *next; };
+    int g;
+    int main() {
+        struct node *p;
+        int i;
+        p = (struct node *) malloc(8);
+        for (i = 0; i < 3; i++) {
+            if (i > 1) p->v = i; else g = i;
+        }
+        while (g) { g--; }
+        switch (g) { case 0: g = 1; break; default: g = 2; }
+        return g;
+    }
+    """
+
+    def test_print_program_contains_functions(self):
+        program = simplify_source(self.SOURCE)
+        text = print_program(program)
+        assert "int main()" in text
+        assert "malloc" in text
+
+    def test_print_function_lists_locals(self):
+        program = simplify_source(self.SOURCE)
+        text = print_function(program.functions["main"])
+        assert "struct node* p;" in text
+
+    def test_control_statements_rendered(self):
+        program = simplify_source(self.SOURCE)
+        text = print_program(program)
+        for keyword in ("for {", "while", "switch", "if"):
+            assert keyword in text
+
+
+def all_refs_of(stmt: BasicStmt):
+    refs = []
+    if stmt.lhs is not None:
+        refs.append(stmt.lhs)
+    for operand in (stmt.rvalue, *stmt.operands, *stmt.args):
+        if isinstance(operand, Ref):
+            refs.append(operand)
+        elif isinstance(operand, AddrOf):
+            refs.append(operand.ref)
+    return refs
+
+
+def check_simple_invariants(program):
+    """The SIMPLE well-formedness invariants from the paper (Section 2)."""
+    for fn in program.functions.values():
+        for stmt in fn.iter_stmts():
+            if not isinstance(stmt, BasicStmt):
+                continue
+            # (1) at most one level of indirection per reference
+            for ref in all_refs_of(stmt):
+                assert isinstance(ref.deref, bool)
+            # (2) call arguments are constants or plain variable names
+            if stmt.kind in (BasicKind.CALL, BasicKind.ALLOC):
+                for arg in stmt.args:
+                    assert isinstance(arg, Const) or (
+                        isinstance(arg, Ref) and arg.is_plain_var
+                    ), f"non-simple argument {arg} in {stmt}"
+            # (3) every call-site has an id
+            if stmt.kind in (BasicKind.CALL, BasicKind.ALLOC):
+                assert stmt.call_site is not None
+
+
+class TestInvariantsOnBenchmarks:
+    def test_all_benchmarks_satisfy_simple_invariants(self):
+        for bench in BENCHMARKS.values():
+            program = simplify_source(bench.source)
+            check_simple_invariants(program)
+
+    def test_all_locals_have_types(self):
+        for bench in BENCHMARKS.values():
+            program = simplify_source(bench.source)
+            for fn in program.functions.values():
+                for stmt in fn.iter_stmts():
+                    if isinstance(stmt, BasicStmt) and stmt.lhs is not None:
+                        base = stmt.lhs.base
+                        assert (
+                            fn.var_type(base) is not None
+                            or base in program.global_types
+                        ), f"untyped variable {base} in {fn.name}"
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=30, deadline=None)
+def test_generated_programs_lower_cleanly(seed):
+    source = generate_program(seed)
+    program = simplify_source(source)
+    check_simple_invariants(program)
+    assert "main" in program.functions

@@ -1,0 +1,275 @@
+"""Tests for basic-statement lowering: the SIMPLE invariants."""
+
+import pytest
+
+from repro.simple import simplify_source
+from repro.simple.ir import (
+    AddrOf,
+    BasicKind,
+    BasicStmt,
+    Const,
+    FieldSel,
+    IndexClass,
+    IndexSel,
+    Ref,
+)
+from repro.simple.simplify import SimplifyError
+
+
+def main_basics(source):
+    program = simplify_source(source)
+    return [
+        s
+        for s in program.functions["main"].iter_stmts()
+        if isinstance(s, BasicStmt)
+    ]
+
+
+def wrap(body, decls="int a, b, c; int *p, *q; int **pp;"):
+    return "int g; int *gp; int main() { " + decls + body + " }"
+
+
+class TestAssignmentForms:
+    def test_copy(self):
+        stmts = main_basics(wrap("a = b;"))
+        assert stmts[0].kind is BasicKind.COPY
+        assert stmts[0].lhs == Ref("a")
+        assert stmts[0].rvalue == Ref("b")
+
+    def test_address_of(self):
+        stmts = main_basics(wrap("p = &a;"))
+        assert stmts[0].kind is BasicKind.ADDR
+        assert stmts[0].rvalue == AddrOf(Ref("a"))
+
+    def test_constant(self):
+        stmts = main_basics(wrap("a = 5;"))
+        assert stmts[0].kind is BasicKind.CONST
+        assert stmts[0].rvalue == Const(5)
+
+    def test_null_pointer_constant(self):
+        stmts = main_basics(wrap("p = 0;"))
+        assert stmts[0].kind is BasicKind.CONST
+        assert stmts[0].rvalue.is_null
+
+    def test_store_through_pointer(self):
+        stmts = main_basics(wrap("*p = a;"))
+        assert stmts[0].lhs == Ref("p", deref=True)
+
+    def test_load_through_pointer(self):
+        stmts = main_basics(wrap("a = *p;"))
+        assert stmts[0].rvalue == Ref("p", deref=True)
+
+    def test_binop(self):
+        stmts = main_basics(wrap("a = b + c;"))
+        assert stmts[0].kind is BasicKind.BINOP
+        assert stmts[0].op == "+"
+
+    def test_constant_folding(self):
+        stmts = main_basics(wrap("a = 2 + 3 * 4;"))
+        assert stmts[0].kind is BasicKind.CONST
+        assert stmts[0].rvalue == Const(14)
+
+    def test_compound_assignment_becomes_binop(self):
+        stmts = main_basics(wrap("a += b;"))
+        assert stmts[0].kind is BasicKind.BINOP
+        assert stmts[0].operands[0] == Ref("a")
+
+    def test_unary_minus(self):
+        stmts = main_basics(wrap("a = -b;"))
+        assert stmts[0].kind is BasicKind.UNOP
+
+
+class TestOneLevelIndirectionInvariant:
+    """Every reference in a basic statement has at most one '*'."""
+
+    def all_refs(self, stmts):
+        refs = []
+        for s in stmts:
+            if s.lhs is not None:
+                refs.append(s.lhs)
+            for op in (s.rvalue, *s.operands, *s.args):
+                if isinstance(op, Ref):
+                    refs.append(op)
+                elif isinstance(op, AddrOf):
+                    refs.append(op.ref)
+        return refs
+
+    def test_double_deref_introduces_temp(self):
+        stmts = main_basics(wrap("a = **pp;"))
+        assert len(stmts) == 2
+        for ref in self.all_refs(stmts):
+            assert isinstance(ref, Ref)
+
+    def test_chained_arrow_introduces_temp(self):
+        source = """
+        struct node { int data; struct node *next; };
+        int main() { struct node *n; int d; d = n->next->data; }
+        """
+        stmts = main_basics(source)
+        assert len(stmts) >= 2
+        # the final load goes through a temporary
+        assert stmts[-1].rvalue.deref
+
+    def test_triple_chain(self):
+        source = """
+        struct node { struct node *next; };
+        int main() { struct node *n, *m; m = n->next->next->next; }
+        """
+        stmts = main_basics(source)
+        assert len(stmts) == 3
+
+    def test_deref_of_field_value(self):
+        source = """
+        struct holder { int *p; };
+        int main() { struct holder h; int v; v = *h.p; }
+        """
+        stmts = main_basics(source)
+        # h.p must be copied to a temp before dereferencing
+        assert stmts[0].rvalue == Ref("h", path=(FieldSel("p"),))
+        assert stmts[1].rvalue.deref
+
+
+class TestArrayReferences:
+    def test_zero_index(self):
+        stmts = main_basics(wrap("x[0] = a;", decls="int x[4]; int a;"))
+        assert stmts[0].lhs.path == (IndexSel(IndexClass.ZERO),)
+
+    def test_positive_index(self):
+        stmts = main_basics(wrap("x[3] = a;", decls="int x[4]; int a;"))
+        assert stmts[0].lhs.path == (IndexSel(IndexClass.POSITIVE),)
+
+    def test_unknown_index(self):
+        stmts = main_basics(wrap("x[a] = b;", decls="int x[4]; int a, b;"))
+        assert stmts[0].lhs.path == (IndexSel(IndexClass.UNKNOWN),)
+
+    def test_pointer_indexing_derefs(self):
+        stmts = main_basics(wrap("p[2] = a;"))
+        assert stmts[0].lhs.deref
+        assert stmts[0].lhs.path == (IndexSel(IndexClass.POSITIVE),)
+
+    def test_index_side_effects_are_evaluated(self):
+        stmts = main_basics(wrap("x[a++] = b;", decls="int x[4]; int a, b;"))
+        incs = [s for s in stmts if s.kind is BasicKind.BINOP and s.op == "+"]
+        assert incs, "a++ in the index must still increment a"
+
+
+class TestStructReferences:
+    def test_direct_field(self):
+        source = "struct s { int x; }; int main() { struct s v; v.x = 1; }"
+        stmts = main_basics(source)
+        assert stmts[0].lhs == Ref("v", path=(FieldSel("x"),))
+
+    def test_arrow_field(self):
+        source = "struct s { int x; }; int main() { struct s *v; v->x = 1; }"
+        stmts = main_basics(source)
+        assert stmts[0].lhs == Ref("v", deref=True, path=(FieldSel("x"),))
+
+    def test_nested_fields(self):
+        source = (
+            "struct in { int y; }; struct out { struct in i; };"
+            "int main() { struct out o; o.i.y = 1; }"
+        )
+        stmts = main_basics(source)
+        assert stmts[0].lhs.path == (FieldSel("i"), FieldSel("y"))
+
+    def test_struct_copy_stays_aggregate(self):
+        source = (
+            "struct s { int *p; };"
+            "int main() { struct s a, b; a = b; }"
+        )
+        stmts = main_basics(source)
+        assert stmts[0].kind is BasicKind.COPY
+
+
+class TestIncrementDecrement:
+    def test_statement_level_increment(self):
+        stmts = main_basics(wrap("a++;"))
+        assert len(stmts) == 1
+        assert stmts[0].op == "+"
+
+    def test_post_increment_value(self):
+        stmts = main_basics(wrap("b = a++;"))
+        # temp = a; a = a + 1; b = temp
+        assert len(stmts) == 3
+
+    def test_pre_increment_value(self):
+        stmts = main_basics(wrap("b = ++a;"))
+        assert len(stmts) == 2
+
+    def test_pointer_increment(self):
+        stmts = main_basics(wrap("p++;"))
+        assert stmts[0].lhs == Ref("p")
+
+
+class TestRenaming:
+    def test_shadowed_local_gets_fresh_name(self):
+        source = """
+        int main() {
+            int x;
+            x = 1;
+            { int x; x = 2; }
+        }
+        """
+        stmts = main_basics(source)
+        names = {s.lhs.base for s in stmts}
+        assert len(names) == 2
+
+    def test_sibling_scopes_both_renamed_apart(self):
+        source = """
+        int main() {
+            { int y; y = 1; }
+            { int y; y = 2; }
+        }
+        """
+        stmts = main_basics(source)
+        assert stmts[0].lhs.base != stmts[1].lhs.base
+
+    def test_local_shadowing_global(self):
+        source = "int g; int main() { int g; g = 1; }"
+        stmts = main_basics(source)
+        assert stmts[0].lhs.base != "g"
+
+    def test_param_not_renamed(self):
+        source = "int f(int a) { a = 1; return a; } int main() { return f(0); }"
+        program = simplify_source(source)
+        stmts = [
+            s
+            for s in program.functions["f"].iter_stmts()
+            if isinstance(s, BasicStmt)
+        ]
+        assert stmts[0].lhs.base == "a"
+
+
+class TestDeclarations:
+    def test_initializer_becomes_assignment(self):
+        stmts = main_basics("int main() { int x = 42; }")
+        assert stmts[0].kind is BasicKind.CONST
+
+    def test_array_initializer_list(self):
+        stmts = main_basics("int main() { int a[3] = {1, 2, 3}; }")
+        assert len(stmts) == 3
+        assert stmts[0].lhs.path == (IndexSel(IndexClass.ZERO),)
+        assert stmts[1].lhs.path == (IndexSel(IndexClass.POSITIVE),)
+
+    def test_struct_initializer_list(self):
+        source = (
+            "struct p { int x; int y; };"
+            "int main() { struct p v = {1, 2}; }"
+        )
+        stmts = main_basics(source)
+        assert stmts[0].lhs.path == (FieldSel("x"),)
+        assert stmts[1].lhs.path == (FieldSel("y"),)
+
+    def test_undeclared_variable_raises(self):
+        with pytest.raises(SimplifyError):
+            simplify_source("int main() { nosuch = 1; }")
+
+
+class TestStringLiterals:
+    def test_string_assignment_points_to_strlit(self):
+        program = simplify_source('int main() { char *s; s = "hi"; }')
+        assert "__strlit" in program.global_types
+
+    def test_global_string_initializer(self):
+        program = simplify_source('char *greeting = "hello";')
+        assert program.global_init.stmts

@@ -1,0 +1,190 @@
+"""Tests for call lowering: argument simplification, allocators,
+return values, function pointers."""
+
+import pytest
+
+from repro.simple import simplify_source
+from repro.simple.ir import AddrOf, BasicKind, BasicStmt, Const, Ref
+from repro.simple.simplify import SimplifyError
+
+
+def calls_in(source, func="main"):
+    program = simplify_source(source)
+    return [
+        s
+        for s in program.functions[func].iter_stmts()
+        if isinstance(s, BasicStmt) and s.kind in (BasicKind.CALL, BasicKind.ALLOC)
+    ]
+
+
+class TestArgumentSimplification:
+    def test_constant_and_var_args_pass_through(self):
+        source = "int f(int, int); int main() { int x; f(1, x); }"
+        call = calls_in(source)[0]
+        assert call.args == (Const(1), Ref("x"))
+
+    def test_address_arg_hoisted_to_temp(self):
+        source = "int f(int *); int main() { int x; f(&x); }"
+        call = calls_in(source)[0]
+        assert isinstance(call.args[0], Ref) and call.args[0].is_plain_var
+        assert call.args[0].base.startswith("__t")
+
+    def test_expression_arg_hoisted(self):
+        source = "int f(int); int main() { int a, b; f(a + b); }"
+        call = calls_in(source)[0]
+        assert call.args[0].base.startswith("__t")
+
+    def test_field_arg_hoisted(self):
+        source = (
+            "struct s { int *p; }; int f(int *);"
+            "int main() { struct s v; f(v.p); }"
+        )
+        call = calls_in(source)[0]
+        assert call.args[0].is_plain_var
+
+    def test_array_arg_decays_via_temp(self):
+        source = "int f(int *); int main() { int a[4]; f(a); }"
+        program = simplify_source(source)
+        stmts = [
+            s
+            for s in program.functions["main"].iter_stmts()
+            if isinstance(s, BasicStmt)
+        ]
+        addr = [s for s in stmts if s.kind is BasicKind.ADDR]
+        assert addr, "array argument must decay to &a[0]"
+
+    def test_nested_call_arg_hoisted(self):
+        source = "int f(int); int g(int); int main() { f(g(1)); }"
+        calls = calls_in(source)
+        assert len(calls) == 2
+        assert calls[0].callee == "g"
+        assert calls[1].callee == "f"
+
+
+class TestAllocators:
+    def test_malloc_is_alloc_kind(self):
+        source = "int main() { int *p; p = (int *) malloc(4); }"
+        call = calls_in(source)[0]
+        assert call.kind is BasicKind.ALLOC
+
+    def test_calloc_and_realloc(self):
+        source = (
+            "int main() { int *p, *q;"
+            " p = (int *) calloc(2, 4); q = (int *) realloc(p, 8); }"
+        )
+        calls = calls_in(source)
+        assert all(c.kind is BasicKind.ALLOC for c in calls)
+
+    def test_malloc_result_type_is_pointer(self):
+        source = "int main() { int *p; p = (int *) malloc(4); }"
+        call = calls_in(source)[0]
+        assert call.lhs_type is not None
+        assert call.lhs_type.involves_pointers()
+
+
+class TestReturnValues:
+    def test_call_assignment_uses_lhs_directly(self):
+        source = "int f(void) { return 1; } int main() { int x; x = f(); }"
+        call = calls_in(source)[0]
+        assert call.lhs == Ref("x")
+
+    def test_call_in_expression_gets_temp(self):
+        source = "int f(void) { return 1; } int main() { int x; x = f() + 1; }"
+        call = calls_in(source)[0]
+        assert call.lhs.base.startswith("__t")
+
+    def test_void_call_has_no_lhs(self):
+        source = "void f(void) { } int main() { f(); }"
+        call = calls_in(source)[0]
+        assert call.lhs is None
+
+    def test_void_value_use_raises(self):
+        source = "void f(void) { } int main() { int x; x = f(); }"
+        with pytest.raises(SimplifyError):
+            simplify_source(source)
+
+
+class TestFunctionPointers:
+    def test_direct_call_uses_name(self):
+        source = "int f(void) { return 0; } int main() { f(); }"
+        call = calls_in(source)[0]
+        assert call.callee == "f" and call.callee_ptr is None
+
+    def test_call_through_pointer_variable(self):
+        source = (
+            "int f(void) { return 0; }"
+            "int main() { int (*fp)(void); fp = f; fp(); }"
+        )
+        call = calls_in(source)[0]
+        assert call.callee is None and call.callee_ptr == "fp"
+
+    def test_explicit_deref_call(self):
+        source = (
+            "int f(void) { return 0; }"
+            "int main() { int (*fp)(void); fp = f; (*fp)(); }"
+        )
+        call = calls_in(source)[0]
+        assert call.callee_ptr == "fp"
+
+    def test_call_through_array_element_hoists_pointer(self):
+        source = (
+            "int f(void) { return 0; }"
+            "int (*tab[2])(void);"
+            "int main() { tab[0] = f; tab[0](); }"
+        )
+        call = calls_in(source)[0]
+        assert call.callee_ptr is not None
+        assert call.callee_ptr.startswith("__t")
+
+    def test_function_name_as_value_is_address(self):
+        source = (
+            "int f(void) { return 0; }"
+            "int main() { int (*fp)(void); fp = f; }"
+        )
+        program = simplify_source(source)
+        stmts = [
+            s
+            for s in program.functions["main"].iter_stmts()
+            if isinstance(s, BasicStmt)
+        ]
+        assert stmts[0].kind is BasicKind.ADDR
+        assert stmts[0].rvalue == AddrOf(Ref("f"))
+
+    def test_address_of_function_same_as_name(self):
+        source = (
+            "int f(void) { return 0; }"
+            "int main() { int (*fp)(void); fp = &f; }"
+        )
+        program = simplify_source(source)
+        stmts = [
+            s
+            for s in program.functions["main"].iter_stmts()
+            if isinstance(s, BasicStmt)
+        ]
+        assert stmts[0].rvalue == AddrOf(Ref("f"))
+
+    def test_call_site_ids_unique(self):
+        source = "int f(void) { return 0; } int main() { f(); f(); f(); }"
+        sites = [c.call_site for c in calls_in(source)]
+        assert len(set(sites)) == 3
+
+
+class TestGlobalInitializers:
+    def test_function_pointer_table(self):
+        source = (
+            "int f0(void) { return 0; } int f1(void) { return 1; }"
+            "int (*tab[2])(void) = { f0, f1 };"
+            "int main() { return 0; }"
+        )
+        program = simplify_source(source)
+        inits = program.global_init.stmts
+        assert len(inits) == 2
+        assert all(s.kind is BasicKind.ADDR for s in inits)
+
+    def test_global_scalar_initializer(self):
+        program = simplify_source("int x = 3; int main() { return x; }")
+        assert program.global_init.stmts[0].kind is BasicKind.CONST
+
+    def test_global_address_initializer(self):
+        program = simplify_source("int y; int *p = &y; int main() { return 0; }")
+        assert program.global_init.stmts[0].kind is BasicKind.ADDR

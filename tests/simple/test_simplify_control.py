@@ -1,0 +1,172 @@
+"""Tests for control-flow lowering: loops, switch, logical operators."""
+
+from repro.simple import simplify_source
+from repro.simple.ir import (
+    BasicKind,
+    BasicStmt,
+    SBreak,
+    SDoWhile,
+    SFor,
+    SIf,
+    SSwitch,
+    SWhile,
+)
+
+
+def main_body(source):
+    return simplify_source(source).functions["main"].body.stmts
+
+
+def wrap(body, decls="int a, b, c; int *p;"):
+    return "int g; int main() { " + decls + body + " }"
+
+
+class TestIf:
+    def test_simple_if(self):
+        stmts = main_body(wrap("if (a) b = 1;"))
+        ifs = [s for s in stmts if isinstance(s, SIf)]
+        assert len(ifs) == 1
+        assert ifs[0].else_block is None
+
+    def test_if_else(self):
+        stmts = main_body(wrap("if (a) b = 1; else b = 2;"))
+        if_stmt = next(s for s in stmts if isinstance(s, SIf))
+        assert if_stmt.else_block is not None
+
+    def test_condition_with_side_effect_hoisted(self):
+        stmts = main_body(wrap("if (a = b) c = 1;"))
+        # the assignment must be emitted before the if
+        assert isinstance(stmts[0], BasicStmt)
+        assert any(isinstance(s, SIf) for s in stmts)
+
+
+class TestWhile:
+    def test_simple_while(self):
+        stmts = main_body(wrap("while (a) b = 1;"))
+        loop = next(s for s in stmts if isinstance(s, SWhile))
+        assert loop.cond is not None
+
+    def test_condition_evaluation_block(self):
+        stmts = main_body(wrap("while (a < b) c = 1;"))
+        loop = next(s for s in stmts if isinstance(s, SWhile))
+        assert loop.cond_eval.stmts  # the comparison lives here
+
+    def test_while_true_becomes_infinite(self):
+        stmts = main_body(wrap("while (1) break;"))
+        loop = next(s for s in stmts if isinstance(s, SWhile))
+        assert loop.cond is None
+
+    def test_condition_call_reevaluated_per_iteration(self):
+        source = wrap("while (f()) b = 1;") + " int f(void) { return 0; }"
+        program = simplify_source(source)
+        loop = next(
+            s
+            for s in program.functions["main"].body.stmts
+            if isinstance(s, SWhile)
+        )
+        calls = [
+            s
+            for s in loop.cond_eval.stmts
+            if isinstance(s, BasicStmt) and s.kind is BasicKind.CALL
+        ]
+        assert calls, "f() must be evaluated inside the loop"
+
+
+class TestDoWhileAndFor:
+    def test_do_while(self):
+        stmts = main_body(wrap("do b = 1; while (a);"))
+        assert any(isinstance(s, SDoWhile) for s in stmts)
+
+    def test_for_parts(self):
+        stmts = main_body(wrap("for (a = 0; a < 10; a++) b += a;"))
+        loop = next(s for s in stmts if isinstance(s, SFor))
+        assert loop.init.stmts
+        assert loop.step.stmts
+        assert loop.body.stmts
+
+    def test_for_without_condition(self):
+        stmts = main_body(wrap("for (;;) break;"))
+        loop = next(s for s in stmts if isinstance(s, SFor))
+        assert loop.cond is None
+
+    def test_for_with_declared_induction_variable(self):
+        stmts = main_body(wrap("for (int i = 0; i < 3; i++) b = i;"))
+        loop = next(s for s in stmts if isinstance(s, SFor))
+        assert loop.init.stmts
+
+
+class TestSwitch:
+    def test_cases_collected(self):
+        stmts = main_body(
+            wrap("switch (a) { case 1: b = 1; break; case 2: b = 2; break; }")
+        )
+        switch = next(s for s in stmts if isinstance(s, SSwitch))
+        assert len(switch.cases) == 2
+        assert switch.cases[0].values == (1,)
+
+    def test_trailing_break_removed(self):
+        stmts = main_body(wrap("switch (a) { case 1: b = 1; break; }"))
+        switch = next(s for s in stmts if isinstance(s, SSwitch))
+        assert not any(
+            isinstance(s, SBreak) for s in switch.cases[0].body.stmts
+        )
+        assert not switch.cases[0].falls_through
+
+    def test_fallthrough_detected(self):
+        stmts = main_body(
+            wrap("switch (a) { case 1: b = 1; case 2: b = 2; break; }")
+        )
+        switch = next(s for s in stmts if isinstance(s, SSwitch))
+        assert switch.cases[0].falls_through
+        assert not switch.cases[1].falls_through
+
+    def test_default_flag(self):
+        stmts = main_body(wrap("switch (a) { default: b = 0; }"))
+        switch = next(s for s in stmts if isinstance(s, SSwitch))
+        assert switch.has_default
+
+    def test_multiple_labels_one_arm(self):
+        stmts = main_body(
+            wrap("switch (a) { case 1: case 2: b = 1; break; }")
+        )
+        switch = next(s for s in stmts if isinstance(s, SSwitch))
+        assert switch.cases[0].values == (1, 2)
+
+
+class TestLogicalOperators:
+    def test_pure_operands_stay_flat(self):
+        stmts = main_body(wrap("c = a && b;"))
+        assert not any(isinstance(s, SIf) for s in stmts)
+
+    def test_side_effecting_rhs_becomes_conditional(self):
+        stmts = main_body(wrap("c = a && (p = &b, b);"))
+        assert any(isinstance(s, SIf) for s in stmts)
+
+    def test_or_with_side_effect(self):
+        stmts = main_body(wrap("c = a || (b = 3);"))
+        if_stmt = next(s for s in stmts if isinstance(s, SIf))
+        # for ||, the rhs is evaluated on the else branch
+        assert if_stmt.else_block is not None
+
+
+class TestConditionalExpression:
+    def test_lowered_to_if(self):
+        stmts = main_body(wrap("c = a ? 1 : 2;"))
+        if_stmt = next(s for s in stmts if isinstance(s, SIf))
+        assert if_stmt.then_block.stmts and if_stmt.else_block.stmts
+
+    def test_pointer_conditional_keeps_both_targets_possible(self):
+        stmts = main_body(wrap("p = a ? &b : &c;"))
+        assert any(isinstance(s, SIf) for s in stmts)
+
+
+class TestLabels:
+    def test_label_recorded(self):
+        program = simplify_source(wrap("here: a = 1;"))
+        assert "here" in program.labels
+        func, _ = program.labels["here"]
+        assert func == "main"
+
+    def test_label_on_empty_statement_gets_nop(self):
+        program = simplify_source(wrap("stop: ;"))
+        assert "stop" in program.labels
