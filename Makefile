@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench artifacts examples soundness all
+.PHONY: install test bench bench-perf check artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -14,6 +14,17 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# End-to-end timing of the optimized vs legacy core; writes
+# BENCH_perf.json at the repository root.
+bench-perf:
+	PYTHONPATH=src python benchmarks/bench_perf.py
+
+# Tier-1 gate: the full test suite plus a quick performance smoke
+# (one small and one large program through both cores).
+check:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python benchmarks/bench_perf.py --smoke --out /tmp/bench_perf_smoke.json
 
 artifacts: bench
 	@echo "rendered tables/figures are in benchmarks/out/"

@@ -1,0 +1,136 @@
+"""End-to-end performance benchmark: optimized core vs legacy core.
+
+Times the full analysis (parse + simplify + points-to) of every
+benchsuite program plus a family of generated programs, first with the
+performance architecture enabled (interned locations, copy-on-write
+sets, fingerprint-keyed call memoization) and then with
+:func:`repro.core.perf.legacy_overrides` emulating the pre-PR core in
+the same process — same machine, same run.  Writes ``BENCH_perf.json``
+at the repository root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--smoke] [--out PATH]
+
+``--smoke`` times just one small and one large program (used by
+``make check``); the default times the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.benchsuite import BENCHMARKS, generate_program  # noqa: E402
+from repro.benchsuite.generator import GeneratorConfig  # noqa: E402
+from repro.core import perf  # noqa: E402
+from repro.core.analysis import analyze  # noqa: E402
+from repro.core.statistics import collect_perf  # noqa: E402
+from repro.simple.simplify import simplify_source  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Generated-program scalability family (mirrors the ablation bench).
+GENERATED = [
+    (n_functions, seed) for n_functions in (4, 8, 16) for seed in range(3)
+]
+REPEATS = 3  # best-of-N wall time per program
+
+
+def workload(smoke: bool) -> list[tuple[str, str]]:
+    """(name, source) pairs to time."""
+    suite = [(name, BENCHMARKS[name].source) for name in sorted(BENCHMARKS)]
+    if smoke:
+        by_size = sorted(suite, key=lambda item: len(item[1]))
+        return [by_size[0], by_size[-1]]
+    config_cache: dict[int, GeneratorConfig] = {}
+    for n_functions, seed in GENERATED:
+        config = config_cache.setdefault(
+            n_functions, GeneratorConfig(n_functions=n_functions, n_stmts=10)
+        )
+        suite.append(
+            (f"gen_f{n_functions}_s{seed}", generate_program(seed, config))
+        )
+    return suite
+
+
+def time_one(name: str, program) -> dict:
+    """Analyze ``program`` REPEATS times; report best wall time plus
+    the per-run counters of the last run.  Parsing and simplification
+    run outside the timed region (once, in :func:`main`) — they are
+    frontend work the performance architecture does not touch."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        analysis = analyze(program)
+        best = min(best, time.perf_counter() - start)
+    row = collect_perf(analysis, name)
+    result = row.as_dict()
+    result["wall_s"] = round(best, 6)
+    return result
+
+
+def summarize(rows: list[dict], label: str) -> dict:
+    total = sum(row["wall_s"] for row in rows)
+    hits = sum(row["memo_hits"] for row in rows)
+    lookups = hits + sum(row["memo_misses"] for row in rows)
+    print(f"  {label}: {total:.3f}s over {len(rows)} programs "
+          f"(memo hit rate {hits / lookups:.1%})" if lookups
+          else f"  {label}: {total:.3f}s over {len(rows)} programs")
+    return {"total_s": round(total, 6), "programs": rows}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="time only one small and one large program")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    programs = [
+        (name, simplify_source(source))
+        for name, source in workload(args.smoke)
+    ]
+    print(f"bench_perf: {len(programs)} programs, best of {REPEATS} runs")
+    perf.reset()
+    analyze(programs[0][1])  # warm caches/JIT-ish state before timing
+    # Interleave the two modes per program so slow machine-wide drift
+    # (thermal throttling, background load) hits both cores equally.
+    optimized_rows, legacy_rows = [], []
+    for name, program in programs:
+        optimized_rows.append(time_one(name, program))
+        with perf.configured(**perf.legacy_overrides()):
+            legacy_rows.append(time_one(name, program))
+    optimized = summarize(optimized_rows, "optimized")
+    legacy = summarize(legacy_rows, "legacy (pre-optimization emulation)")
+    perf.reset()
+
+    speedup = (
+        legacy["total_s"] / optimized["total_s"]
+        if optimized["total_s"] else 0.0
+    )
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": REPEATS,
+        "optimized_s": optimized["total_s"],
+        "legacy_s": legacy["total_s"],
+        "speedup": round(speedup, 3),
+        "optimized": optimized["programs"],
+        "legacy": legacy["programs"],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  speedup: {speedup:.2f}x  ->  {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

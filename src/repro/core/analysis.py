@@ -29,11 +29,12 @@ from repro.simple.simplify import simplify_source
 from repro.core.env import FuncEnv
 from repro.core.externals import model_external
 from repro.core.funcptr import address_taken_functions, process_call_indirect
-from repro.core.interproc import process_call_node
+from repro.core.interproc import MemoStats, process_call_node
 from repro.core.intra import IntraAnalyzer, apply_assignment, null_initialized
 from repro.core.invocation_graph import IGNode, InvocationGraph
 from repro.core.locations import HEAP, NULL
 from repro.core.lvalues import l_locations
+from repro.core.perf import CONFIG
 from repro.core.pointsto import P, PointsToSet, merge_all
 
 
@@ -77,12 +78,15 @@ class PointsToAnalysis:
         point_info: dict[int, PointsToSet],
         warnings: list[str],
         options: AnalysisOptions,
+        stats: MemoStats | None = None,
     ):
         self.program = program
         self.ig = ig
         self.point_info = point_info
         self.warnings = warnings
         self.options = options
+        #: Memoization / fixed-point counters of the producing run.
+        self.stats = stats if stats is not None else MemoStats()
         self._envs: dict[str | None, FuncEnv] = {}
         self._stmt_func: dict[int, str] = {}
         for fn in program.functions.values():
@@ -141,9 +145,11 @@ class Analyzer:
         self._address_taken: set[str] | None = None
         self._shared_nodes: dict[str, IGNode] = {}
         #: share_subtrees memo: (func, canonical input) -> output set.
-        self._subtree_cache: dict[tuple[str, str], PointsToSet | None] = {}
+        self._subtree_cache: dict[tuple, PointsToSet | None] = {}
         self.subtree_cache_hits = 0
         self.subtree_cache_misses = 0
+        #: Per-node memo table counters (see interproc.MemoStats).
+        self.memo_stats = MemoStats()
 
     # -- plumbing ---------------------------------------------------------
 
@@ -165,13 +171,20 @@ class Analyzer:
         existing = self.point_info.get(stmt.stmt_id)
         if existing is None:
             self.point_info[stmt.stmt_id] = input_set.copy()
+        elif CONFIG.set_fast_paths and existing == input_set:
+            pass  # merging an equal set is the identity; skip the copy
         else:
             self.point_info[stmt.stmt_id] = existing.merge(input_set)
 
     # -- sub-tree sharing (the optimization planned in Section 6) ---------
 
     @staticmethod
-    def _canonical_input(input_set: PointsToSet) -> str:
+    def _canonical_input(input_set: PointsToSet):
+        if CONFIG.fingerprint_memo:
+            # The cached fingerprint is exact (a frozenset of the
+            # relationship items), so it is a canonical key directly —
+            # no string rendering, no sorting.
+            return input_set.fingerprint()
         return ";".join(
             sorted(
                 f"{src!r}>{tgt!r}:{d}" for src, tgt, d in input_set.triples()
@@ -332,7 +345,12 @@ class Analyzer:
         self.analyze_body(self.ig.root, main_input)
 
         result = PointsToAnalysis(
-            self.program, self.ig, self.point_info, self.warnings, self.options
+            self.program,
+            self.ig,
+            self.point_info,
+            self.warnings,
+            self.options,
+            stats=self.memo_stats,
         )
         result.env = self.env  # share the populated environments
         return result

@@ -2,8 +2,12 @@
 
 ``process_call_node`` implements the three cases of Figure 4:
 
-* **Ordinary** nodes memoize one (input, output) pair; a hit skips the
-  body entirely.
+* **Ordinary** nodes memoize (input, output) pairs — a bounded
+  per-node table keyed on the input set's cached canonical fingerprint
+  (Figure 4 stores a single pair; the table generalizes it so nodes
+  re-entered with alternating inputs, e.g. from a surrounding loop
+  fixed point, stop re-analyzing their bodies).  A hit skips the body
+  entirely.
 * **Approximate** nodes never analyze the body: if the current input
   is covered by their recursive partner's stored input they reuse the
   partner's stored output, otherwise they add the input to the
@@ -20,16 +24,105 @@ through to the fixed-point loop after its first body pass.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.core.env import FuncEnv
 from repro.core.intra import apply_assignment
 from repro.core.invocation_graph import IGNode, IGNodeKind
 from repro.core.lvalues import LocSet, l_locations
 from repro.core.mapping import map_call, unmap_call
+from repro.core.perf import CONFIG
 from repro.core.pointsto import PointsToSet, merge_all
 from repro.simple.ir import BasicStmt
 
-#: Safety valve for the recursion fixed point.
+#: Safety valve for the recursion fixed point.  Hitting it truncates
+#: the fixed point (with a warning and a statistics record) instead of
+#: aborting the whole analysis; the truncated result may be unsound.
 MAX_RECURSION_ITERATIONS = 100
+
+
+@dataclass
+class MemoStats:
+    """Counters for the invocation-graph memo tables and the recursion
+    fixed point, aggregated per analysis run and surfaced through
+    :func:`repro.core.statistics.collect_perf`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    recursion_truncations: int = 0
+    truncated_functions: list[str] = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+            "recursion_truncations": self.recursion_truncations,
+            "truncated_functions": list(self.truncated_functions),
+        }
+
+
+def _memo_lookup(analyzer, child: IGNode, func_input: PointsToSet):
+    """Consult the node's memo; returns (key, hit, output).
+
+    ``key`` is the fingerprint to store a later result under (None in
+    the legacy single-pair protocol, which memoizes via
+    ``stored_input``/``stored_output`` directly).  *Bottom* outputs
+    (None — the call never returns) are never memoized, matching the
+    single-pair protocol.  A hit on an entry other than the most
+    recent one still performs a sub-tree cache lookup, purely so the
+    sharing statistics stay identical to the single-pair protocol's
+    (which would have served exactly those calls from that cache).
+    """
+    stats = analyzer.memo_stats
+    if not CONFIG.fingerprint_memo:
+        if (
+            child.stored_input is not None
+            and child.stored_output is not None
+            and child.stored_input == func_input
+        ):
+            stats.hits += 1
+            return None, True, child.stored_output
+        stats.misses += 1
+        return None, False, None
+    key = func_input.fingerprint()
+    memo = child.memo
+    output = memo.get(key)
+    if output is None:
+        stats.misses += 1
+        return key, False, None
+    newest = next(reversed(memo))
+    if newest != key:
+        memo.pop(key)
+        memo[key] = output  # refresh recency
+        analyzer.subtree_cache_lookup(child.func, func_input)
+    stats.hits += 1
+    return key, True, output
+
+
+def _memo_store(
+    analyzer, child: IGNode, key, output: PointsToSet | None
+) -> None:
+    if key is None or output is None:
+        return  # legacy protocol / Bottom output: nothing to table
+    memo = child.memo
+    memo.pop(key, None)
+    memo[key] = output
+    capacity = max(1, CONFIG.memo_capacity)
+    while len(memo) > capacity:
+        memo.pop(next(iter(memo)))  # least recently used
+        analyzer.memo_stats.evictions += 1
 
 
 def process_call_node(
@@ -100,12 +193,11 @@ def process_call_node(
 def _process_ordinary(
     analyzer, child: IGNode, func_input: PointsToSet
 ) -> PointsToSet | None:
-    if (
-        child.stored_input is not None
-        and child.stored_output is not None
-        and child.stored_input == func_input
-    ):
-        return child.stored_output
+    key, memo_hit, memo_output = _memo_lookup(analyzer, child, func_input)
+    if memo_hit:
+        child.stored_input = func_input
+        child.stored_output = memo_output
+        return memo_output
     hit, cached = analyzer.subtree_cache_lookup(child.func, func_input)
     if hit:
         # Sub-tree sharing (Section 6's planned optimization): another
@@ -113,6 +205,7 @@ def _process_ordinary(
         # identical input; reuse its output.
         child.stored_input = func_input
         child.stored_output = cached
+        _memo_store(analyzer, child, key, cached)
         return cached
     child.in_progress = True
     try:
@@ -125,6 +218,7 @@ def _process_ordinary(
         return _process_recursive(analyzer, child, func_input)
     child.stored_input = func_input
     child.stored_output = func_output
+    _memo_store(analyzer, child, key, func_output)
     analyzer.subtree_cache_store(child.func, func_input, func_output)
     return func_output
 
@@ -149,10 +243,20 @@ def _process_recursive(
         while True:
             iterations += 1
             if iterations > MAX_RECURSION_ITERATIONS:
-                raise RuntimeError(
-                    "recursion fixed point failed to converge "
-                    f"for {child.func}; this indicates an analysis bug"
+                # Truncate rather than abort: keep the output merged so
+                # far, but never silently — warn and record it in the
+                # run's statistics so callers can see the result may be
+                # incomplete.
+                analyzer.warn(
+                    f"recursion fixed point for '{child.func}' did not "
+                    f"converge within {MAX_RECURSION_ITERATIONS} "
+                    f"iterations; truncated (result may be incomplete)"
                 )
+                stats = analyzer.memo_stats
+                stats.recursion_truncations += 1
+                if child.func not in stats.truncated_functions:
+                    stats.truncated_functions.append(child.func)
+                break
             func_output = analyzer.analyze_body(child, child.stored_input)
             if child.pending_inputs:
                 merged = merge_all([child.stored_input] + child.pending_inputs)

@@ -18,6 +18,7 @@ from repro.frontend.ctypes import CType, PointerType, StructType, decay
 from repro.core.env import FuncEnv
 from repro.core.locations import AbsLoc, HEAD, TAIL, NULL
 from repro.core.lvalues import LocSet, l_locations, r_locations, r_locations_ref
+from repro.core.perf import CONFIG
 from repro.core.pointsto import D, P, PointsToSet, merge_all
 from repro.simple.ir import (
     AddrOf,
@@ -397,6 +398,8 @@ class IntraAnalyzer:
 
 
 def _sets_equal(a: PointsToSet | None, b: PointsToSet | None) -> bool:
+    if CONFIG.set_fast_paths and a is b:
+        return True
     if a is None or b is None:
         return a is None and b is None
     return a == b

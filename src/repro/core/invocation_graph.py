@@ -44,6 +44,10 @@ class IGNode:
     # Memoization / fixed-point state (Figure 4).
     stored_input: PointsToSet | None = None
     stored_output: PointsToSet | None = None
+    #: Ordinary-node memo table: input fingerprint -> output set.  A
+    #: bounded generalization of Figure 4's single stored pair
+    #: (insertion order is recency order; see repro.core.interproc).
+    memo: dict[frozenset, PointsToSet] = field(default_factory=dict)
     pending_inputs: list[PointsToSet] = field(default_factory=list)
     #: True while the recursive fixed point for this node is running.
     in_progress: bool = False

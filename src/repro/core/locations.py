@@ -20,7 +20,8 @@ relationship is represented by a named :class:`AbsLoc`:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+
+from repro.core.perf import CONFIG
 
 #: Path element marking the first element of an array.
 HEAD = "[head]"
@@ -44,7 +45,10 @@ class LocKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+#: Interning table: (base, kind, func, path) -> the canonical AbsLoc.
+_INTERN: dict[tuple, "AbsLoc"] = {}
+
+
 class AbsLoc:
     """A named abstract stack location.
 
@@ -52,12 +56,69 @@ class AbsLoc:
     selector chain (field names and the ``[head]``/``[tail]`` markers);
     ``func`` scopes locals, parameters, symbolic names, and retval to
     their function (None for globals and the special locations).
+
+    Instances are immutable and (by default) *interned*: constructing
+    the same (base, kind, func, path) twice yields the same object, so
+    the dict-heavy :class:`~repro.core.pointsto.PointsToSet` operations
+    hash a precomputed integer and compare by identity instead of
+    re-hashing tuples of fields on every lookup.  Equality still falls
+    back to a field comparison, so non-interned instances (legacy perf
+    mode, unpickling) remain fully interoperable.
     """
+
+    __slots__ = ("base", "kind", "func", "path", "_hash", "_root")
 
     base: str
     kind: LocKind
-    func: str | None = None
-    path: tuple[str, ...] = ()
+    func: str | None
+    path: tuple[str, ...]
+
+    def __new__(
+        cls,
+        base: str,
+        kind: LocKind,
+        func: str | None = None,
+        path: tuple[str, ...] = (),
+    ) -> "AbsLoc":
+        key = (base, kind, func, path)
+        interning = CONFIG.intern_locations
+        if interning:
+            cached = _INTERN.get(key)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "_hash", hash(key))
+        if interning:
+            _INTERN[key] = self
+        return self
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AbsLoc is immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError("AbsLoc is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, AbsLoc):
+            return NotImplemented
+        return (
+            self.base == other.base
+            and self.kind is other.kind
+            and self.func == other.func
+            and self.path == other.path
+        )
+
+    def __reduce__(self):
+        return (AbsLoc, (self.base, self.kind, self.func, self.path))
 
     def __str__(self) -> str:
         text = self.base
@@ -75,10 +136,15 @@ class AbsLoc:
     # -- derived locations --------------------------------------------
 
     def root(self) -> "AbsLoc":
-        """The whole-variable location this one belongs to."""
+        """The whole-variable location this one belongs to (cached)."""
         if not self.path:
             return self
-        return AbsLoc(self.base, self.kind, self.func)
+        try:
+            return self._root
+        except AttributeError:
+            root = AbsLoc(self.base, self.kind, self.func)
+            object.__setattr__(self, "_root", root)
+            return root
 
     def extend(self, path: tuple[str, ...]) -> "AbsLoc":
         if not path:

@@ -35,6 +35,7 @@ from repro.frontend.ctypes import StructType
 from repro.core.env import FuncEnv
 from repro.core.lvalues import r_locations
 from repro.core.locations import NULL, AbsLoc, LocKind, retval_loc, symbolic_name
+from repro.core.perf import CONFIG
 from repro.core.pointsto import D, P, Definiteness, PointsToSet
 from repro.simple.ir import Const, Operand, Ref, SimpleFunction
 
@@ -298,6 +299,15 @@ def unmap_call(
 
     # Decide, per represented caller root, between strong and weak update.
     result = caller_input.copy()
+    # Snapshot the caller's sources grouped by root once: the update
+    # loop below only ever kills/weakens sources the caller already
+    # had (its own additions are grouped under the root being updated),
+    # so one pass replaces a per-root scan over all sources.
+    sources_by_root: dict[AbsLoc, list[AbsLoc]] | None = None
+    if CONFIG.set_fast_paths:
+        sources_by_root = {}
+        for src in result.sources():
+            sources_by_root.setdefault(src.root(), []).append(src)
     updates: dict[AbsLoc, bool] = {}  # caller root -> strong?
     for sym_root, caller_roots in map_info.to_caller.items():
         strong = len(caller_roots) == 1
@@ -315,23 +325,19 @@ def unmap_call(
     for root, strong in updates.items():
         if root.represents_multiple():
             strong = False
+        if sources_by_root is not None:
+            root_sources = sources_by_root.get(root, ())
+        else:
+            root_sources = [s for s in result.sources() if s.root() == root]
         if strong:
-            _kill_root(result, root)
+            for src in root_sources:
+                result.kill_source(src)
             for caller_src, caller_tgt, definiteness in new_rels.get(root, ()):
                 result.add(caller_src, caller_tgt, definiteness)
         else:
-            _weaken_root(result, root)
+            for src in root_sources:
+                result.weaken_source(src)
             for caller_src, caller_tgt, _ in new_rels.get(root, ()):
                 result.add(caller_src, caller_tgt, P)
 
     return UnmapResult(result, returns, dangling)
-
-
-def _kill_root(pts: PointsToSet, root: AbsLoc) -> None:
-    for src in [s for s in pts.sources() if s.root() == root]:
-        pts.kill_source(src)
-
-
-def _weaken_root(pts: PointsToSet, root: AbsLoc) -> None:
-    for src in [s for s in pts.sources() if s.root() == root]:
-        pts.weaken_source(src)

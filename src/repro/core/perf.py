@@ -1,0 +1,90 @@
+"""Runtime performance configuration for the analysis core.
+
+The core's representation-level optimizations (location interning,
+copy-on-write points-to sets, merge/equality fast paths, and the
+fingerprint-keyed call memo tables) are all *behavior-preserving*:
+they change how much work the analysis does, never what it computes.
+This module gathers them behind one switchboard so that
+
+* ``benchmarks/bench_perf.py`` can time the optimized core against a
+  faithful emulation of the pre-optimization core in the same process
+  ("legacy mode": eager copies, no fast paths, a single-entry
+  equality-keyed memo, no interning), and
+* the property tests can pin both modes to identical results.
+
+The flags are read on the hot paths, so they are plain attribute
+lookups on a module-level singleton — do not replace :data:`CONFIG`;
+mutate it through :func:`configure` or the :func:`configured` context
+manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class PerfConfig:
+    """Switchboard for the core's representation optimizations.
+
+    * ``intern_locations``: reuse one canonical ``AbsLoc`` instance per
+      (base, kind, func, path) with a precomputed hash.
+    * ``cow_sets``: ``PointsToSet.copy()`` shares the underlying maps
+      and detaches lazily on first mutation.
+    * ``set_fast_paths``: identity/equality short-circuits in
+      ``merge`` and ``is_subset_of``.
+    * ``fingerprint_memo``: key call memoization on the cached input
+      fingerprint (multi-entry table); when off, fall back to the
+      original single (input, output) pair compared by set equality.
+    * ``memo_capacity``: bound on entries per ordinary invocation-graph
+      node's memo table (least-recently-used entries are evicted).
+    """
+
+    intern_locations: bool = True
+    cow_sets: bool = True
+    set_fast_paths: bool = True
+    fingerprint_memo: bool = True
+    memo_capacity: int = 8
+
+
+#: The process-wide configuration consulted by the hot paths.
+CONFIG = PerfConfig()
+
+_DEFAULTS = PerfConfig()
+
+
+def legacy_overrides() -> dict:
+    """Overrides emulating the pre-optimization core (for benching)."""
+    return {
+        "intern_locations": False,
+        "cow_sets": False,
+        "set_fast_paths": False,
+        "fingerprint_memo": False,
+        "memo_capacity": 1,
+    }
+
+
+def configure(**overrides) -> PerfConfig:
+    """Set configuration fields by name; unknown names are an error."""
+    for name, value in overrides.items():
+        if not hasattr(_DEFAULTS, name):
+            raise ValueError(f"unknown perf option {name!r}")
+        setattr(CONFIG, name, value)
+    return CONFIG
+
+
+def reset() -> PerfConfig:
+    """Restore the optimized defaults."""
+    return configure(**vars(_DEFAULTS))
+
+
+@contextmanager
+def configured(**overrides):
+    """Temporarily apply overrides (restores previous values on exit)."""
+    saved = {name: getattr(CONFIG, name) for name in overrides}
+    configure(**overrides)
+    try:
+        yield CONFIG
+    finally:
+        configure(**saved)

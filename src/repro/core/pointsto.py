@@ -5,6 +5,18 @@ stack locations.  It provides the operations the flow rules of Figure 1
 and the interprocedural rules of Figure 4 need: gen, kill,
 definite-to-possible weakening, merge (the paper's ``Merge``), subset
 testing, and queries for L-/R-location computation.
+
+Representation notes (see DESIGN.md, "Performance architecture"):
+
+* sets are *copy-on-write*: ``copy()`` is O(1) and shares the
+  underlying maps; the first mutation of either sharer detaches;
+* the ``src -> targets`` and ``tgt -> sources`` indexes are built
+  lazily from the relationship map and then maintained incrementally
+  under every mutation, so ``targets_of``/``sources_of`` are dict
+  lookups, not scans;
+* ``fingerprint()`` returns a cached canonical, hashable key of the
+  whole set (used by the interprocedural memo tables); it is
+  invalidated only by mutations that actually change the set.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ import enum
 from typing import Iterable, Iterator
 
 from repro.core.locations import AbsLoc
+from repro.core.perf import CONFIG
 
 
 class Definiteness(enum.Enum):
@@ -45,11 +58,17 @@ class PointsToSet:
     :meth:`check_invariants` verifies for the test suite.
     """
 
-    __slots__ = ("_rel", "_by_src")
+    __slots__ = ("_rel", "_by_src", "_by_tgt", "_shared", "_fingerprint")
 
     def __init__(self) -> None:
         self._rel: dict[tuple[AbsLoc, AbsLoc], bool] = {}
-        self._by_src: dict[AbsLoc, set[AbsLoc]] = {}
+        #: Lazy indexes: None until first queried, then kept in sync.
+        self._by_src: dict[AbsLoc, set[AbsLoc]] | None = None
+        self._by_tgt: dict[AbsLoc, set[AbsLoc]] | None = None
+        #: True while the maps may be shared with another instance.
+        self._shared = False
+        #: Cached canonical key (a frozenset of ``_rel`` items).
+        self._fingerprint: frozenset | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -63,10 +82,74 @@ class PointsToSet:
         return result
 
     def copy(self) -> "PointsToSet":
-        result = PointsToSet()
-        result._rel = dict(self._rel)
-        result._by_src = {src: set(tgts) for src, tgts in self._by_src.items()}
+        if not CONFIG.cow_sets:
+            # Legacy mode (benching): eager copy of the relationship
+            # map and an always-materialized index, exactly like the
+            # pre-optimization implementation.
+            self._indexes()
+        result = PointsToSet.__new__(PointsToSet)
+        result._rel = self._rel
+        result._by_src = self._by_src
+        result._by_tgt = self._by_tgt
+        result._fingerprint = self._fingerprint
+        result._shared = True
+        if CONFIG.cow_sets:
+            self._shared = True
+        else:
+            result._detach()
         return result
+
+    # -- copy-on-write plumbing -------------------------------------------
+
+    def _detach(self) -> None:
+        """Take sole ownership of the underlying maps."""
+        self._rel = dict(self._rel)
+        if self._by_src is not None:
+            self._by_src = {s: set(ts) for s, ts in self._by_src.items()}
+            self._by_tgt = {t: set(ss) for t, ss in self._by_tgt.items()}
+        self._shared = False
+
+    def _own(self) -> None:
+        """Prepare for a mutation that will change the set."""
+        if self._shared:
+            self._detach()
+        self._fingerprint = None
+
+    def _indexes(
+        self,
+    ) -> tuple[dict[AbsLoc, set[AbsLoc]], dict[AbsLoc, set[AbsLoc]]]:
+        """The (by-source, by-target) indexes, built on first use."""
+        by_src = self._by_src
+        if by_src is None:
+            by_src = {}
+            by_tgt: dict[AbsLoc, set[AbsLoc]] = {}
+            for src, tgt in self._rel:
+                targets = by_src.get(src)
+                if targets is None:
+                    by_src[src] = {tgt}
+                else:
+                    targets.add(tgt)
+                sources = by_tgt.get(tgt)
+                if sources is None:
+                    by_tgt[tgt] = {src}
+                else:
+                    sources.add(src)
+            self._by_src = by_src
+            self._by_tgt = by_tgt
+        return by_src, self._by_tgt  # type: ignore[return-value]
+
+    def fingerprint(self) -> frozenset:
+        """A canonical, hashable key of the full set (cached).
+
+        Two sets have equal fingerprints iff they are equal (same
+        pairs, same definiteness) — the key is exact, not a hash, so
+        memo tables keyed on it can never collide unsoundly.
+        """
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            fingerprint = frozenset(self._rel.items())
+            self._fingerprint = fingerprint
+        return fingerprint
 
     # -- basic mutation ---------------------------------------------------
 
@@ -74,48 +157,88 @@ class PointsToSet:
         """Insert a triple; an existing P never upgrades silently to D
         unless added as D explicitly."""
         key = (src, tgt)
-        if definiteness is D:
-            self._rel[key] = True
-        else:
-            self._rel.setdefault(key, False)
-        self._by_src.setdefault(src, set()).add(tgt)
+        prev = self._rel.get(key)
+        if prev is not None and (prev or definiteness is not D):
+            return  # already present, at least as strong: no change
+        self._own()
+        self._rel[key] = definiteness is D
+        if prev is None and self._by_src is not None:
+            self._by_src.setdefault(src, set()).add(tgt)
+            self._by_tgt.setdefault(tgt, set()).add(src)  # type: ignore[union-attr]
 
     def discard(self, src: AbsLoc, tgt: AbsLoc) -> None:
-        self._rel.pop((src, tgt), None)
-        targets = self._by_src.get(src)
+        key = (src, tgt)
+        if key not in self._rel:
+            return
+        self._own()
+        del self._rel[key]
+        if self._by_src is not None:
+            self._unindex(src, tgt)
+
+    def _unindex(self, src: AbsLoc, tgt: AbsLoc) -> None:
+        targets = self._by_src.get(src)  # type: ignore[union-attr]
         if targets is not None:
             targets.discard(tgt)
             if not targets:
-                del self._by_src[src]
+                del self._by_src[src]  # type: ignore[index]
+        sources = self._by_tgt.get(tgt)  # type: ignore[union-attr]
+        if sources is not None:
+            sources.discard(src)
+            if not sources:
+                del self._by_tgt[tgt]  # type: ignore[index]
 
     def kill_source(self, src: AbsLoc) -> None:
         """Remove every relationship whose source is ``src``."""
-        targets = self._by_src.pop(src, None)
-        if targets is None:
+        by_src, _ = self._indexes()
+        if src not in by_src:
             return
+        self._own()
+        targets = self._by_src.pop(src)  # type: ignore[union-attr]
+        rel = self._rel
+        by_tgt = self._by_tgt
         for tgt in targets:
-            self._rel.pop((src, tgt), None)
+            del rel[(src, tgt)]
+            sources = by_tgt.get(tgt)  # type: ignore[union-attr]
+            if sources is not None:
+                sources.discard(src)
+                if not sources:
+                    del by_tgt[tgt]  # type: ignore[index]
 
     def weaken_source(self, src: AbsLoc) -> None:
         """Turn every definite relationship from ``src`` into possible."""
-        for tgt in self._by_src.get(src, ()):
-            key = (src, tgt)
-            if self._rel.get(key):
-                self._rel[key] = False
+        by_src, _ = self._indexes()
+        rel = self._rel
+        flips = [tgt for tgt in by_src.get(src, ()) if rel[(src, tgt)]]
+        if not flips:
+            return
+        self._own()
+        rel = self._rel
+        for tgt in flips:
+            rel[(src, tgt)] = False
 
     # -- queries ------------------------------------------------------------
 
     def targets_of(self, src: AbsLoc) -> list[tuple[AbsLoc, Definiteness]]:
-        result = []
-        for tgt in self._by_src.get(src, ()):
-            result.append((tgt, D if self._rel[(src, tgt)] else P))
-        return result
+        by_src, _ = self._indexes()
+        rel = self._rel
+        return [
+            (tgt, D if rel[(src, tgt)] else P)
+            for tgt in by_src.get(src, ())
+        ]
 
     def sources_of(self, tgt: AbsLoc) -> list[tuple[AbsLoc, Definiteness]]:
+        if not CONFIG.set_fast_paths:
+            # Legacy mode (benching): the pre-optimization linear scan.
+            return [
+                (src, D if definite else P)
+                for (src, other), definite in self._rel.items()
+                if other == tgt
+            ]
+        _, by_tgt = self._indexes()
+        rel = self._rel
         return [
-            (src, D if definite else P)
-            for (src, other), definite in self._rel.items()
-            if other == tgt
+            (src, D if rel[(src, tgt)] else P)
+            for src in by_tgt.get(tgt, ())
         ]
 
     def has(self, src: AbsLoc, tgt: AbsLoc) -> bool:
@@ -128,18 +251,15 @@ class PointsToSet:
         return D if flag else P
 
     def sources(self) -> Iterator[AbsLoc]:
-        return iter(self._by_src)
+        return iter(self._indexes()[0])
 
     def triples(self) -> Iterator[tuple[AbsLoc, AbsLoc, Definiteness]]:
         for (src, tgt), definite in self._rel.items():
             yield src, tgt, D if definite else P
 
     def locations(self) -> set[AbsLoc]:
-        result: set[AbsLoc] = set()
-        for src, tgt in self._rel:
-            result.add(src)
-            result.add(tgt)
-        return result
+        by_src, by_tgt = self._indexes()
+        return set(by_src) | set(by_tgt)
 
     def __len__(self) -> int:
         return len(self._rel)
@@ -150,7 +270,7 @@ class PointsToSet:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PointsToSet):
             return NotImplemented
-        return self._rel == other._rel
+        return self._rel is other._rel or self._rel == other._rel
 
     def __hash__(self):  # mutable; identity hashing would mislead
         raise TypeError("PointsToSet is unhashable")
@@ -169,8 +289,14 @@ class PointsToSet:
         most as precise.  ``(x,y,P)`` is *not* covered by ``(x,y,D)`` —
         an analysis result computed under a definite assumption may not
         be reused for a merely-possible input."""
+        if CONFIG.set_fast_paths:
+            if self._rel is other._rel:
+                return True
+            if len(self._rel) > len(other._rel):
+                return False  # some key of self cannot be in other
+        other_rel = other._rel
         for key, definite in self._rel.items():
-            other_def = other._rel.get(key)
+            other_def = other_rel.get(key)
             if other_def is None:
                 return False
             if not definite and other_def:
@@ -183,24 +309,38 @@ class PointsToSet:
         """The paper's ``Merge``: union of relationships; a pair is
         definite only when definite in *both* inputs (a relationship
         present in only one branch holds on some paths only)."""
+        self_rel = self._rel
+        other_rel = other._rel
+        if CONFIG.set_fast_paths and (
+            self_rel is other_rel or self_rel == other_rel
+        ):
+            # Merge of equal sets is the set itself (d ∧ d = d).
+            return self.copy()
         result = PointsToSet()
-        for key, definite in self._rel.items():
-            other_def = other._rel.get(key)
-            if other_def is None:
-                result._rel[key] = False
-            else:
-                result._rel[key] = definite and other_def
-            result._by_src.setdefault(key[0], set()).add(key[1])
-        for key, definite in other._rel.items():
-            if key not in self._rel:
-                result._rel[key] = False
-                result._by_src.setdefault(key[0], set()).add(key[1])
+        # Start from everything-possible in self's order (one C-speed
+        # pass), then upgrade the pairs definite in both inputs and
+        # append other-only pairs (possible) in other's order.
+        rel = result._rel = dict.fromkeys(self_rel, False)
+        other_get = other_rel.get
+        for key, definite in self_rel.items():
+            if definite and other_get(key):
+                rel[key] = True
+        for key in other_rel:
+            if key not in self_rel:
+                rel[key] = False
+        if not CONFIG.cow_sets:
+            result._indexes()  # legacy mode built the index eagerly
         return result
 
     # -- invariants (used by property tests) ---------------------------------
 
     def check_invariants(self) -> list[str]:
-        """Return a list of violated-invariant descriptions (empty = ok)."""
+        """Return a list of violated-invariant descriptions (empty = ok).
+
+        Besides the paper-level invariants, this verifies that the
+        incremental by-source/by-target indexes (when materialized)
+        agree with the relationship map.
+        """
         problems = []
         definite_sources: dict[AbsLoc, AbsLoc] = {}
         for (src, tgt), definite in self._rel.items():
@@ -212,7 +352,7 @@ class PointsToSet:
                     )
                 definite_sources[src] = tgt
         for src, tgt in definite_sources.items():
-            for other in self._by_src.get(src, ()):
+            for other in self._indexes()[0].get(src, ()):
                 if other != tgt:
                     problems.append(
                         f"{src} definitely points to {tgt} but also "
@@ -226,6 +366,23 @@ class PointsToSet:
                 )
             if src.is_null:
                 problems.append(f"NULL used as a points-to source: {src}->{tgt}")
+        problems.extend(self._check_index_consistency())
+        return problems
+
+    def _check_index_consistency(self) -> list[str]:
+        """Verify the maintained indexes against the relationship map."""
+        if self._by_src is None:
+            return []
+        problems = []
+        expected_src: dict[AbsLoc, set[AbsLoc]] = {}
+        expected_tgt: dict[AbsLoc, set[AbsLoc]] = {}
+        for src, tgt in self._rel:
+            expected_src.setdefault(src, set()).add(tgt)
+            expected_tgt.setdefault(tgt, set()).add(src)
+        if self._by_src != expected_src:
+            problems.append("by-source index disagrees with relationships")
+        if self._by_tgt != expected_tgt:
+            problems.append("by-target index disagrees with relationships")
         return problems
 
 

@@ -321,6 +321,64 @@ def collect_table6(analysis: PointsToAnalysis, name: str) -> Table6Row:
 
 
 # ---------------------------------------------------------------------------
+# Performance counters (memo tables, recursion truncation, set sizes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PerfRow:
+    """Per-run performance counters: invocation-graph memo-table
+    traffic plus the points-to-set size peak, reported alongside the
+    wall-clock timings of ``benchmarks/bench_perf.py``."""
+
+    benchmark: str
+    statements: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
+    recursion_truncations: int = 0
+    peak_triples: int = 0
+
+    @property
+    def memo_lookups(self) -> int:
+        return self.memo_hits + self.memo_misses
+
+    @property
+    def memo_hit_rate(self) -> float:
+        lookups = self.memo_lookups
+        return self.memo_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "statements": self.statements,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_evictions": self.memo_evictions,
+            "memo_hit_rate": round(self.memo_hit_rate, 4),
+            "recursion_truncations": self.recursion_truncations,
+            "peak_triples": self.peak_triples,
+        }
+
+
+def collect_perf(analysis: PointsToAnalysis, name: str) -> PerfRow:
+    stats = analysis.stats
+    peak = max(
+        (len(info) for info in analysis.point_info.values() if info is not None),
+        default=0,
+    )
+    return PerfRow(
+        benchmark=name,
+        statements=analysis.program.count_basic_stmts(),
+        memo_hits=stats.hits,
+        memo_misses=stats.misses,
+        memo_evictions=stats.evictions,
+        recursion_truncations=stats.recursion_truncations,
+        peak_triples=peak,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Suite-level summary (the headline percentages of Section 6)
 # ---------------------------------------------------------------------------
 
