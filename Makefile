@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench bench-perf check artifacts examples soundness all
+.PHONY: install test bench bench-perf bench-service check artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -19,6 +19,11 @@ bench:
 # BENCH_perf.json at the repository root.
 bench-perf:
 	PYTHONPATH=src python benchmarks/bench_perf.py
+
+# Cold-vs-warm batch runs through the result store; merges a
+# "service" section into BENCH_perf.json.
+bench-service:
+	PYTHONPATH=src python benchmarks/bench_service.py
 
 # Tier-1 gate: the full test suite plus a quick performance smoke
 # (one small and one large program through both cores).

@@ -10,9 +10,28 @@ function-pointer workload; :mod:`repro.benchsuite.generator` produces
 random pointer programs for stress and property testing.
 """
 
+from pathlib import Path
+
 from repro.benchsuite.programs import BENCHMARKS, Benchmark, get_benchmark
 from repro.benchsuite.livc import livc_source
 from repro.benchsuite.generator import generate_program
+
+
+def materialize_suite(directory) -> list[Path]:
+    """Write every benchmark to ``<directory>/<name>.c``.
+
+    Gives the file-oriented drivers (``repro-pta batch DIR``, external
+    tools) a real on-disk copy of the suite; returns the sorted paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name in sorted(BENCHMARKS):
+        path = directory / f"{name}.c"
+        path.write_text(BENCHMARKS[name].source)
+        paths.append(path)
+    return paths
+
 
 __all__ = [
     "BENCHMARKS",
@@ -20,4 +39,5 @@ __all__ = [
     "get_benchmark",
     "livc_source",
     "generate_program",
+    "materialize_suite",
 ]

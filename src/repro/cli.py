@@ -10,12 +10,17 @@ Subcommands:
 * ``livc``               — run the Section 6 function-pointer study;
 * ``soundness FILE.c``   — differential check: analysis vs execution;
 * ``heap FILE.c``        — the companion connection-matrix analysis;
-* ``run FILE.c``         — execute the program on the SIMPLE machine.
+* ``run FILE.c``         — execute the program on the SIMPLE machine;
+* ``query FILE.c EXPR...`` — demand queries against the result store
+  (``points_to:p@L``, ``may_alias:*p,q@L``, ``callees_at:3``, ...);
+* ``batch [PATHS|--suite]`` — analyze many files through the store
+  with parallel workers, or ``--serve`` JSON-lines queries on stdin.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.benchsuite import BENCHMARKS, livc_source
@@ -50,13 +55,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     source = _read(args.file)
     options = AnalysisOptions(function_pointer_strategy=args.fnptr)
     result = analyze_source(source, options, filename=args.file)
+    if args.json:
+        from repro.service.serialize import encode_analysis
+
+        payload = encode_analysis(result, name=args.file, source=source)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if result.program.labels:
         print("Points-to sets at labeled program points:")
         for label in sorted(result.program.labels):
             triples = result.triples_at(label, skip_null=not args.show_null)
             rendered = " ".join(f"({s},{t},{d})" for s, t, d in triples)
             print(f"  {label}: {rendered}")
-    if getattr(args, "dot", False):
+    if args.dot:
         print("\nInvocation graph (dot):")
         print(result.ig.to_dot())
     else:
@@ -67,6 +78,72 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for warning in result.warnings:
             print(f"  {warning}")
     return 0
+
+
+def _make_store(args: argparse.Namespace):
+    from repro.service.store import ResultStore, default_store_root
+
+    root = args.store if args.store else default_store_root()
+    return ResultStore(root)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.service.queries import QueryError, QuerySession
+
+    source = _read(args.file)
+    options = AnalysisOptions(function_pointer_strategy=args.fnptr)
+    store = _make_store(args)
+    result, hit = store.load_or_analyze(
+        source, options, name=args.file, refresh=args.refresh
+    )
+    session = QuerySession(result)
+    status = 0
+    for expr in args.queries:
+        try:
+            answer = session.evaluate(expr)
+        except QueryError as exc:
+            print(f"{expr}: error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{expr}: {json.dumps(answer, sort_keys=True)}")
+    if args.stats:
+        from repro.core.statistics import collect_perf
+
+        row = collect_perf(
+            result, args.file, queries=session.stats, store=store
+        )
+        print(json.dumps(row.as_dict(), indent=2, sort_keys=True))
+    elif not hit and not args.queries:
+        print("(result stored; no queries given)")
+    return status
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service.batch import collect_items, run_batch, serve
+    from repro.reporting.tables import render_batch_report
+
+    store = _make_store(args)
+    if args.serve:
+        return serve(sys.stdin, sys.stdout, store)
+    items = collect_items(args.paths, suite=args.suite)
+    if not items:
+        print(
+            "batch: nothing to do (give files, a directory, or --suite)",
+            file=sys.stderr,
+        )
+        return 2
+    options = AnalysisOptions(function_pointer_strategy=args.fnptr)
+    report = run_batch(
+        items,
+        store=store,
+        options=options,
+        jobs=args.jobs,
+        refresh=args.refresh,
+    )
+    print(render_batch_report(report))
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 1 if report.errors else 0
 
 
 def cmd_simple(args: argparse.Namespace) -> int:
@@ -166,7 +243,90 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the invocation graph in Graphviz format",
     )
+    p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full result as versioned JSON (the store format)",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_query = sub.add_parser(
+        "query", help="demand queries against the result store"
+    )
+    p_query.add_argument("file")
+    p_query.add_argument(
+        "queries",
+        nargs="*",
+        metavar="EXPR",
+        help=(
+            "queries like points_to:p@LABEL, may_alias:*p,q@LABEL, "
+            "callees_at:SITE, callers_of:FN, read_write:FN, labels, "
+            "call_sites, warnings, graph, summary"
+        ),
+    )
+    p_query.add_argument(
+        "--fnptr",
+        choices=["precise", "all_functions", "address_taken"],
+        default="precise",
+        help="function-pointer binding strategy",
+    )
+    p_query.add_argument(
+        "--store", default=None, help="result-store directory"
+    )
+    p_query.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-analyze even on a store hit",
+    )
+    p_query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print session query counters and store traffic",
+    )
+    p_query.set_defaults(func=cmd_query)
+
+    p_batch = sub.add_parser(
+        "batch", help="analyze many files through the store in parallel"
+    )
+    p_batch.add_argument(
+        "paths", nargs="*", help="C files and/or directories of *.c files"
+    )
+    p_batch.add_argument(
+        "--suite",
+        action="store_true",
+        help="include the built-in benchmark suite",
+    )
+    p_batch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: os.cpu_count())",
+    )
+    p_batch.add_argument(
+        "--store", default=None, help="result-store directory"
+    )
+    p_batch.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-analyze everything even on store hits",
+    )
+    p_batch.add_argument(
+        "--fnptr",
+        choices=["precise", "all_functions", "address_taken"],
+        default="precise",
+        help="function-pointer binding strategy",
+    )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the machine-readable report",
+    )
+    p_batch.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve JSON-lines queries from stdin against the store",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_simple = sub.add_parser("simple", help="print the SIMPLE lowering")
     p_simple.add_argument("file")

@@ -326,10 +326,34 @@ def collect_table6(analysis: PointsToAnalysis, name: str) -> Table6Row:
 
 
 @dataclass
+class QueryStats:
+    """Per-session demand-query counters (one
+    :class:`~repro.service.queries.QuerySession` each), surfaced
+    through :func:`collect_perf` alongside the analysis counters."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+
+@dataclass
 class PerfRow:
     """Per-run performance counters: invocation-graph memo-table
     traffic plus the points-to-set size peak, reported alongside the
-    wall-clock timings of ``benchmarks/bench_perf.py``."""
+    wall-clock timings of ``benchmarks/bench_perf.py``.  When the run
+    served demand queries or consulted the result store, those
+    counters ride along too."""
 
     benchmark: str
     statements: int = 0
@@ -338,6 +362,10 @@ class PerfRow:
     memo_evictions: int = 0
     recursion_truncations: int = 0
     peak_triples: int = 0
+    #: ``QueryStats.as_dict()`` of the serving session, when any.
+    query_stats: dict | None = None
+    #: ``StoreStats.as_dict()`` of the result store, when one was used.
+    store_stats: dict | None = None
 
     @property
     def memo_lookups(self) -> int:
@@ -349,7 +377,7 @@ class PerfRow:
         return self.memo_hits / lookups if lookups else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        result = {
             "benchmark": self.benchmark,
             "statements": self.statements,
             "memo_hits": self.memo_hits,
@@ -359,22 +387,50 @@ class PerfRow:
             "recursion_truncations": self.recursion_truncations,
             "peak_triples": self.peak_triples,
         }
+        if self.query_stats is not None:
+            result["queries"] = self.query_stats
+        if self.store_stats is not None:
+            result["store"] = self.store_stats
+        return result
 
 
-def collect_perf(analysis: PointsToAnalysis, name: str) -> PerfRow:
+def collect_perf(
+    analysis: PointsToAnalysis,
+    name: str,
+    queries: QueryStats | None = None,
+    store=None,
+) -> PerfRow:
+    """Performance counters of one run.
+
+    Accepts a live :class:`~repro.core.analysis.PointsToAnalysis` or a
+    decoded cached result (which has no program — its statement count
+    travels in the payload).  ``queries`` is a session's
+    :class:`QueryStats`; ``store`` a service
+    :class:`~repro.service.store.ResultStore` (anything exposing
+    ``stats.as_dict()``).
+    """
     stats = analysis.stats
     peak = max(
         (len(info) for info in analysis.point_info.values() if info is not None),
         default=0,
     )
+    program = getattr(analysis, "program", None)
+    if program is not None:
+        statements = program.count_basic_stmts()
+    else:
+        statements = getattr(analysis, "statements", 0)
     return PerfRow(
         benchmark=name,
-        statements=analysis.program.count_basic_stmts(),
+        statements=statements,
         memo_hits=stats.hits,
         memo_misses=stats.misses,
         memo_evictions=stats.evictions,
         recursion_truncations=stats.recursion_truncations,
         peak_triples=peak,
+        query_stats=queries.as_dict() if queries is not None else None,
+        store_stats=(
+            store.stats.as_dict() if store is not None else None
+        ),
     )
 
 

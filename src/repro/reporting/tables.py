@@ -206,3 +206,39 @@ def render_livc_study(comparison: StrategyComparison) -> str:
         f"(paper: 589 nodes, 72 fns)",
     ]
     return "\n".join(lines)
+
+
+def render_batch_report(report) -> str:
+    """Summary table of one ``repro-pta batch`` run (a
+    :class:`~repro.service.batch.BatchReport`): per-file wall time and
+    cache outcome, then the hit-rate/throughput footer."""
+    body = []
+    for row in report.rows:
+        if row.get("error"):
+            body.append(
+                [row["name"], "ERROR", f"{row['wall_s'] * 1000:.1f}",
+                 "-", "-", row["error"]]
+            )
+            continue
+        body.append(
+            [
+                row["name"],
+                "hit" if row["hit"] else "miss",
+                f"{row['wall_s'] * 1000:.1f}",
+                str(row["statements"]),
+                str(row["ig_nodes"]),
+                str(row["warnings"]),
+            ]
+        )
+    table = _format_table(
+        ["File", "Cache", "Wall (ms)", "SIMPLE stmts", "IG nodes", "Warnings"],
+        body,
+    )
+    footer = (
+        f"{len(report.rows)} files, {report.jobs} worker(s): "
+        f"{report.hits} hit / {len(report.rows) - report.hits} miss "
+        f"(hit rate {100 * report.hit_rate:.1f}%), "
+        f"batch wall {report.wall_s:.3f}s, "
+        f"sum of per-file wall {report.total_file_s:.3f}s"
+    )
+    return table + "\n" + footer

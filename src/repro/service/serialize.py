@@ -1,0 +1,427 @@
+"""Stable, versioned JSON encoding of a completed analysis.
+
+``encode_analysis`` flattens a live
+:class:`~repro.core.analysis.PointsToAnalysis` into a JSON-safe dict;
+``decode_analysis`` rebuilds a :class:`DecodedAnalysis` that answers
+the same questions *without the program*: labels, per-statement
+triples, the invocation graph, per-function name-resolution scopes,
+precomputed read/write sets, and the Tables 2-6 / perf summaries all
+travel inside the payload.  That self-containment is what makes the
+result store's warm path fast — a cache hit never re-parses the C
+source (parsing costs more than the analysis itself on this suite).
+
+Determinism: the encoder never iterates an unordered container without
+sorting it, and :func:`encode_analysis_bytes` serializes with
+``sort_keys`` and fixed separators, so encoding the same analysis in
+two different processes (different ``PYTHONHASHSEED``) produces
+byte-identical output.  The store's content-addressing and the
+round-trip property test both rely on this.
+
+The format is versioned (:data:`FORMAT_VERSION`); the version is part
+of the store key, so a format change simply misses the cache instead
+of mis-decoding stale payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+from repro.core.analysis import AnalysisOptions, _is_temp_name
+from repro.core.interproc import MemoStats
+from repro.core.invocation_graph import IGNode, IGNodeKind, InvocationGraph
+from repro.core.locations import AbsLoc, LocKind
+from repro.core.pointsto import D, P, PointsToSet
+from repro.core.readwrite import ReadWriteSets, function_read_write
+from repro.simple.ir import iter_stmts
+
+#: Bump whenever the payload layout changes; stale store entries are
+#: then simply cache misses (the version participates in the key).
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def _loc_sort_key(loc: AbsLoc):
+    return (loc.kind.value, loc.func or "", loc.base, loc.path)
+
+
+class _LocTable:
+    """Interning table assigning dense indexes to abstract locations.
+
+    Indexes are assigned in sorted order over the full location
+    population (collected up front), so the table — and every index
+    that references it — is independent of hash ordering.
+    """
+
+    def __init__(self, locations: set[AbsLoc]):
+        self.locations = sorted(locations, key=_loc_sort_key)
+        self._index = {loc: i for i, loc in enumerate(self.locations)}
+
+    def index(self, loc: AbsLoc) -> int:
+        return self._index[loc]
+
+    def encode(self) -> list:
+        return [
+            [loc.base, loc.kind.value, loc.func, list(loc.path)]
+            for loc in self.locations
+        ]
+
+
+def _collect_locations(analysis, readwrite) -> set[AbsLoc]:
+    locations: set[AbsLoc] = set()
+    for info in analysis.point_info.values():
+        for src, tgt, _ in info.triples():
+            locations.add(src)
+            locations.add(tgt)
+    for sets_list in readwrite.values():
+        for sets in sets_list:
+            locations |= sets.must_write | sets.may_write | sets.reads
+    return locations
+
+
+def _encode_triples(info: PointsToSet, table: _LocTable) -> list:
+    triples = [
+        [table.index(src), table.index(tgt), "D" if d is D else "P"]
+        for src, tgt, d in info.triples()
+    ]
+    triples.sort()
+    return triples
+
+
+def _encode_ig(ig) -> list:
+    """The invocation graph as a flat node list.
+
+    Children are listed in their original insertion order (the order
+    the analysis attached them), which is deterministic because the
+    analysis is; preserving it makes ``render()``/``to_dot()`` of the
+    decoded graph byte-identical to the original's.
+    """
+    nodes: list[IGNode] = list(ig.root.walk())
+    index = {id(node): i for i, node in enumerate(nodes)}
+    encoded = []
+    for node in nodes:
+        edges = [
+            [site, index[id(child)]]
+            for site, by_callee in node.children.items()
+            for child in by_callee.values()
+        ]
+        partner = (
+            index[id(node.rec_partner)] if node.rec_partner is not None else -1
+        )
+        encoded.append([node.func, node.kind.value, partner, edges])
+    return encoded
+
+
+def _encode_scopes(analysis) -> dict:
+    """Per-function name-resolution tables mirroring
+    :meth:`repro.core.env.FuncEnv.var_loc`'s lookup order."""
+    program = analysis.program
+    scopes: dict[str, dict] = {}
+    for name in sorted(program.functions):
+        fn = program.functions[name]
+        env = analysis.env(name)
+        scopes[name] = {
+            "params": sorted(fn.param_names),
+            "locals": sorted(fn.local_types),
+            "symbolics": sorted(env.symbolic_names()),
+        }
+    return scopes
+
+
+def _encode_readwrite(readwrite, table: _LocTable, stmt_ids: dict) -> dict:
+    def locs(values) -> list[int]:
+        return sorted(table.index(loc) for loc in values)
+
+    return {
+        func: [
+            [
+                stmt_ids[s.stmt_id],
+                locs(s.must_write),
+                locs(s.may_write),
+                locs(s.reads),
+            ]
+            for s in sets_list
+        ]
+        for func, sets_list in sorted(readwrite.items())
+    }
+
+
+def _collect_summaries(analysis, name: str) -> dict:
+    # Imported here: statistics imports analysis, and keeping the
+    # dependency one-way at module load avoids an import cycle if
+    # statistics ever grows a service hook.
+    from repro.core.statistics import (
+        collect_perf,
+        collect_table2,
+        collect_table3,
+        collect_table4,
+        collect_table5,
+        collect_table6,
+    )
+
+    return {
+        "table2": asdict(collect_table2(analysis, name)),
+        "table3": asdict(collect_table3(analysis, name)),
+        "table4": asdict(collect_table4(analysis, name)),
+        "table5": asdict(collect_table5(analysis, name)),
+        "table6": asdict(collect_table6(analysis, name)),
+        "perf": collect_perf(analysis, name).as_dict(),
+    }
+
+
+def _canonical_stmt_ids(program) -> dict[int, int]:
+    """Live stmt_id -> canonical id.
+
+    Statement ids come from a process-global counter, so the same
+    source parsed twice (even in one process) yields different ids.
+    The encoding renumbers them by position — global initializers
+    first, then functions in sorted order, statements in traversal
+    order — making the payload a pure function of (source, options).
+    """
+    mapping: dict[int, int] = {}
+    for stmt in iter_stmts(program.global_init):
+        mapping.setdefault(stmt.stmt_id, len(mapping) + 1)
+    for name in sorted(program.functions):
+        for stmt in program.functions[name].iter_stmts():
+            mapping.setdefault(stmt.stmt_id, len(mapping) + 1)
+    return mapping
+
+
+def encode_analysis(
+    analysis, name: str = "<source>", source: str | None = None
+) -> dict:
+    """Flatten a live analysis into a JSON-safe, deterministic dict."""
+    program = analysis.program
+    readwrite = {
+        fn: function_read_write(analysis, fn)
+        for fn in sorted(program.functions)
+    }
+    table = _LocTable(_collect_locations(analysis, readwrite))
+    stmt_ids = _canonical_stmt_ids(program)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": name,
+        "options": asdict(analysis.options),
+        "statements": program.count_basic_stmts(),
+        "locations": table.encode(),
+        "labels": {
+            label: [func, stmt_ids[stmt_id]]
+            for label, (func, stmt_id) in sorted(program.labels.items())
+        },
+        "stmt_func": {
+            str(stmt_ids[stmt.stmt_id]): fn.name
+            for fn in program.functions.values()
+            for stmt in fn.iter_stmts()
+        },
+        "point_info": {
+            str(stmt_ids[stmt_id]): _encode_triples(info, table)
+            for stmt_id, info in sorted(analysis.point_info.items())
+            if stmt_id in stmt_ids
+        },
+        "ig": _encode_ig(analysis.ig),
+        "scopes": _encode_scopes(analysis),
+        "globals": sorted(program.global_types),
+        "functions": sorted(program.functions),
+        "externals": sorted(program.externals),
+        "readwrite": _encode_readwrite(readwrite, table, stmt_ids),
+        "warnings": list(analysis.warnings),
+        "stats": analysis.stats.as_dict(),
+        "summaries": _collect_summaries(analysis, name),
+    }
+    if source is not None:
+        payload["source_sha256"] = hashlib.sha256(
+            source.encode()
+        ).hexdigest()
+    return payload
+
+
+def encode_analysis_bytes(
+    analysis, name: str = "<source>", source: str | None = None
+) -> bytes:
+    """Canonical byte serialization (stable across processes)."""
+    return canonical_json(encode_analysis(analysis, name, source))
+
+
+def canonical_json(payload: dict) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+class DecodedInvocationGraph:
+    """An invocation graph rebuilt from a payload.
+
+    Holds real :class:`~repro.core.invocation_graph.IGNode` objects, so
+    the rendering/counting methods of the live class apply verbatim
+    (they only traverse ``self.root``).
+    """
+
+    def __init__(self, root: IGNode, root_func: str):
+        self.root = root
+        self.root_func = root_func
+
+    render = InvocationGraph.render
+    to_dot = InvocationGraph.to_dot
+    nodes = InvocationGraph.nodes
+    node_count = InvocationGraph.node_count
+    count_kind = InvocationGraph.count_kind
+    functions_called = InvocationGraph.functions_called
+
+
+def _decode_ig(encoded: list) -> DecodedInvocationGraph:
+    nodes = [
+        IGNode(func, IGNodeKind(kind)) for func, kind, _, _ in encoded
+    ]
+    for node, (_, _, partner, edges) in zip(nodes, encoded):
+        if partner >= 0:
+            node.rec_partner = nodes[partner]
+        for site, child_index in edges:
+            node.add_child(site, nodes[child_index])
+    return DecodedInvocationGraph(nodes[0], nodes[0].func)
+
+
+class DecodedAnalysis:
+    """A cached analysis result decoded from its JSON payload.
+
+    Mirrors the query surface of
+    :class:`~repro.core.analysis.PointsToAnalysis` — ``at_label``,
+    ``at_stmt``, ``triples_at``, ``function_of_stmt``, ``labels``,
+    ``ig``, ``warnings``, ``options``, ``stats`` — without holding a
+    :class:`~repro.simple.ir.SimpleProgram` (``program`` is None).
+    Name resolution and read/write sets come from the payload's scope
+    tables and precomputed sets instead of the frontend.
+    """
+
+    #: Decoded results carry no program; callers that need statements
+    #: must re-simplify the source (the query layer never does).
+    program = None
+
+    def __init__(self, payload: dict):
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"payload format version {version!r} != {FORMAT_VERSION}"
+            )
+        self.payload = payload
+        self.name: str = payload["name"]
+        self.options = AnalysisOptions(**payload["options"])
+        self.statements: int = payload["statements"]
+        self._locs = [
+            AbsLoc(base, LocKind(kind), func, tuple(path))
+            for base, kind, func, path in payload["locations"]
+        ]
+        self.labels: dict[str, tuple[str, int]] = {
+            label: (func, stmt_id)
+            for label, (func, stmt_id) in payload["labels"].items()
+        }
+        self._stmt_func = {
+            int(stmt_id): func
+            for stmt_id, func in payload["stmt_func"].items()
+        }
+        self.point_info: dict[int, PointsToSet] = {
+            int(stmt_id): PointsToSet.from_triples(
+                (
+                    self._locs[si],
+                    self._locs[ti],
+                    D if d == "D" else P,
+                )
+                for si, ti, d in triples
+            )
+            for stmt_id, triples in payload["point_info"].items()
+        }
+        self.ig = _decode_ig(payload["ig"])
+        self.scopes: dict[str, dict] = payload["scopes"]
+        self.globals: list[str] = payload["globals"]
+        self.functions: list[str] = payload["functions"]
+        self.externals: list[str] = payload["externals"]
+        self.warnings: list[str] = list(payload["warnings"])
+        stats = payload["stats"]
+        self.stats = MemoStats(
+            hits=stats["hits"],
+            misses=stats["misses"],
+            evictions=stats["evictions"],
+            recursion_truncations=stats["recursion_truncations"],
+            truncated_functions=list(stats["truncated_functions"]),
+        )
+        self.summaries: dict = payload["summaries"]
+        self._readwrite: dict[str, list[ReadWriteSets]] | None = None
+
+    # -- the PointsToAnalysis query surface ------------------------------
+
+    def at_label(self, label: str) -> PointsToSet:
+        func, stmt_id = self.labels[label]
+        info = self.point_info.get(stmt_id)
+        if info is None:
+            return PointsToSet()
+        return info
+
+    def at_stmt(self, stmt_id: int) -> PointsToSet | None:
+        return self.point_info.get(stmt_id)
+
+    def function_of_stmt(self, stmt_id: int) -> str | None:
+        return self._stmt_func.get(stmt_id)
+
+    def triples_at(
+        self, label: str, skip_null: bool = True, skip_temps: bool = True
+    ):
+        result = []
+        for src, tgt, definiteness in self.at_label(label).triples():
+            if skip_null and tgt.is_null:
+                continue
+            if skip_temps and _is_temp_name(src.base):
+                continue
+            result.append((str(src), str(tgt), str(definiteness)))
+        return sorted(result)
+
+    # -- payload-backed extensions ---------------------------------------
+
+    def resolve(self, name: str, func: str | None) -> AbsLoc | None:
+        """Resolve a variable name in ``func``'s scope, mirroring
+        :meth:`repro.core.env.FuncEnv.var_loc`'s precedence."""
+        scope = self.scopes.get(func) if func else None
+        if scope is not None:
+            if name in scope["params"]:
+                return AbsLoc(name, LocKind.PARAM, func)
+            if name in scope["locals"]:
+                return AbsLoc(name, LocKind.LOCAL, func)
+            if name in scope["symbolics"]:
+                return AbsLoc(name, LocKind.SYMBOLIC, func)
+        if name in self.globals:
+            return AbsLoc(name, LocKind.GLOBAL)
+        if name in self.functions or name in self.externals:
+            return AbsLoc(name, LocKind.FUNCTION)
+        return None
+
+    def read_write(self, func: str) -> list[ReadWriteSets]:
+        if self._readwrite is None:
+            self._readwrite = {
+                fn: [
+                    ReadWriteSets(
+                        stmt_id=stmt_id,
+                        func=fn,
+                        must_write={self._locs[i] for i in must},
+                        may_write={self._locs[i] for i in may},
+                        reads={self._locs[i] for i in reads},
+                    )
+                    for stmt_id, must, may, reads in entries
+                ]
+                for fn, entries in self.payload["readwrite"].items()
+            }
+        return self._readwrite.get(func, [])
+
+
+def decode_analysis(payload: dict | bytes | str) -> DecodedAnalysis:
+    """Rebuild a queryable result from an encoded payload."""
+    if isinstance(payload, (bytes, str)):
+        payload = json.loads(payload)
+    return DecodedAnalysis(payload)

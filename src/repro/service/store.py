@@ -1,0 +1,195 @@
+"""On-disk, content-addressed result store.
+
+Results are keyed by ``sha256(source, AnalysisOptions, FORMAT_VERSION)``
+— the *content* of the request, not the file path — so renaming a file
+still hits, editing a file misses, and bumping the payload format
+invalidates everything without any migration logic.
+
+Layout (all under one root directory)::
+
+    <root>/objects/<k[:2]>/<k>.json    one canonical-JSON payload per key
+
+Writes are atomic (temp file + ``os.replace``), so concurrent batch
+workers can race on the same key safely: both compute the same bytes
+and the last rename wins.  Corrupt or version-skewed payloads are
+treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.analysis import AnalysisOptions, analyze_source
+from repro.service.serialize import (
+    FORMAT_VERSION,
+    DecodedAnalysis,
+    canonical_json,
+    decode_analysis,
+    encode_analysis,
+)
+
+#: Environment variable overriding the default store root.
+STORE_ENV = "REPRO_PTA_STORE"
+
+
+def default_store_root() -> Path:
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-pta"
+
+
+@dataclass
+class StoreStats:
+    """Per-store-instance traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalid: int = 0  # corrupt / version-skewed payloads dropped
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        result = asdict(self)
+        result["hit_rate"] = round(self.hit_rate, 4)
+        return result
+
+
+@dataclass
+class ResultStore:
+    """A content-addressed cache of encoded analysis results."""
+
+    root: Path = field(default_factory=default_store_root)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.stats = StoreStats()
+
+    # -- keys -------------------------------------------------------------
+
+    @staticmethod
+    def key_for(source: str, options: AnalysisOptions | None = None) -> str:
+        """The content address of one (source, options) request."""
+        options = options or AnalysisOptions()
+        request = json.dumps(
+            {
+                "source": source,
+                "options": asdict(options),
+                "format_version": FORMAT_VERSION,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(request.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # -- raw object access -------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> DecodedAnalysis | None:
+        """The decoded payload under ``key``, or None on miss."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            decoded = decode_analysis(raw)
+        except (ValueError, KeyError, TypeError, IndexError):
+            # Corrupt or stale-format payload: drop it, report a miss.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return decoded
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically write ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = canonical_json(payload)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(p.stem for p in objects.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored object; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # -- the analyze-or-hit entry point -----------------------------------
+
+    def load_or_analyze(
+        self,
+        source: str,
+        options: AnalysisOptions | None = None,
+        name: str = "<source>",
+        refresh: bool = False,
+    ):
+        """Return ``(analysis_like, hit)`` for a source text.
+
+        On a hit the cached :class:`DecodedAnalysis` is returned and no
+        parsing or analysis happens at all.  On a miss the source is
+        analyzed, encoded, stored, and the *live*
+        :class:`~repro.core.analysis.PointsToAnalysis` is returned
+        (queries accept either form).  ``refresh=True`` forces a miss.
+        """
+        options = options or AnalysisOptions()
+        key = self.key_for(source, options)
+        if not refresh:
+            cached = self.get(key)
+            if cached is not None:
+                return cached, True
+        else:
+            self.stats.misses += 1
+        analysis = analyze_source(source, options, filename=name)
+        self.put(key, encode_analysis(analysis, name=name, source=source))
+        return analysis, False

@@ -115,6 +115,76 @@ class TestMayAlias:
         assert may_alias(pts, L("x"), L("z"), depth_x=2, depth_y=0)
 
 
+class TestMayAliasEdgeCases:
+    def test_three_level_chain(self):
+        source = """
+        int main() {
+            int d; int *c; int **b; int ***a;
+            c = &d; b = &c; a = &b;
+            END: return 0;
+        }
+        """
+        pts = analyze_source(source).at_label("END")
+        # ***a is d, and nothing shallower.
+        assert may_alias(pts, L("a"), L("d"), depth_x=3, depth_y=0)
+        assert not may_alias(pts, L("a"), L("c"), depth_x=3, depth_y=0)
+        assert not may_alias(pts, L("a"), L("d"), depth_x=2, depth_y=0)
+        # Mixed depths against the middle of the chain: **a vs *b.
+        assert may_alias(pts, L("a"), L("b"), depth_x=2, depth_y=1)
+
+    def test_possible_counts_as_may(self):
+        source = """
+        int main() {
+            int x, y, c; int *p;
+            if (c) p = &x; else p = &y;
+            END: return 0;
+        }
+        """
+        pts = analyze_source(source).at_label("END")
+        # Both relationships are merely possible; "may" must say yes.
+        assert pts.definiteness(L("p"), L("x")).value == "P"
+        assert may_alias(pts, L("p"), L("x"))
+        assert may_alias(pts, L("p"), L("y"))
+
+    def test_definite_relationship_aliases(self):
+        source = "int main() { int x; int *p; p = &x; END: return 0; }"
+        pts = analyze_source(source).at_label("END")
+        assert pts.definiteness(L("p"), L("x")).value == "D"
+        assert may_alias(pts, L("p"), L("x"))
+
+    def test_null_target_never_aliases(self):
+        source = """
+        int main() { int x; int *p, *q; p = 0; q = &x; END: return 0; }
+        """
+        pts = analyze_source(source).at_label("END")
+        # p is definitely NULL: *p resolves to nothing, aliases nothing.
+        assert not may_alias(pts, L("p"), L("q"), depth_x=1, depth_y=1)
+        assert not may_alias(pts, L("p"), L("x"), depth_x=1, depth_y=0)
+
+    def test_depth_zero_is_identity(self):
+        source = "int main() { int x, y; END: return 0; }"
+        pts = analyze_source(source).at_label("END")
+        assert may_alias(pts, L("x"), L("x"), depth_x=0, depth_y=0)
+        assert not may_alias(pts, L("x"), L("y"), depth_x=0, depth_y=0)
+
+    def test_invisible_variable_operand(self):
+        # Inside the callee, the paper's invisible variable 1_q stands
+        # for the caller's p; *q and 1_q must alias there.
+        source = """
+        int g;
+        void set(int **q) { IN: *q = &g; }
+        int main() { int *p; set(&p); END: return 0; }
+        """
+        pts = analyze_source(source).at_label("IN")
+        q = AbsLoc("q", LocKind.PARAM, "set")
+        invisible = AbsLoc("1_q", LocKind.SYMBOLIC, "set")
+        assert may_alias(pts, q, invisible, depth_x=1, depth_y=0)
+        # **q reaches whatever the invisible variable points to —
+        # nothing yet at IN (its input point), so no alias with g.
+        g = AbsLoc("g", LocKind.GLOBAL, None)
+        assert not may_alias(pts, q, g, depth_x=2, depth_y=0)
+
+
 class TestClosureMechanics:
     def test_null_excluded_by_default(self):
         source = "int main() { int *p; p = 0; END: return 0; }"

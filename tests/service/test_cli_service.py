@@ -1,0 +1,132 @@
+"""The query/batch/analyze --json CLI surface, driven through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.serialize import FORMAT_VERSION
+
+SOURCE = "int g; int main() { int *p; p = &g; L: return 0; }\n"
+
+
+@pytest.fixture()
+def prog(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return path
+
+
+@pytest.fixture()
+def store_root(tmp_path):
+    return tmp_path / "store"
+
+
+class TestAnalyzeJson:
+    def test_json_payload_on_stdout(self, prog, capsys):
+        assert main(["analyze", str(prog), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["name"] == str(prog)
+        assert "L" in payload["labels"]
+
+    def test_dot_flag_still_works(self, prog, capsys):
+        assert main(["analyze", str(prog), "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_cold_then_warm_identical(self, prog, store_root, capsys):
+        argv = [
+            "query",
+            "--store",
+            str(store_root),
+            str(prog),
+            "points_to:p@L",
+            "callers_of:main",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert 'points_to:p@L: [["g", "D"]]'.replace(" ", "") in (
+            cold.replace(" ", "")
+        )
+
+    def test_bad_query_exits_nonzero(self, prog, store_root, capsys):
+        argv = [
+            "query",
+            "--store",
+            str(store_root),
+            str(prog),
+            "points_to:zz@L",
+        ]
+        assert main(argv) == 1
+        assert "unknown variable" in capsys.readouterr().err
+
+    def test_stats_include_query_and_store_counters(
+        self, prog, store_root, capsys
+    ):
+        argv = [
+            "query",
+            "--store",
+            str(store_root),
+            "--stats",
+            str(prog),
+            "points_to:p@L",
+        ]
+        assert main(argv) == 0
+        stats = json.loads(capsys.readouterr().out.split("\n", 1)[1])
+        assert stats["queries"]["counts"] == {"points_to": 1}
+        assert stats["store"]["misses"] == 1
+        assert main(argv) == 0
+        stats = json.loads(capsys.readouterr().out.split("\n", 1)[1])
+        assert stats["store"]["hits"] == 1
+
+
+class TestBatchCommand:
+    def test_directory_batch_with_json(self, prog, store_root, capsys):
+        argv = [
+            "batch",
+            "--store",
+            str(store_root),
+            "--jobs",
+            "1",
+            "--json",
+            str(prog.parent),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        report = json.loads(out[out.index("{") :])
+        assert report["files"] == 1 and report["hits"] == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{") :])
+        assert report["hits"] == 1
+
+    def test_empty_batch_is_an_error(self, store_root, capsys):
+        assert main(["batch", "--store", str(store_root)]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_bad_file_gives_exit_one(self, tmp_path, store_root, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( { nope\n")
+        argv = ["batch", "--store", str(store_root), "--jobs", "1", str(bad)]
+        assert main(argv) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_serve_mode(self, prog, store_root, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        request = json.dumps(
+            {"id": 7, "file": str(prog), "query": "points_to:p@L"}
+        )
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(request + "\n"))
+        assert main(["batch", "--store", str(store_root), "--serve"]) == 0
+        (line,) = capsys.readouterr().out.splitlines()
+        response = json.loads(line)
+        assert response["ok"] and response["id"] == 7
+        assert response["result"] == [["g", "D"]]
