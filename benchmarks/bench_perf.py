@@ -8,12 +8,21 @@ sets, fingerprint-keyed call memoization) and then with
 the same process — same machine, same run.  Writes ``BENCH_perf.json``
 at the repository root.
 
+A third section measures the observability layer (``repro.obs``):
+the suite is re-timed with tracing *off* (the instrumentation hooks
+reduced to no-ops — this is the tier-1 guard: < 5% overhead versus
+the optimized baseline timed moments earlier through the identical
+code path) and once with a live tracer, whose metrics snapshot is
+embedded in the report.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_perf.py [--smoke] [--out PATH]
 
 ``--smoke`` times just one small and one large program (used by
-``make check``); the default times the whole suite.
+``make check``); the default times the whole suite.  The overhead
+guard is asserted only in full mode (smoke timings are too small to
+be stable).
 """
 
 from __future__ import annotations
@@ -22,18 +31,21 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro import obs  # noqa: E402
 from repro.benchsuite import BENCHMARKS, generate_program  # noqa: E402
 from repro.benchsuite.generator import GeneratorConfig  # noqa: E402
 from repro.core import perf  # noqa: E402
 from repro.core.analysis import analyze  # noqa: E402
 from repro.core.statistics import collect_perf  # noqa: E402
 from repro.simple.simplify import simplify_source  # noqa: E402
+
+#: The tier-1 ceiling on tracing-off instrumentation overhead.
+MAX_TRACING_OFF_OVERHEAD = 0.05
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
@@ -69,13 +81,60 @@ def time_one(name: str, program) -> dict:
     frontend work the performance architecture does not touch."""
     best = float("inf")
     for _ in range(REPEATS):
-        start = time.perf_counter()
-        analysis = analyze(program)
-        best = min(best, time.perf_counter() - start)
+        with obs.timed("bench.analyze", program=name) as timer:
+            analysis = analyze(program)
+        best = min(best, timer.elapsed)
     row = collect_perf(analysis, name)
     result = row.as_dict()
     result["wall_s"] = round(best, 6)
     return result
+
+
+def time_suite(programs) -> float:
+    """Best-of-REPEATS total wall time over all programs."""
+    total = 0.0
+    for name, program in programs:
+        best = float("inf")
+        for _ in range(REPEATS):
+            with obs.timed("bench.analyze", program=name) as timer:
+                analyze(program)
+            best = min(best, timer.elapsed)
+        total += best
+    return total
+
+
+def tracing_section(programs, optimized_s: float, smoke: bool) -> dict:
+    """Time the suite with tracing off and on; guard the off overhead.
+
+    ``optimized_s`` is the baseline just measured by the main loop —
+    the same programs through the same code path, also with tracing
+    off — so ``off_overhead`` isolates measurement noise plus the cost
+    of the disabled hooks, which together must stay under
+    :data:`MAX_TRACING_OFF_OVERHEAD`.
+    """
+    off_s = time_suite(programs)
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        on_s = time_suite(programs)
+    off_overhead = off_s / optimized_s - 1 if optimized_s else 0.0
+    on_overhead = on_s / optimized_s - 1 if optimized_s else 0.0
+    print(
+        f"  tracing: off {off_s:.3f}s ({off_overhead:+.1%}), "
+        f"on {on_s:.3f}s ({on_overhead:+.1%})"
+    )
+    if not smoke:
+        assert off_overhead < MAX_TRACING_OFF_OVERHEAD, (
+            f"tracing-off instrumentation overhead {off_overhead:.1%} "
+            f"exceeds the {MAX_TRACING_OFF_OVERHEAD:.0%} budget"
+        )
+    return {
+        "off_s": round(off_s, 6),
+        "on_s": round(on_s, 6),
+        "off_overhead": round(off_overhead, 4),
+        "on_overhead": round(on_overhead, 4),
+        "max_off_overhead": MAX_TRACING_OFF_OVERHEAD,
+        "metrics": tracer.snapshot(),
+    }
 
 
 def summarize(rows: list[dict], label: str) -> dict:
@@ -114,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
     legacy = summarize(legacy_rows, "legacy (pre-optimization emulation)")
     perf.reset()
 
+    tracing = tracing_section(programs, optimized["total_s"], args.smoke)
+
     speedup = (
         legacy["total_s"] / optimized["total_s"]
         if optimized["total_s"] else 0.0
@@ -124,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimized_s": optimized["total_s"],
         "legacy_s": legacy["total_s"],
         "speedup": round(speedup, 3),
+        "tracing": tracing,
         "optimized": optimized["programs"],
         "legacy": legacy["programs"],
     }

@@ -52,31 +52,60 @@ def _read(path: str) -> str:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    trace_mode = getattr(args, "trace", None)
+    if trace_mode is None:
+        return _run_analyze(args)
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        with obs.span("analyze", file=args.file):
+            status = _run_analyze(args)
+    tracer.check_balanced()
+    if trace_mode == "json":
+        document = {
+            "trace_version": 1,
+            "spans": tracer.events(),
+            "metrics": tracer.snapshot(),
+        }
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print("\nTrace:")
+        print(tracer.render())
+    return status
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    from repro import obs
+
     source = _read(args.file)
     options = AnalysisOptions(function_pointer_strategy=args.fnptr)
     result = analyze_source(source, options, filename=args.file)
-    if args.json:
-        from repro.service.serialize import encode_analysis
+    with obs.span("report"):
+        if args.json:
+            from repro.service.serialize import encode_analysis
 
-        payload = encode_analysis(result, name=args.file, source=source)
-        print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
-    if result.program.labels:
-        print("Points-to sets at labeled program points:")
-        for label in sorted(result.program.labels):
-            triples = result.triples_at(label, skip_null=not args.show_null)
-            rendered = " ".join(f"({s},{t},{d})" for s, t, d in triples)
-            print(f"  {label}: {rendered}")
-    if args.dot:
-        print("\nInvocation graph (dot):")
-        print(result.ig.to_dot())
-    else:
-        print("\nInvocation graph:")
-        print(result.ig.render())
-    if result.warnings:
-        print("\nWarnings:")
-        for warning in result.warnings:
-            print(f"  {warning}")
+            payload = encode_analysis(result, name=args.file, source=source)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if result.program.labels:
+            print("Points-to sets at labeled program points:")
+            for label in sorted(result.program.labels):
+                triples = result.triples_at(
+                    label, skip_null=not args.show_null
+                )
+                rendered = " ".join(f"({s},{t},{d})" for s, t, d in triples)
+                print(f"  {label}: {rendered}")
+        if args.dot:
+            print("\nInvocation graph (dot):")
+            print(result.ig.to_dot())
+        else:
+            print("\nInvocation graph:")
+            print(result.ig.render())
+        if result.warnings:
+            print("\nWarnings:")
+            for warning in result.warnings:
+                print(f"  {warning}")
     return 0
 
 
@@ -247,6 +276,18 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         action="store_true",
         help="emit the full result as versioned JSON (the store format)",
+    )
+    p_analyze.add_argument(
+        "--trace",
+        nargs="?",
+        const="text",
+        choices=["text", "json"],
+        default=None,
+        help=(
+            "trace the run: print the span tree (parse/simplify/"
+            "analysis/report) and metrics; --trace=json emits one "
+            "machine-readable JSON document as the last output line"
+        ),
     )
     p_analyze.set_defaults(func=cmd_analyze)
 

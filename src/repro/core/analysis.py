@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.frontend.errors import CFrontendError
 from repro.simple.ir import (
     BasicKind,
@@ -229,6 +230,7 @@ class Analyzer:
             ),
             recorder=self.record,
         )
+        obs.count("analysis.body_passes")
         flow = intra.process_stmt(fn.body, entry)
         return merge_all([flow.out, flow.returns])
 
@@ -242,9 +244,12 @@ class Analyzer:
         input_set: PointsToSet,
     ) -> PointsToSet | None:
         if stmt.kind is BasicKind.ALLOC:
+            obs.count("analysis.allocs")
             return self._handle_alloc(env, stmt, input_set)
         if stmt.callee_ptr is not None:
+            obs.count("analysis.indirect_calls")
             return process_call_indirect(self, node, env, stmt, input_set)
+        obs.count("analysis.direct_calls")
         callee = stmt.callee
         assert callee is not None
         if callee in self.program.functions:
@@ -320,6 +325,23 @@ class Analyzer:
     # -- entry ------------------------------------------------------------------
 
     def run(self) -> PointsToAnalysis:
+        with obs.span("core.analysis", entry=self.options.entry_point):
+            result = self._run()
+        if obs.active():
+            stats = self.memo_stats
+            obs.count("analysis.runs")
+            obs.count("analysis.memo_hits", stats.hits)
+            obs.count("analysis.memo_misses", stats.misses)
+            obs.count("analysis.memo_evictions", stats.evictions)
+            obs.count(
+                "analysis.recursion_truncations", stats.recursion_truncations
+            )
+            obs.gauge("analysis.ig_nodes", self.ig.node_count())
+            obs.gauge("analysis.program_points", len(self.point_info))
+            obs.gauge("analysis.warnings", len(self.warnings))
+        return result
+
+    def _run(self) -> PointsToAnalysis:
         global_env = self.env(None)
         initial = null_initialized(
             global_env, self.program.global_types.items()
@@ -329,7 +351,10 @@ class Analyzer:
             call_handler=self._global_init_call_handler,
             recorder=self.record,
         )
-        init_flow = init_intra.process_stmt(self.program.global_init, initial)
+        with obs.span("analysis.global_init"):
+            init_flow = init_intra.process_stmt(
+                self.program.global_init, initial
+            )
         entry_state = init_flow.out if init_flow.out is not None else initial
 
         main_fn = self.program.functions[self.options.entry_point]
@@ -342,7 +367,8 @@ class Analyzer:
         ).triples():
             main_input.add(src, tgt, definiteness)
 
-        self.analyze_body(self.ig.root, main_input)
+        with obs.span("analysis.entry_body", func=self.options.entry_point):
+            self.analyze_body(self.ig.root, main_input)
 
         result = PointsToAnalysis(
             self.program,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.env import FuncEnv
 from repro.core.intra import apply_assignment
 from repro.core.invocation_graph import IGNode, IGNodeKind
@@ -239,6 +240,8 @@ def _process_recursive(
     child.stored_output = None
     child.pending_inputs = []
     iterations = 0
+    fixpoint_context = obs.span("analysis.fixed_point", func=child.func)
+    fixpoint_span = fixpoint_context.__enter__()
     try:
         while True:
             iterations += 1
@@ -277,6 +280,12 @@ def _process_recursive(
             )
     finally:
         child.in_progress = False
+        if obs.active():
+            obs.count("analysis.fixpoint_rounds")
+            obs.count("analysis.fixpoint_iterations", iterations)
+            obs.count(f"analysis.fixpoint_iterations.{child.func}", iterations)
+            fixpoint_span.annotate(iterations=iterations)
+        fixpoint_context.__exit__(None, None, None)
     # Reset the stored input to this call's input for future
     # memoization (the last line of Figure 4's recursive case).
     child.stored_input = func_input

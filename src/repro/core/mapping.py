@@ -223,6 +223,11 @@ def map_call(
     mapper.map_visible_roots()
     mapper.drain()
     mapper.degrade_multi_represented()
+    from repro import obs
+
+    if obs.active():
+        obs.count("analysis.map_calls")
+        obs.count("analysis.mapped_relationships", len(mapper.result))
     return mapper.result, mapper.info
 
 
@@ -340,4 +345,10 @@ def unmap_call(
             for caller_src, caller_tgt, _ in new_rels.get(root, ()):
                 result.add(caller_src, caller_tgt, P)
 
+    from repro import obs
+
+    if obs.active():
+        obs.count("analysis.unmap_calls")
+        obs.count("analysis.unmapped_relationships", len(callee_output))
+        obs.count("analysis.dangling_locations", len(dangling))
     return UnmapResult(result, returns, dangling)

@@ -366,6 +366,11 @@ class PerfRow:
     query_stats: dict | None = None
     #: ``StoreStats.as_dict()`` of the result store, when one was used.
     store_stats: dict | None = None
+    #: ``Tracer.snapshot()`` of the run's tracer, when one was active.
+    #: Never populated implicitly: the serialized store payload embeds
+    #: a PerfRow, and artifacts must stay byte-identical with tracing
+    #: on or off — callers opt in by passing ``tracer=``.
+    metrics: dict | None = None
 
     @property
     def memo_lookups(self) -> int:
@@ -391,6 +396,8 @@ class PerfRow:
             result["queries"] = self.query_stats
         if self.store_stats is not None:
             result["store"] = self.store_stats
+        if self.metrics is not None:
+            result["metrics"] = self.metrics
         return result
 
 
@@ -399,6 +406,7 @@ def collect_perf(
     name: str,
     queries: QueryStats | None = None,
     store=None,
+    tracer=None,
 ) -> PerfRow:
     """Performance counters of one run.
 
@@ -407,7 +415,9 @@ def collect_perf(
     travels in the payload).  ``queries`` is a session's
     :class:`QueryStats`; ``store`` a service
     :class:`~repro.service.store.ResultStore` (anything exposing
-    ``stats.as_dict()``).
+    ``stats.as_dict()``); ``tracer`` a
+    :class:`~repro.obs.Tracer` whose counter/gauge/histogram snapshot
+    should ride along in the row's ``metrics`` block.
     """
     stats = analysis.stats
     peak = max(
@@ -430,6 +440,11 @@ def collect_perf(
         query_stats=queries.as_dict() if queries is not None else None,
         store_stats=(
             store.stats.as_dict() if store is not None else None
+        ),
+        metrics=(
+            tracer.snapshot()
+            if tracer is not None and tracer.enabled
+            else None
         ),
     )
 

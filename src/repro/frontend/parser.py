@@ -888,4 +888,11 @@ class Parser:
 
 def parse(source: str, filename: str = "<source>") -> cast.TranslationUnit:
     """Parse C source text into a :class:`TranslationUnit`."""
-    return Parser(source, filename).parse_translation_unit()
+    from repro import obs
+
+    with obs.span("frontend.parse", filename=filename):
+        unit = Parser(source, filename).parse_translation_unit()
+    if obs.active():
+        obs.count("frontend.parses")
+        obs.count("frontend.source_chars", len(source))
+    return unit

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.core.analysis import AnalysisOptions
 from repro.service.queries import QueryError, QuerySession
 from repro.service.store import ResultStore
@@ -111,19 +111,27 @@ def _run_item(
     store: ResultStore,
     refresh: bool,
 ) -> dict:
-    start = time.perf_counter()
-    try:
-        result, hit = store.load_or_analyze(
-            source, options, name=name, refresh=refresh
-        )
-    except Exception as exc:  # analysis/frontend failure: report, go on
+    # One timing source for batch rows, trace spans, and the latency
+    # histogram: obs.timed measures unconditionally and reports into
+    # the tracer only when one is active.
+    error: str | None = None
+    with obs.timed("batch.item", item=name) as timer:
+        try:
+            result, hit = store.load_or_analyze(
+                source, options, name=name, refresh=refresh
+            )
+        except Exception as exc:  # analysis/frontend failure: report, go on
+            error = f"{type(exc).__name__}: {exc}"
+    if error is not None:
+        obs.count("batch.errors")
         return {
             "name": name,
             "hit": False,
-            "wall_s": round(time.perf_counter() - start, 6),
-            "error": f"{type(exc).__name__}: {exc}",
+            "wall_s": round(timer.elapsed, 6),
+            "error": error,
         }
-    wall = time.perf_counter() - start
+    wall = timer.elapsed
+    obs.count("batch.items")
     if hit:
         statements = result.statements
         labels = len(result.labels)
@@ -170,22 +178,22 @@ def run_batch(
     jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
     jobs = min(jobs, max(len(items), 1))
     report = BatchReport(jobs=jobs, store_root=str(store.root))
-    start = time.perf_counter()
-    if jobs == 1:
-        for name, source in items:
-            report.rows.append(
-                _run_item(name, source, options, store, refresh)
-            )
-    else:
-        import multiprocessing
+    with obs.timed("batch.run", jobs=jobs, files=len(items)) as timer:
+        if jobs == 1:
+            for name, source in items:
+                report.rows.append(
+                    _run_item(name, source, options, store, refresh)
+                )
+        else:
+            import multiprocessing
 
-        payloads = [
-            (name, source, asdict(options), str(store.root), refresh)
-            for name, source in items
-        ]
-        with multiprocessing.Pool(jobs) as pool:
-            report.rows = pool.map(_worker, payloads)
-    report.wall_s = time.perf_counter() - start
+            payloads = [
+                (name, source, asdict(options), str(store.root), refresh)
+                for name, source in items
+            ]
+            with multiprocessing.Pool(jobs) as pool:
+                report.rows = pool.map(_worker, payloads)
+    report.wall_s = timer.elapsed
     return report
 
 
@@ -211,6 +219,20 @@ def _serve_request(
                         key[:12]: session.stats.as_dict()
                         for key, session in sorted(sessions.items())
                     },
+                },
+            }
+        if cmd == "metrics":
+            # The tracer's cumulative view of the serve loop: counters
+            # (store traffic, analysis work), gauges, and the per-query
+            # latency histograms (see docs/OBSERVABILITY.md).
+            tracer = obs.get_tracer()
+            return {
+                "ok": True,
+                "result": {
+                    "tracing": tracer.enabled,
+                    "metrics": tracer.snapshot(),
+                    "store": store.stats.as_dict(),
+                    "sessions": len(sessions),
                 },
             }
         if cmd == "quit":
@@ -250,33 +272,50 @@ def _serve_request(
     return {"ok": True, "cached": session.cached, "result": answer}
 
 
-def serve(stdin, stdout, store: ResultStore | None = None) -> int:
+def serve(
+    stdin, stdout, store: ResultStore | None = None, tracer=None
+) -> int:
     """Answer JSON-lines query requests until EOF or ``quit``.
 
     Sessions stay warm across requests: the first query against a
     (source, options) key pays for a store lookup (or a fresh
     analysis); every later one is answered from memory.
+
+    The loop runs under a live tracer (a fresh one unless ``tracer``
+    is given), so every request is timed, every response carries a
+    ``"metrics"`` block with its wall time, and a ``{"cmd":
+    "metrics"}`` request reports the accumulated counters, gauges,
+    and latency histograms of the loop so far.
     """
     store = store if store is not None else ResultStore()
     sessions: dict[str, QuerySession] = {}
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            response = {"ok": False, "error": f"bad JSON: {exc}"}
-        else:
-            if not isinstance(request, dict):
-                response = {"ok": False, "error": "request must be an object"}
-            else:
-                response = _serve_request(request, store, sessions)
-                if "id" in request:
-                    response["id"] = request["id"]
-        quit_now = response.pop("quit", False)
-        stdout.write(json.dumps(response, sort_keys=True) + "\n")
-        stdout.flush()
-        if quit_now:
-            break
+    with obs.tracing(tracer):
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            with obs.timed("serve.request") as timer:
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {"ok": False, "error": f"bad JSON: {exc}"}
+                else:
+                    if not isinstance(request, dict):
+                        response = {
+                            "ok": False,
+                            "error": "request must be an object",
+                        }
+                    else:
+                        response = _serve_request(request, store, sessions)
+                        if "id" in request:
+                            response["id"] = request["id"]
+            obs.count("serve.requests")
+            if not response.get("ok", False):
+                obs.count("serve.errors")
+            quit_now = response.pop("quit", False)
+            response["metrics"] = {"wall_ms": round(timer.elapsed * 1000, 3)}
+            stdout.write(json.dumps(response, sort_keys=True) + "\n")
+            stdout.flush()
+            if quit_now:
+                break
     return 0

@@ -33,6 +33,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.aliases import may_alias as _may_alias
 from repro.core.analysis import PointsToAnalysis
 from repro.core.locations import HEAP, NULL, AbsLoc
@@ -273,8 +274,18 @@ class QuerySession:
     # -- textual evaluation -----------------------------------------------
 
     def evaluate(self, text: str | Query):
-        """Evaluate a textual query; returns a JSON-safe answer."""
+        """Evaluate a textual query; returns a JSON-safe answer.
+
+        Each evaluation is timed through :func:`repro.obs.timed`:
+        under an active tracer every query contributes a
+        ``service.query`` span and latency-histogram entry (tagged
+        with the query kind and whether the backing result is a
+        cached decode)."""
         query = parse_query(text) if isinstance(text, str) else text
+        with obs.timed("service.query", kind=query.kind, cached=self.cached):
+            return self._dispatch(query)
+
+    def _dispatch(self, query: Query):
         if query.kind == "points_to":
             return self.points_to(query.args[0], query.label)
         if query.kind == "may_alias":

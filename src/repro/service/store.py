@@ -24,6 +24,7 @@ import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.core.analysis import AnalysisOptions, analyze_source
 from repro.service.serialize import (
     FORMAT_VERSION,
@@ -110,19 +111,24 @@ class ResultStore:
             raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            obs.count("store.misses")
             return None
-        try:
-            decoded = decode_analysis(raw)
-        except (ValueError, KeyError, TypeError, IndexError):
-            # Corrupt or stale-format payload: drop it, report a miss.
-            self.stats.invalid += 1
-            self.stats.misses += 1
+        with obs.timed("store.decode"):
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+                decoded = decode_analysis(raw)
+            except (ValueError, KeyError, TypeError, IndexError):
+                # Corrupt or stale-format payload: drop it, report a miss.
+                self.stats.invalid += 1
+                self.stats.misses += 1
+                obs.count("store.invalid")
+                obs.count("store.misses")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
         self.stats.hits += 1
+        obs.count("store.hits")
         return decoded
 
     def put(self, key: str, payload: dict) -> Path:
@@ -144,6 +150,9 @@ class ResultStore:
                 pass
             raise
         self.stats.puts += 1
+        if obs.active():
+            obs.count("store.puts")
+            obs.count("store.put_bytes", len(data))
         return path
 
     # -- maintenance -------------------------------------------------------
@@ -190,6 +199,9 @@ class ResultStore:
                 return cached, True
         else:
             self.stats.misses += 1
+            obs.count("store.misses")
         analysis = analyze_source(source, options, filename=name)
-        self.put(key, encode_analysis(analysis, name=name, source=source))
+        with obs.timed("store.encode"):
+            payload = encode_analysis(analysis, name=name, source=source)
+        self.put(key, payload)
         return analysis, False

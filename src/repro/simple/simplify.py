@@ -1259,7 +1259,15 @@ class _ProgramSimplifier:
 
 def simplify_program(unit: TranslationUnit, source_lines: int = 0) -> SimpleProgram:
     """Lower a parsed translation unit to SIMPLE."""
-    return _ProgramSimplifier(unit, source_lines).run()
+    from repro import obs
+
+    with obs.span("simple.simplify"):
+        program = _ProgramSimplifier(unit, source_lines).run()
+    if obs.active():
+        obs.count("simple.programs")
+        obs.count("simple.basic_stmts", program.count_basic_stmts())
+        obs.count("simple.functions", len(program.functions))
+    return program
 
 
 def simplify_source(source: str, filename: str = "<source>") -> SimpleProgram:

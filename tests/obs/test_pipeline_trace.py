@@ -1,0 +1,162 @@
+"""End-to-end checks of the observability surfaces.
+
+Covers the three consumer surfaces of :mod:`repro.obs`:
+``analyze --trace[=json]`` (span tree over the whole pipeline), the
+serve loop's per-response ``metrics`` block and ``{"cmd": "metrics"}``
+request, and the behavior-neutrality guarantee — serialized analysis
+artifacts must be byte-identical with tracing on and off.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.analysis import analyze
+from repro.service.batch import serve
+from repro.service.serialize import encode_analysis_bytes
+from repro.simple import simplify_source
+
+DEMO = """
+int g;
+void set(int **q) { *q = &g; }
+int main() {
+    int *p;
+    set(&p);
+    HERE: return 0;
+}
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def _span_names(spans: list[dict]) -> set[str]:
+    names = set()
+    for span in spans:
+        names.add(span["name"])
+        names.update(_span_names(span.get("children", ())))
+    return names
+
+
+class TestAnalyzeTrace:
+    def test_json_trace_covers_the_pipeline(self, demo_file, capsys):
+        assert main(["analyze", demo_file, "--trace=json"]) == 0
+        out = capsys.readouterr().out
+        # The trace document is the last line of output, after the
+        # normal report.
+        trace = json.loads(out.strip().splitlines()[-1])
+        assert trace["trace_version"] == 1
+        spans = trace["spans"]
+        assert len(spans) == 1 and spans[0]["name"] == "analyze"
+        names = _span_names(spans)
+        # parse -> simplify -> analysis -> report, all under one root.
+        assert {
+            "frontend.parse",
+            "simple.simplify",
+            "core.analysis",
+            "analysis.entry_body",
+            "report",
+        } <= names
+        for span in spans:
+            assert span["duration_s"] is not None
+        metrics = trace["metrics"]
+        assert metrics["counters"]["frontend.parses"] == 1
+        assert metrics["counters"]["analysis.runs"] == 1
+        assert metrics["gauges"]["analysis.ig_nodes"] >= 2
+
+    def test_text_trace_renders_tree(self, demo_file, capsys):
+        assert main(["analyze", demo_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze" in out
+        assert "frontend.parse" in out
+        assert "core.analysis" in out
+        # Normal report output still present before the trace.
+        assert "HERE: (p,g,D)" in out
+
+    def test_untraced_analyze_output_unchanged(self, demo_file, capsys):
+        assert main(["analyze", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "frontend.parse" not in out
+        assert "trace_version" not in out
+
+    def test_no_tracer_left_installed(self, demo_file, capsys):
+        assert main(["analyze", demo_file, "--trace"]) == 0
+        assert obs.get_tracer() is obs.NULL_TRACER
+
+
+class TestArtifactNeutrality:
+    def test_encoded_artifacts_byte_identical_tracing_on_vs_off(self):
+        untraced = analyze(simplify_source(DEMO))
+        with obs.tracing():
+            traced = analyze(simplify_source(DEMO))
+        assert encode_analysis_bytes(
+            untraced, "demo", DEMO
+        ) == encode_analysis_bytes(traced, "demo", DEMO)
+
+
+class TestServeMetrics:
+    def _serve(self, requests: list[dict], tmp_path) -> list[dict]:
+        from repro.service.store import ResultStore
+
+        stdin = io.StringIO(
+            "".join(json.dumps(request) + "\n" for request in requests)
+        )
+        stdout = io.StringIO()
+        assert (
+            serve(stdin, stdout, store=ResultStore(tmp_path / "store")) == 0
+        )
+        return [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+
+    def test_every_response_carries_wall_time(self, tmp_path):
+        responses = self._serve(
+            [
+                {"id": 1, "source": DEMO, "query": "labels"},
+                {"cmd": "quit"},
+            ],
+            tmp_path,
+        )
+        for response in responses:
+            assert response["metrics"]["wall_ms"] >= 0.0
+
+    def test_metrics_request_reports_loop_state(self, tmp_path):
+        responses = self._serve(
+            [
+                {"id": 1, "source": DEMO, "query": "labels"},
+                {"id": 2, "source": DEMO, "query": "points_to:p@HERE"},
+                {"id": 3, "cmd": "metrics"},
+                {"cmd": "quit"},
+            ],
+            tmp_path,
+        )
+        metrics = next(r for r in responses if r.get("id") == 3)["result"]
+        assert metrics["tracing"] is True
+        assert metrics["sessions"] == 1
+        snapshot = metrics["metrics"]
+        # Two queries answered so far, each timed by the query hook.
+        assert snapshot["histograms"]["service.query"]["count"] == 2
+        assert snapshot["histograms"]["serve.request"]["count"] >= 2
+        assert snapshot["counters"]["serve.requests"] >= 2
+
+    def test_unknown_metrics_counted_as_errors(self, tmp_path):
+        responses = self._serve(
+            [
+                {"cmd": "nonsense"},
+                {"cmd": "metrics"},
+                {"cmd": "quit"},
+            ],
+            tmp_path,
+        )
+        assert responses[0]["ok"] is False
+        snapshot = responses[1]["result"]["metrics"]
+        assert snapshot["counters"]["serve.errors"] == 1

@@ -1,0 +1,314 @@
+"""Unit tests for the tracing/metrics primitives in ``repro.obs``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Histogram,
+    NullTracer,
+    TraceImbalance,
+    Tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self, tracer, clock):
+        with tracer.span("outer", kind="test"):
+            clock.tick(1.0)
+            with tracer.span("inner-a"):
+                clock.tick(0.25)
+            with tracer.span("inner-b"):
+                clock.tick(0.5)
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert [child.name for child in outer.children] == [
+            "inner-a",
+            "inner-b",
+        ]
+        assert outer.duration == pytest.approx(1.75)
+        assert outer.children[0].duration == pytest.approx(0.25)
+        assert outer.children[0].start == pytest.approx(1.0)
+        tracer.check_balanced()
+
+    def test_sequential_roots_form_a_forest(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_depth_tracks_open_spans(self, tracer):
+        assert tracer.depth == 0
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            with tracer.span("b"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+    def test_explicit_start_end(self, tracer, clock):
+        span = tracer.start_span("manual", n=3)
+        clock.tick(2.0)
+        closed = tracer.end_span(span)
+        assert closed is span
+        assert span.duration == pytest.approx(2.0)
+        assert span.attrs == {"n": 3}
+
+    def test_annotate_after_open(self, tracer):
+        with tracer.span("fixed_point") as span:
+            span.annotate(iterations=4)
+        assert tracer.roots[0].attrs == {"iterations": 4}
+
+    def test_exception_annotates_and_closes(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        span = tracer.roots[0]
+        assert span.attrs["error"] == "ValueError"
+        assert span.duration is not None
+        tracer.check_balanced()
+
+    def test_events_are_json_safe(self, tracer, clock):
+        with tracer.span("root", file="x.c"):
+            clock.tick(0.5)
+            with tracer.span("child"):
+                clock.tick(0.1)
+        events = tracer.events()
+        rehydrated = json.loads(json.dumps(events))
+        assert rehydrated[0]["name"] == "root"
+        assert rehydrated[0]["attrs"] == {"file": "x.c"}
+        assert rehydrated[0]["children"][0]["name"] == "child"
+        assert rehydrated[0]["duration_s"] == pytest.approx(0.6)
+
+    def test_render_indents_by_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner", func="f"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "[func=f]" in lines[1]
+
+    def test_open_span_renders_as_open(self, tracer):
+        tracer.start_span("hanging")
+        assert "<open>" in tracer.render()
+
+
+class TestImbalance:
+    def test_end_with_nothing_open(self, tracer):
+        with pytest.raises(TraceImbalance):
+            tracer.end_span()
+
+    def test_crossed_ends_are_detected(self, tracer):
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")
+        with pytest.raises(TraceImbalance, match="unbalanced"):
+            tracer.end_span(outer)
+
+    def test_check_balanced_reports_open_chain(self, tracer):
+        tracer.start_span("a")
+        tracer.start_span("b")
+        with pytest.raises(TraceImbalance, match="a > b"):
+            tracer.check_balanced()
+
+    def test_balanced_after_fixing(self, tracer):
+        span = tracer.start_span("a")
+        tracer.end_span(span)
+        tracer.check_balanced()
+
+
+# ---------------------------------------------------------------------------
+# Counters, gauges, histograms
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters_accumulate(self, tracer):
+        tracer.count("hits")
+        tracer.count("hits")
+        tracer.count("bytes", 100)
+        assert tracer.counters == {"hits": 2, "bytes": 100}
+
+    def test_gauges_last_value_wins(self, tracer):
+        tracer.gauge("nodes", 5)
+        tracer.gauge("nodes", 9)
+        assert tracer.gauges == {"nodes": 9}
+
+    def test_histogram_buckets_by_decade(self):
+        histogram = Histogram()
+        histogram.observe(5e-6)  # first bucket (<= 1e-5)
+        histogram.observe(5e-4)  # <= 1e-3
+        histogram.observe(500.0)  # overflow bucket
+        stats = histogram.as_dict()
+        assert stats["count"] == 3
+        assert stats["min_s"] == pytest.approx(5e-6)
+        assert stats["max_s"] == pytest.approx(500.0)
+        assert stats["mean_s"] == pytest.approx((5e-6 + 5e-4 + 500.0) / 3)
+        assert stats["buckets"][0] == 1
+        assert stats["buckets"][2] == 1
+        assert stats["buckets"][-1] == 1
+        assert sum(stats["buckets"]) == 3
+
+    def test_snapshot_is_sorted_and_json_safe(self, tracer):
+        tracer.count("z")
+        tracer.count("a")
+        tracer.gauge("g", 1)
+        tracer.observe("lat", 0.01)
+        snapshot = json.loads(json.dumps(tracer.snapshot()))
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["gauges"] == {"g": 1}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# NullTracer
+# ---------------------------------------------------------------------------
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        null = NullTracer()
+        assert not null.enabled
+        with null.span("anything", k=1) as span:
+            span.annotate(more=2)
+        null.count("c")
+        null.gauge("g", 1)
+        null.observe("h", 0.5)
+        null.end_span()  # never raises
+        null.check_balanced()
+        assert null.start_span("x").to_dict() == {}
+        assert null.events() == []
+        assert null.snapshot() == {}
+        assert null.render() == ""
+
+    def test_shared_singleton(self):
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+
+
+# ---------------------------------------------------------------------------
+# Process-wide install / module-level hooks
+# ---------------------------------------------------------------------------
+
+
+class TestCurrentTracer:
+    def test_null_by_default(self):
+        assert obs.get_tracer() is NULL_TRACER
+        assert not obs.active()
+
+    def test_tracing_installs_and_restores(self):
+        before = obs.get_tracer()
+        with obs.tracing() as tracer:
+            assert obs.get_tracer() is tracer
+            assert obs.active()
+        assert obs.get_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        before = obs.get_tracer()
+        with pytest.raises(RuntimeError):
+            with obs.tracing():
+                raise RuntimeError("boom")
+        assert obs.get_tracer() is before
+
+    def test_tracing_accepts_existing_tracer(self, tracer):
+        with obs.tracing(tracer) as installed:
+            assert installed is tracer
+
+    def test_nested_tracing_restores_outer(self):
+        with obs.tracing() as outer:
+            with obs.tracing() as inner:
+                assert obs.get_tracer() is inner
+            assert obs.get_tracer() is outer
+
+    def test_set_tracer_none_restores_null(self, tracer):
+        obs.set_tracer(tracer)
+        try:
+            assert obs.get_tracer() is tracer
+        finally:
+            obs.set_tracer(None)
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_module_hooks_hit_current_tracer(self):
+        with obs.tracing() as tracer:
+            with obs.span("work", step=1):
+                obs.count("events")
+                obs.gauge("level", 7)
+                obs.observe("lat", 0.001)
+        assert tracer.roots[0].name == "work"
+        assert tracer.counters == {"events": 1}
+        assert tracer.gauges == {"level": 7}
+        assert tracer.histograms["lat"].count == 1
+
+    def test_module_hooks_are_noops_when_off(self):
+        with obs.span("ignored"):
+            obs.count("ignored")
+            obs.gauge("ignored", 1)
+            obs.observe("ignored", 1.0)
+        # nothing to assert on NULL_TRACER — it stores nothing
+        assert obs.get_tracer().snapshot() == {}
+
+
+class TestTimed:
+    def test_measures_untraced(self):
+        with obs.timed("step") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+        # No tracer active: nothing recorded anywhere.
+        assert obs.get_tracer().snapshot() == {}
+
+    def test_records_span_and_histogram_when_tracing(self):
+        with obs.tracing() as tracer:
+            with obs.timed("step", item="x") as timer:
+                pass
+        assert timer.elapsed >= 0.0
+        assert tracer.roots[0].name == "step"
+        assert tracer.roots[0].attrs == {"item": "x"}
+        assert tracer.histograms["step"].count == 1
+
+    def test_positional_only_name_allows_name_attr(self):
+        with obs.tracing() as tracer:
+            with obs.timed("step", name="collision"):
+                pass
+        assert tracer.roots[0].attrs == {"name": "collision"}
+
+    def test_exception_still_sets_elapsed(self):
+        with obs.tracing() as tracer:
+            with pytest.raises(ValueError):
+                with obs.timed("doomed") as timer:
+                    raise ValueError("boom")
+        assert timer.elapsed >= 0.0
+        assert tracer.roots[0].attrs["error"] == "ValueError"
+        tracer.check_balanced()
