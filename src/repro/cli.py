@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``analyze FILE.c``     — run the analysis, print per-label points-to
-  sets, the invocation graph, and warnings;
+  sets, the invocation graph, and warnings; ``--explain EXPR@LABEL``
+  additionally records provenance and renders derivation witnesses
+  plus the precision dashboard (see docs/PROVENANCE.md);
 * ``simple FILE.c``      — print the SIMPLE lowering of a program;
 * ``tables [names...]``  — regenerate the paper's Tables 2-6 over the
   benchmark suite (all benchmarks by default);
@@ -75,12 +77,61 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return status
 
 
+def _render_explain(answer: dict) -> str:
+    """Plain-text rendering of one ``explain:`` answer: the traversed
+    pairs, each with its witness chain from the fact back to the
+    source-level assignment that introduced it."""
+    lines = [
+        f"explain: {answer['expr']} @ {answer['label']} "
+        f"(scope {answer['function']})"
+    ]
+    targets = " ".join(f"({t},{d})" for t, d in answer["targets"])
+    lines.append(f"  final targets: {targets or '<none>'}")
+    for pair in answer["pairs"]:
+        lines.append(
+            f"  ({pair['src']}, {pair['tgt']}, {pair['definiteness']})"
+        )
+        if not pair["witness"]:
+            lines.append("    (no recorded derivation)")
+        for step in pair["witness"]:
+            where = (
+                f"stmt {step['stmt']}"
+                if step["stmt"] is not None
+                else "init"
+            )
+            path = "/".join(step["path"]) or "<entry>"
+            detail = ""
+            if "extra" in step:
+                detail = "  {" + ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(step["extra"].items())
+                ) + "}"
+            lines.append(
+                f"    #{step['id']:<4} {step['rule']:<14} "
+                f"{step['src']} -> {step['tgt']} "
+                f"[{step['definiteness']}]  {where} in {step['func']}  "
+                f"path {path}{detail}"
+            )
+    return "\n".join(lines)
+
+
 def _run_analyze(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro import obs
+    from repro.core import perf
 
     source = _read(args.file)
     options = AnalysisOptions(function_pointer_strategy=args.fnptr)
-    result = analyze_source(source, options, filename=args.file)
+    explain = getattr(args, "explain", None)
+    recording = (
+        perf.configured(track_provenance=True)
+        if explain is not None
+        else contextlib.nullcontext()
+    )
+    with recording:
+        result = analyze_source(source, options, filename=args.file)
+    status = 0
     with obs.span("report"):
         if args.json:
             from repro.service.serialize import encode_analysis
@@ -106,7 +157,27 @@ def _run_analyze(args: argparse.Namespace) -> int:
             print("\nWarnings:")
             for warning in result.warnings:
                 print(f"  {warning}")
-    return 0
+        if explain is not None:
+            from repro.core.statistics import collect_precision
+            from repro.reporting.tables import render_precision
+            from repro.service.queries import QueryError, QuerySession
+
+            session = QuerySession(result)
+            for expr in explain:
+                if not expr:
+                    continue  # bare --explain: dashboard only
+                print()
+                try:
+                    answer = session.evaluate(f"explain:{expr}")
+                except QueryError as exc:
+                    print(f"explain: {expr}: error: {exc}",
+                          file=sys.stderr)
+                    status = 1
+                    continue
+                print(_render_explain(answer))
+            print()
+            print(render_precision(collect_precision(result, args.file)))
+    return status
 
 
 def _make_store(args: argparse.Namespace):
@@ -117,14 +188,26 @@ def _make_store(args: argparse.Namespace):
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.core import perf
     from repro.service.queries import QueryError, QuerySession
 
     source = _read(args.file)
     options = AnalysisOptions(function_pointer_strategy=args.fnptr)
     store = _make_store(args)
-    result, hit = store.load_or_analyze(
-        source, options, name=args.file, refresh=args.refresh
+    recording = (
+        perf.configured(track_provenance=True)
+        if args.provenance
+        else contextlib.nullcontext()
     )
+    with recording:
+        # Key gating happens inside the store: provenance-enabled
+        # requests address distinct objects, so a plain cached result
+        # never masks a request that needs the derivation log.
+        result, hit = store.load_or_analyze(
+            source, options, name=args.file, refresh=args.refresh
+        )
     session = QuerySession(result)
     status = 0
     for expr in args.queries:
@@ -278,6 +361,20 @@ def main(argv: list[str] | None = None) -> int:
         help="emit the full result as versioned JSON (the store format)",
     )
     p_analyze.add_argument(
+        "--explain",
+        nargs="?",
+        const="",
+        action="append",
+        metavar="EXPR@LABEL",
+        default=None,
+        help=(
+            "record derivation provenance and explain how the "
+            "expression's points-to facts arose (repeatable, e.g. "
+            "--explain '**p@L'); a bare --explain prints just the "
+            "precision dashboard"
+        ),
+    )
+    p_analyze.add_argument(
         "--trace",
         nargs="?",
         const="text",
@@ -301,8 +398,18 @@ def main(argv: list[str] | None = None) -> int:
         metavar="EXPR",
         help=(
             "queries like points_to:p@LABEL, may_alias:*p,q@LABEL, "
-            "callees_at:SITE, callers_of:FN, read_write:FN, labels, "
-            "call_sites, warnings, graph, summary"
+            "explain:p@LABEL, why_possible:p@LABEL, "
+            "blame_invisible:NAME, callees_at:SITE, callers_of:FN, "
+            "read_write:FN, labels, call_sites, warnings, graph, "
+            "summary"
+        ),
+    )
+    p_query.add_argument(
+        "--provenance",
+        action="store_true",
+        help=(
+            "record derivation provenance for this request (required "
+            "by the explain/why_possible/blame_invisible queries)"
         ),
     )
     p_query.add_argument(

@@ -27,6 +27,7 @@ from repro.simple.ir import (
     Stmt,
 )
 from repro.simple.simplify import simplify_source
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.externals import model_external
 from repro.core.funcptr import address_taken_functions, process_call_indirect
@@ -88,6 +89,10 @@ class PointsToAnalysis:
         self.options = options
         #: Memoization / fixed-point counters of the producing run.
         self.stats = stats if stats is not None else MemoStats()
+        #: Derivation log of the producing run (a
+        #: :class:`repro.core.provenance.ProvenanceLog`), or None when
+        #: ``perf.CONFIG.track_provenance`` was off.
+        self.provenance = None
         self._envs: dict[str | None, FuncEnv] = {}
         self._stmt_func: dict[int, str] = {}
         for fn in program.functions.values():
@@ -281,11 +286,17 @@ class Analyzer:
         if not stmt.lhs_type.involves_pointers():
             return input_set
         llocs = l_locations(stmt.lhs, input_set, env)
+        prov = provenance.CURRENT
+        if prov.enabled:
+            prov.gen_rule = provenance.RULE_ALLOC
         output = apply_assignment(input_set, llocs, [(HEAP, P)])
         # Fresh heap cells read as NULL until written (the machine
         # model zero-initializes allocations; see DESIGN.md) — loading
         # a pointer from untouched heap memory must yield NULL.
         output.add(HEAP, NULL, P)
+        if prov.enabled:
+            prov.gen_rule = provenance.RULE_ASSIGN_GEN
+            prov.record(HEAP, NULL, False, provenance.RULE_ALLOC)
         return output
 
     def handle_external_call(
@@ -318,15 +329,33 @@ class Analyzer:
             and stmt.lhs_type is not None
             and stmt.lhs_type.involves_pointers()
         ):
+            prov = provenance.CURRENT
+            if prov.enabled:
+                prov.gen_rule = provenance.RULE_EXTERN
+                prov.gen_extra = {"callee": name, "external": True}
             llocs = l_locations(stmt.lhs, output, env)
             output = apply_assignment(output, llocs, returns)
+            if prov.enabled:
+                prov.gen_rule = provenance.RULE_ASSIGN_GEN
+                prov.gen_extra = None
         return output
 
     # -- entry ------------------------------------------------------------------
 
     def run(self) -> PointsToAnalysis:
-        with obs.span("core.analysis", entry=self.options.entry_point):
-            result = self._run()
+        log = (
+            provenance.ProvenanceLog()
+            if CONFIG.track_provenance
+            else None
+        )
+        previous = provenance.install(log) if log is not None else None
+        try:
+            with obs.span("core.analysis", entry=self.options.entry_point):
+                result = self._run()
+        finally:
+            if log is not None:
+                provenance.install(previous)  # type: ignore[arg-type]
+        result.provenance = log
         if obs.active():
             stats = self.memo_stats
             obs.count("analysis.runs")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.locations import HEAP, AbsLoc
 from repro.core.lvalues import LocSet, r_locations_ref
@@ -105,6 +106,7 @@ def _copy_contents(
     dst_objects = r_locations_ref(dst, input_set, env)
     src_objects = r_locations_ref(src, input_set, env)
     src_roots = {loc.root() for loc, _ in src_objects}
+    prov = provenance.CURRENT
     for holder, target, _ in input_set.triples():
         if holder.root() not in src_roots:
             continue
@@ -113,6 +115,16 @@ def _copy_contents(
             if dst_loc.is_null:
                 continue
             out.add(dst_loc.extend(suffix), target, P)
+            if prov.enabled:
+                parent = prov.latest.get((holder, target))
+                prov.record(
+                    dst_loc.extend(suffix),
+                    target,
+                    False,
+                    provenance.RULE_EXTERN,
+                    (parent,) if parent is not None else (),
+                    extra={"callee": stmt.callee, "external": True},
+                )
     return out
 
 
@@ -138,6 +150,7 @@ def _havoc(stmt: BasicStmt, input_set: PointsToSet, env: FuncEnv) -> PointsToSet
             if not target.is_null:
                 frontier.append(target)
     reachable.add(HEAP)
+    prov = provenance.CURRENT
     for src in reachable:
         if src.is_null or src.is_function:
             continue
@@ -146,4 +159,12 @@ def _havoc(stmt: BasicStmt, input_set: PointsToSet, env: FuncEnv) -> PointsToSet
             if tgt.is_function:
                 continue
             out.add(src, tgt, P)
+            if prov.enabled:
+                prov.record(
+                    src,
+                    tgt,
+                    False,
+                    provenance.RULE_EXTERN,
+                    extra={"callee": stmt.callee, "external": True},
+                )
     return out

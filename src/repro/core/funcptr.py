@@ -15,6 +15,7 @@ evaluates against in the `livc` study: binding every indirect call to
 
 from __future__ import annotations
 
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.invocation_graph import IGNode
 from repro.core.locations import AbsLoc, function_loc
@@ -86,9 +87,27 @@ def process_call_indirect(
         return input_set
 
     outputs: list[PointsToSet | None] = []
+    prov = provenance.CURRENT
     for fn_target in sorted(pointed, key=lambda loc: loc.base):
         name = fn_target.base
         node_input = make_definite_points_to(input_set, fp_loc, fn_target)
+        if prov.enabled:
+            # ``makeDefinitePointsTo``: the binding that lets this
+            # callee's analysis (and its unmapped side effects) exist.
+            parent = prov.latest.get((fp_loc, fn_target))
+            prov.record(
+                fp_loc,
+                fn_target,
+                True,
+                provenance.RULE_CALL_BIND,
+                (parent,) if parent is not None else (),
+                extra={
+                    "indirect": True,
+                    "fp": stmt.callee_ptr,
+                    "callee": name,
+                    "site": stmt.call_site,
+                },
+            )
         if name in analyzer.program.functions:
             child = analyzer.ig.attach_call(node, stmt.call_site, name)
             outputs.append(

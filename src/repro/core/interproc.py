@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.intra import apply_assignment
 from repro.core.invocation_graph import IGNode, IGNodeKind
@@ -40,6 +41,10 @@ from repro.simple.ir import BasicStmt
 #: the fixed point (with a warning and a statistics record) instead of
 #: aborting the whole analysis; the truncated result may be unsound.
 MAX_RECURSION_ITERATIONS = 100
+
+#: Sentinel distinguishing "call never recorded" from a remembered
+#: Bottom (None) output in the provenance seen-calls table.
+_UNSEEN = object()
 
 
 @dataclass
@@ -144,6 +149,70 @@ def process_call_node(
     callee_fn = program.functions[child.func]
     callee_env = analyzer.env(child.func)
 
+    prov = provenance.CURRENT
+    if not prov.enabled:
+        return _process_call_node(
+            analyzer, caller_env, callee_env, callee_fn, child, stmt,
+            input_set,
+        )
+
+    # One call processing is a deterministic function of the call
+    # site, the invocation-graph path, and the caller's input set —
+    # except while the callee subtree's state is still evolving
+    # (recursion fixed points, approximate nodes).  Loop and recursion
+    # fixed points re-process the same call with the same input many
+    # times; every record such a re-processing would make is an exact
+    # duplicate, so run it with recording suppressed and verify the
+    # assumption against the remembered output fingerprint.  When the
+    # output diverged (the subtree evolved), re-process with recording
+    # on so the new facts get witnesses.
+    # id(child): IGNode is an unhashable dataclass; nodes are kept
+    # alive by the invocation graph, so the id is stable for the run.
+    key = (stmt.stmt_id, prov.path, id(child), input_set.fingerprint())
+    expected = prov.seen_calls.get(key, _UNSEEN)
+    if expected is not _UNSEEN:
+        previous = provenance.install(None)
+        try:
+            output = _process_call_node(
+                analyzer, caller_env, callee_env, callee_fn, child, stmt,
+                input_set,
+            )
+        finally:
+            provenance.install(previous)
+        if (output.fingerprint() if output is not None else None) == expected:
+            return output
+
+    # The dynamic extent of this call — map, body, unmap — records
+    # under an invocation-graph path extended with the callee; the
+    # caller's statement context is restored on exit.
+    prov.push_call(
+        stmt.call_site,
+        child.func,
+        indirect=stmt.callee_ptr is not None,
+        fp=stmt.callee_ptr,
+    )
+    try:
+        output = _process_call_node(
+            analyzer, caller_env, callee_env, callee_fn, child, stmt,
+            input_set,
+        )
+    finally:
+        prov.pop_call()
+    prov.seen_calls[key] = (
+        output.fingerprint() if output is not None else None
+    )
+    return output
+
+
+def _process_call_node(
+    analyzer,
+    caller_env: FuncEnv,
+    callee_env: FuncEnv,
+    callee_fn,
+    child: IGNode,
+    stmt: BasicStmt,
+    input_set: PointsToSet,
+) -> PointsToSet | None:
     func_input, map_info = map_call(
         caller_env, callee_env, input_set, stmt.args, callee_fn
     )
@@ -312,6 +381,18 @@ def _unmap_and_assign(
         return result
     if not stmt.lhs_type.involves_pointers():
         return result
+
+    prov = provenance.CURRENT
+    if prov.enabled:
+        # The return-value assignment is a caller-side fact at the
+        # call statement; its parents are the callee's retval facts
+        # carried out by the unmap.  (pop_call restores these context
+        # overrides when the surrounding process_call_node exits.)
+        fn = caller_env.fn
+        prov.set_stmt(stmt.stmt_id, fn.name if fn is not None else None)
+        prov.add_resolved_support(unmapped.return_support)
+        prov.gen_rule = provenance.RULE_CALL_RETURN
+        prov.gen_extra = prov.call_extra()
 
     caller_paths = {path for path, _, _ in unmapped.returns}
     if caller_paths == {()} or not unmapped.returns:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.frontend.ctypes import CType, PointerType, StructType, decay
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.locations import AbsLoc, HEAD, TAIL, NULL
 from repro.core.lvalues import LocSet, l_locations, r_locations, r_locations_ref
@@ -77,6 +78,7 @@ def apply_assignment(
             out.kill_source(loc)
         else:
             out.weaken_source(loc)
+    prov = provenance.CURRENT
     for loc, d1 in llocs:
         if loc.is_null or loc.is_function:
             continue
@@ -85,6 +87,8 @@ def apply_assignment(
             if loc.represents_multiple() or target.represents_multiple():
                 definiteness = P
             out.add(loc, target, definiteness)
+            if prov.enabled:
+                prov.record_gen(loc, target, definiteness is D)
     return out
 
 
@@ -106,10 +110,18 @@ class IntraAnalyzer:
     def process_stmt(self, stmt: Stmt, input_set: PointsToSet | None) -> FlowOut:
         if input_set is None:
             return FlowOut(None)
-        if self.recorder is not None and not isinstance(
-            stmt, (SBlock, SBreak, SContinue)
-        ):
-            self.recorder(stmt, input_set)
+        if not isinstance(stmt, (SBlock, SBreak, SContinue)):
+            prov = provenance.CURRENT
+            if prov.enabled:
+                # Open-coded statement context switch: this runs for
+                # every statement.  Support is NOT reset here — stale
+                # entries are detected by support_stmt and dropped
+                # lazily in add_support.
+                fn = self.env.fn
+                prov.stmt_id = stmt.stmt_id
+                prov.func = fn.name if fn is not None else None
+            if self.recorder is not None:
+                self.recorder(stmt, input_set)
         if isinstance(stmt, BasicStmt):
             return FlowOut(self.process_basic(stmt, input_set))
         if isinstance(stmt, SBlock):
@@ -226,11 +238,16 @@ class IntraAnalyzer:
         lhs_objects = l_locations(lhs, input_set, self.env)
         rhs_objects = l_locations(rhs, input_set, self.env)
         out = input_set
+        prov = provenance.CURRENT
         for path in self.env.pointer_paths(ctype):
             llocs = [(loc.extend(path), d) for loc, d in lhs_objects]
             rlocs: LocSet = []
             for loc, d1 in rhs_objects:
-                for target, d2 in input_set.targets_of(loc.extend(path)):
+                src = loc.extend(path)
+                targets = input_set.targets_of(src)
+                if prov.enabled:
+                    prov.add_support(src, targets)
+                for target, d2 in targets:
                     rlocs.append((target, d1.both(d2)))
             out = apply_assignment(out, llocs, rlocs)
         return out
@@ -251,10 +268,15 @@ class IntraAnalyzer:
                 stmt.value, Ref
             ):
                 objects = l_locations(stmt.value, input_set, self.env)
+                prov = provenance.CURRENT
                 for path in self.env.pointer_paths(return_type):
                     rlocs: LocSet = []
                     for loc, d1 in objects:
-                        for target, d2 in input_set.targets_of(loc.extend(path)):
+                        src = loc.extend(path)
+                        targets = input_set.targets_of(src)
+                        if prov.enabled:
+                            prov.add_support(src, targets)
+                        for target, d2 in targets:
                             rlocs.append((target, d1.both(d2)))
                     out = apply_assignment(out, [(retval.extend(path), D)], rlocs)
             else:
@@ -409,6 +431,7 @@ def null_initialized(env: FuncEnv, names_and_types) -> PointsToSet:
     """Pairs initializing every pointer path of the given variables to
     NULL (the paper initializes all pointers to NULL)."""
     result = PointsToSet()
+    prov = provenance.CURRENT
     for name, ctype in names_and_types:
         if not ctype.involves_pointers():
             continue
@@ -417,4 +440,6 @@ def null_initialized(env: FuncEnv, names_and_types) -> PointsToSet:
             loc = base.extend(path)
             definiteness = P if loc.represents_multiple() else D
             result.add(loc, NULL, definiteness)
+            if prov.enabled:
+                prov.record_init(loc, NULL, definiteness is D, env.func)
     return result

@@ -21,6 +21,7 @@ Definition 3.3 requires for safety.
 from __future__ import annotations
 
 from repro.frontend.ctypes import ArrayType
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.locations import HEAD, TAIL, AbsLoc, NULL
 from repro.core.pointsto import D, P, Definiteness, PointsToSet
@@ -91,9 +92,12 @@ def l_locations(ref: Ref, pts: PointsToSet, env: FuncEnv) -> LocSet:
     """The L-location set of ``ref`` relative to ``pts`` (Table 1)."""
     base = env.var_loc(ref.base)
     if ref.deref:
+        pairs = pts.targets_of(base)
+        if provenance.CURRENT.enabled:
+            provenance.CURRENT.add_support(base, pairs)
         locs = [
             (target, definiteness)
-            for target, definiteness in pts.targets_of(base)
+            for target, definiteness in pairs
             if not target.is_null and not target.is_function
         ]
     else:
@@ -163,8 +167,12 @@ def r_locations_ref(ref: Ref, pts: PointsToSet, env: FuncEnv) -> LocSet:
             ]
         )
     result: LocSet = []
+    prov = provenance.CURRENT
     for loc, d1 in llocs:
-        for target, d2 in pts.targets_of(loc):
+        targets = pts.targets_of(loc)
+        if prov.enabled:
+            prov.add_support(loc, targets)
+        for target, d2 in targets:
             result.append((target, d1.both(d2)))
     return _dedup(result)
 

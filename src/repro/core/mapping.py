@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.frontend.ctypes import StructType
+from repro.core import provenance
 from repro.core.env import FuncEnv
 from repro.core.lvalues import r_locations
 from repro.core.locations import NULL, AbsLoc, LocKind, retval_loc, symbolic_name
@@ -110,6 +111,8 @@ class _Mapper:
             represented = self.info.to_caller.get(existing, ())
             if root not in represented:
                 self.info.to_caller[existing] = represented + (root,)
+            if provenance.CURRENT.enabled:
+                provenance.CURRENT.record_symbolic(existing, root, via)
             self.enqueue(root)
         return existing.extend(target.path)
 
@@ -144,6 +147,13 @@ class _Mapper:
                 # Missing argument (variadic mismatch): NULL, possibly.
                 for path in self.callee_env.pointer_paths(ctype):
                     self.result.add(formal_loc.extend(path), NULL, P)
+                    if provenance.CURRENT.enabled:
+                        provenance.CURRENT.record(
+                            formal_loc.extend(path),
+                            NULL,
+                            False,
+                            provenance.RULE_MAP_FORMAL,
+                        )
                 continue
             arg = args[index]
             if isinstance(ctype, StructType):
@@ -153,11 +163,26 @@ class _Mapper:
                     arg, self.input_set, self.caller_env
                 ):
                     pending.append((formal_loc, target, definiteness))
+        prov = provenance.CURRENT
+        if prov.enabled:
+            call_extra = prov.call_extra()
         for formal_loc, target, definiteness in _definite_first(
             [(f, t, d) for f, t, d in pending]
         ):
             mapped = self.map_target(target, via=formal_loc)
             self.result.add(formal_loc, mapped, definiteness)
+            if prov.enabled:
+                # Parents: the caller facts that justified the actual's
+                # R-locations (collected as support while map_formals
+                # resolved the argument expressions).
+                prov.record(
+                    formal_loc,
+                    mapped,
+                    definiteness is D,
+                    provenance.RULE_MAP_FORMAL,
+                    prov.support_parents(target),
+                    extra=call_extra,
+                )
 
     def _struct_formal_entries(
         self, formal_loc: AbsLoc, ctype: StructType, arg: Operand
@@ -167,9 +192,13 @@ class _Mapper:
         assert isinstance(arg, Ref) and arg.is_plain_var
         obj = self.caller_env.var_loc(arg.base)
         entries = []
+        prov = provenance.CURRENT
         for path in self.callee_env.pointer_paths(ctype):
             src = obj.extend(path)
-            for target, definiteness in self.input_set.targets_of(src):
+            targets = self.input_set.targets_of(src)
+            if prov.enabled:
+                prov.add_support(src, targets)
+            for target, definiteness in targets:
                 entries.append((formal_loc.extend(path), target, definiteness))
         return entries
 
@@ -179,6 +208,12 @@ class _Mapper:
                 self.enqueue(root, visible=True)
 
     def drain(self) -> None:
+        prov = provenance.CURRENT
+        if prov.enabled:
+            latest = prov.latest
+            call_extra = prov.call_extra()
+            prov_record = prov.record
+            rule_reach = provenance.RULE_MAP_REACH
         while self.queue:
             root = self.queue.popleft()
             if root in self.processed:
@@ -195,6 +230,16 @@ class _Mapper:
                     mapped_src = rep.extend(src.path)
                 mapped_tgt = self.map_target(tgt, via=mapped_src)
                 self.result.add(mapped_src, mapped_tgt, definiteness)
+                if prov.enabled:
+                    parent = latest.get((src, tgt))
+                    prov_record(
+                        mapped_src,
+                        mapped_tgt,
+                        definiteness is D,
+                        rule_reach,
+                        (parent,) if parent is not None else (),
+                        call_extra,
+                    )
 
     def degrade_multi_represented(self) -> None:
         """Weaken definite pairs through multi-represented symbolics."""
@@ -207,6 +252,10 @@ class _Mapper:
             ):
                 self.result.discard(src, tgt)
                 self.result.add(src, tgt, P)
+                if provenance.CURRENT.enabled:
+                    provenance.CURRENT.record_weaken(
+                        src, tgt, rule=provenance.RULE_MAP_DEGRADE
+                    )
 
 
 def map_call(
@@ -245,6 +294,10 @@ class UnmapResult:
     returns: list[tuple[tuple[str, ...], AbsLoc, Definiteness]]
     #: Locations of callee locals that escaped (dangling pointers).
     dangling: list[AbsLoc] = field(default_factory=list)
+    #: Provenance support for the return-value assignment: (caller
+    #: target, id of the callee retval fact).  Empty when recording is
+    #: off.
+    return_support: list[tuple[AbsLoc, int]] = field(default_factory=list)
 
 
 def unmap_call(
@@ -270,17 +323,29 @@ def unmap_call(
         unique = len(caller_roots) == 1
         return [(r.extend(loc.path), unique) for r in caller_roots]
 
-    # Group the callee's pairs by the caller root they describe.
-    new_rels: dict[AbsLoc, list[tuple[AbsLoc, AbsLoc, Definiteness]]] = {}
+    # Group the callee's pairs by the caller root they describe.  Each
+    # entry carries the provenance parents of the callee fact behind it
+    # (the empty tuple when recording is off).
+    new_rels: dict[
+        AbsLoc, list[tuple[AbsLoc, AbsLoc, Definiteness, tuple[int, ...]]]
+    ] = {}
     returns: list[tuple[tuple[str, ...], AbsLoc, Definiteness]] = []
     ret_root = retval_loc(callee_fn.name)
+    prov = provenance.CURRENT
+    recording = prov.enabled
+    return_support: list[tuple[AbsLoc, int]] = []
 
     for src, tgt, definiteness in callee_output.triples():
         src_root = src.root()
         if src_root == ret_root:
+            callee_rid = (
+                prov.latest.get((src, tgt)) if recording else None
+            )
             for caller_tgt, unique in unrewrite(tgt):
                 ret_def = definiteness if unique else P
                 returns.append((src.path, caller_tgt, ret_def))
+                if callee_rid is not None:
+                    return_support.append((caller_tgt, callee_rid))
             continue
         if src_root.kind in (
             LocKind.LOCAL,
@@ -295,11 +360,16 @@ def unmap_call(
         targets = unrewrite(tgt)
         if not targets:
             continue  # dangling target: the relationship cannot be named
+        parents: tuple[int, ...] = ()
+        if recording:
+            callee_rid = prov.latest.get((src, tgt))
+            if callee_rid is not None:
+                parents = (callee_rid,)
         for caller_src, s_unique in sources:
             for caller_tgt, t_unique in targets:
                 out_def = definiteness if (s_unique and t_unique) else P
                 new_rels.setdefault(caller_src.root(), []).append(
-                    (caller_src, caller_tgt, out_def)
+                    (caller_src, caller_tgt, out_def, parents)
                 )
 
     # Decide, per represented caller root, between strong and weak update.
@@ -327,6 +397,18 @@ def unmap_call(
         if root not in updates:
             updates[root] = not root.is_heap
 
+    if recording:
+        # Weakenings of surviving caller pairs during weak updates are
+        # part of the unmap step, not of any assignment rule; and unmap
+        # records belong to the call statement, not to the last
+        # statement the callee's body happened to process.
+        saved_weaken_rule = prov.weaken_rule
+        prov.weaken_rule = provenance.RULE_UNMAP_WEAKEN
+        prov.restore_caller_stmt()
+        call_extra = prov.call_extra()
+        prov_record = prov.record
+        rule_strong = provenance.RULE_UNMAP_STRONG
+        rule_weak = provenance.RULE_UNMAP_WEAK
     for root, strong in updates.items():
         if root.represents_multiple():
             strong = False
@@ -337,13 +419,35 @@ def unmap_call(
         if strong:
             for src in root_sources:
                 result.kill_source(src)
-            for caller_src, caller_tgt, definiteness in new_rels.get(root, ()):
+            for caller_src, caller_tgt, definiteness, parents in new_rels.get(
+                root, ()
+            ):
                 result.add(caller_src, caller_tgt, definiteness)
+                if recording:
+                    prov_record(
+                        caller_src,
+                        caller_tgt,
+                        definiteness is D,
+                        rule_strong,
+                        parents,
+                        call_extra,
+                    )
         else:
             for src in root_sources:
                 result.weaken_source(src)
-            for caller_src, caller_tgt, _ in new_rels.get(root, ()):
+            for caller_src, caller_tgt, _, parents in new_rels.get(root, ()):
                 result.add(caller_src, caller_tgt, P)
+                if recording:
+                    prov_record(
+                        caller_src,
+                        caller_tgt,
+                        False,
+                        rule_weak,
+                        parents,
+                        call_extra,
+                    )
+    if recording:
+        prov.weaken_rule = saved_weaken_rule
 
     from repro import obs
 
@@ -351,4 +455,4 @@ def unmap_call(
         obs.count("analysis.unmap_calls")
         obs.count("analysis.unmapped_relationships", len(callee_output))
         obs.count("analysis.dangling_locations", len(dangling))
-    return UnmapResult(result, returns, dangling)
+    return UnmapResult(result, returns, dangling, return_support)

@@ -39,6 +39,14 @@ class PerfConfig:
       original single (input, output) pair compared by set equality.
     * ``memo_capacity``: bound on entries per ordinary invocation-graph
       node's memo table (least-recently-used entries are evicted).
+    * ``track_provenance``: record a :class:`repro.core.provenance.
+      Derivation` for every points-to triple as it is created (the
+      "explain" layer).  Off by default; the hooks reduce to one
+      attribute check, mirroring the NullTracer pattern of
+      ``repro.obs``.  Unlike the flags above this one is *additive* —
+      it never changes what the analysis computes, only what extra
+      metadata is captured — so it is not part of
+      :func:`legacy_overrides`.
     """
 
     intern_locations: bool = True
@@ -46,6 +54,7 @@ class PerfConfig:
     set_fast_paths: bool = True
     fingerprint_memo: bool = True
     memo_capacity: int = 8
+    track_provenance: bool = False
 
 
 #: The process-wide configuration consulted by the hot paths.

@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 from typing import Iterable, Iterator
 
+from repro.core import provenance
 from repro.core.locations import AbsLoc
 from repro.core.perf import CONFIG
 
@@ -203,6 +204,9 @@ class PointsToSet:
                 sources.discard(src)
                 if not sources:
                     del by_tgt[tgt]  # type: ignore[index]
+        prov = provenance.CURRENT
+        if prov.enabled:
+            prov.kill_count += len(targets)
 
     def weaken_source(self, src: AbsLoc) -> None:
         """Turn every definite relationship from ``src`` into possible."""
@@ -215,6 +219,9 @@ class PointsToSet:
         rel = self._rel
         for tgt in flips:
             rel[(src, tgt)] = False
+        if provenance.CURRENT.enabled:
+            for tgt in flips:
+                provenance.CURRENT.record_weaken(src, tgt)
 
     # -- queries ------------------------------------------------------------
 
@@ -322,12 +329,39 @@ class PointsToSet:
         # append other-only pairs (possible) in other's order.
         rel = result._rel = dict.fromkeys(self_rel, False)
         other_get = other_rel.get
-        for key, definite in self_rel.items():
-            if definite and other_get(key):
-                rel[key] = True
-        for key in other_rel:
-            if key not in self_rel:
-                rel[key] = False
+        if not provenance.CURRENT.enabled:
+            for key, definite in self_rel.items():
+                if definite and other_get(key):
+                    rel[key] = True
+            for key in other_rel:
+                if key not in self_rel:
+                    rel[key] = False
+        else:
+            # Same two passes, recording every pair the Merge demoted
+            # from definite to possible — the d1 ∧ d2 weakening of
+            # Table 1 (the two arms are mutually exclusive per pair).
+            weaken = provenance.CURRENT.record_weaken
+            for key, definite in self_rel.items():
+                if definite:
+                    if other_get(key):
+                        rel[key] = True
+                    else:
+                        weaken(
+                            key[0], key[1],
+                            rule=provenance.RULE_MERGE_WEAKEN,
+                        )
+            for key, definite in other_rel.items():
+                if key not in self_rel:
+                    rel[key] = False
+                    if definite:
+                        weaken(
+                            key[0], key[1],
+                            rule=provenance.RULE_MERGE_WEAKEN,
+                        )
+                elif definite and not rel[key]:
+                    weaken(
+                        key[0], key[1], rule=provenance.RULE_MERGE_WEAKEN
+                    )
         if not CONFIG.cow_sets:
             result._indexes()  # legacy mode built the index eagerly
         return result

@@ -1,0 +1,584 @@
+"""Derivation witnesses for points-to facts (the "explain" layer).
+
+When :data:`repro.core.perf.CONFIG.track_provenance` is on, the
+analysis records a :class:`Derivation` for every points-to triple as
+it is created: which basic-statement rule of Table 1 / Figure 1 fired
+(and whether it was a gen, a kill, or a definite-to-possible
+weakening), at which statement, in which function, and — for
+interprocedural facts — through which invocation-graph path and which
+map/unmap step of Figure 3 the fact was imported or exported.  Each
+record points at the *parent* derivations it consumed (the facts that
+justified the L-/R-location computation, or the callee-side fact an
+unmap rewrote), so a full witness path from any triple back to a
+source-level assignment can be reconstructed with :func:`witness`.
+
+The recording discipline mirrors the ``repro.obs`` NullTracer
+pattern: one module-level *current recorder* (:data:`CURRENT`), which
+is the shared :data:`NULL_PROVENANCE` unless an analysis run installed
+a live :class:`ProvenanceLog`; every hook site guards with a single
+``CURRENT.enabled`` attribute check, so the layer is zero-overhead
+when off.  Records are plain tuples identified by their index in
+``records``; parents always point backwards, so derivation chains are
+acyclic by construction.
+
+Consumers: the ``explain:`` / ``why_possible:`` / ``blame_invisible:``
+query verbs (:mod:`repro.service.queries`), the ``analyze --explain``
+CLI rendering, the precision dashboard
+(:func:`repro.core.statistics.collect_precision`), and the optional
+``"provenance"`` section of the store artifact
+(:mod:`repro.service.serialize`).  See docs/PROVENANCE.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+# ---------------------------------------------------------------------------
+# Rule taxonomy
+# ---------------------------------------------------------------------------
+
+#: Implicit NULL initialization of a declared pointer (the paper
+#: initializes every pointer the analysis can see to NULL).
+RULE_INIT_NULL = "init.null"
+#: The basic-statement rule of Figure 1: L x R generation.
+RULE_ASSIGN_GEN = "assign.gen"
+#: Definite-to-possible weakening of a possible L-location's pairs.
+RULE_ASSIGN_WEAKEN = "assign.weaken"
+#: Heap allocation (``malloc`` family): the L-locations gain ``heap``.
+RULE_ALLOC = "alloc"
+#: ``makeDefinitePointsTo`` of Figure 5: the function pointer is bound
+#: definitely to one invocable function at an indirect call-site.
+RULE_CALL_BIND = "call.bind"
+#: Assignment of an unmapped return value to the call's left side.
+RULE_CALL_RETURN = "call.retassign"
+#: Return-value / side-effect model of an external (libc) function.
+RULE_EXTERN = "extern.effect"
+#: Map step of Figure 3: a formal inherits its actual's targets.
+RULE_MAP_FORMAL = "map.formal"
+#: Map step: a relationship reachable from a formal/global is carried
+#: into the callee's name space (symbolic names for invisibles).
+RULE_MAP_REACH = "map.reach"
+#: Map step: pairs through a multi-represented symbolic name weaken.
+RULE_MAP_DEGRADE = "map.degrade"
+#: Unmap step of Figure 3: strong update of a uniquely-represented
+#: caller location from the callee's output.
+RULE_UNMAP_STRONG = "unmap.strong"
+#: Unmap step: weak update through a multi-represented name.
+RULE_UNMAP_WEAK = "unmap.weak"
+#: Weakening of surviving caller pairs during a weak unmap update.
+RULE_UNMAP_WEAKEN = "unmap.weaken"
+#: The ``Merge`` of control-flow paths or calling contexts turned a
+#: definite pair into a possible one (d1 ∧ d2 of Table 1).
+RULE_MERGE_WEAKEN = "merge.weaken"
+
+#: rule -> kill/gen classification (the Figure 1 vocabulary).
+CLASSIFICATION: dict[str, str] = {
+    RULE_INIT_NULL: "gen",
+    RULE_ASSIGN_GEN: "gen",
+    RULE_ALLOC: "gen",
+    RULE_CALL_BIND: "gen",
+    RULE_CALL_RETURN: "gen",
+    RULE_EXTERN: "gen",
+    RULE_MAP_FORMAL: "transfer",
+    RULE_MAP_REACH: "transfer",
+    RULE_UNMAP_STRONG: "transfer",
+    RULE_UNMAP_WEAK: "transfer",
+    RULE_ASSIGN_WEAKEN: "weaken",
+    RULE_MAP_DEGRADE: "weaken",
+    RULE_UNMAP_WEAKEN: "weaken",
+    RULE_MERGE_WEAKEN: "weaken",
+}
+
+#: Rules that may legitimately terminate a witness chain (no parents):
+#: a source-level assignment or initialization, an allocation, an
+#: indirect-call binding, an external-call model, or a map step whose
+#: justification is the call's own argument expression (``&x`` passed
+#: directly has no prior fact behind it).
+SOURCE_RULES = frozenset(
+    {
+        RULE_INIT_NULL,
+        RULE_ASSIGN_GEN,
+        RULE_ALLOC,
+        RULE_CALL_BIND,
+        RULE_CALL_RETURN,
+        RULE_EXTERN,
+        RULE_MAP_FORMAL,
+    }
+)
+
+
+class Derivation(NamedTuple):
+    """One recorded derivation step for the triple ``(src, tgt)``.
+
+    ``parents`` are indexes of earlier records in the producing log
+    (always strictly smaller than this record's own index).  ``path``
+    is the invocation-graph path active when the fact was created, as
+    ``"callee@s<site>"`` segments from the entry point downwards.
+    """
+
+    src: object
+    tgt: object
+    definite: bool
+    rule: str
+    stmt_id: int | None
+    func: str | None
+    path: tuple[str, ...]
+    parents: tuple[int, ...]
+    extra: dict | None
+
+    @property
+    def classification(self) -> str:
+        return CLASSIFICATION.get(self.rule, "transfer")
+
+
+#: C-speed constructor for the hot recording path (bypasses the
+#: keyword-processing ``Derivation.__new__``).
+_make_record = Derivation._make
+
+
+class ProvenanceLog:
+    """Recorder for one analysis run.
+
+    Hot-path contract: call sites must guard every method call with an
+    ``if CURRENT.enabled:`` check; the methods themselves assume they
+    are only reached when recording is on.
+    """
+
+    enabled = True
+
+    __slots__ = (
+        "records",
+        "latest",
+        "symbolic_intros",
+        "kill_count",
+        "stmt_id",
+        "func",
+        "path",
+        "support",
+        "support_stmt",
+        "seen_calls",
+        "gen_rule",
+        "gen_extra",
+        "weaken_rule",
+        "_frames",
+        "_call_extras",
+    )
+
+    def __init__(self) -> None:
+        #: Append-only list of Derivation records; a record's id is its
+        #: index here.
+        self.records: list[Derivation] = []
+        #: (src, tgt) -> id of the most recent derivation of that pair.
+        self.latest: dict[tuple, int] = {}
+        #: Introductions of symbolic names (invisible-variable
+        #: representatives) with the call path that created them.
+        self.symbolic_intros: list[dict] = []
+        #: Strong-update deletions (kills remove facts, so they are
+        #: counted rather than recorded).
+        self.kill_count = 0
+        #: Current statement/function context (set per statement).
+        self.stmt_id: int | None = None
+        self.func: str | None = None
+        #: Current invocation-graph path ("callee@s<site>" segments).
+        self.path: tuple[str, ...] = ()
+        #: Facts consumed while computing the current statement's
+        #: L-/R-locations.  Entries are lazy — ``(src, pairs)`` with
+        #: ``pairs`` the consumed ``(tgt, definiteness)`` list — or
+        #: pre-resolved — ``(None, [(tgt, record id), ...])``.  Record
+        #: ids are looked up only when a generated fact actually needs
+        #: its parents (most statements generate nothing).
+        self.support: list[tuple] = []
+        #: Statement the support entries belong to.  Statement dispatch
+        #: only updates ``stmt_id``; support from an earlier statement
+        #: is detected as stale and dropped lazily here, because
+        #: add_support runs far less often than statement dispatch.
+        self.support_stmt: int | None = None
+        #: Call processings already recorded: (stmt, IG path, node,
+        #: input fingerprint) -> output fingerprint.  Loop and
+        #: recursion fixed points re-process the same call with the
+        #: same input many times; re-processings found here run with
+        #: recording suppressed (see interproc.process_call_node).
+        self.seen_calls: dict = {}
+        #: Rule/extra attached to the next generated facts (overridden
+        #: around alloc / return-assignment / external-call sites).
+        self.gen_rule: str = RULE_ASSIGN_GEN
+        self.gen_extra: dict | None = None
+        #: Rule attached to weaken_source flips (overridden by unmap).
+        self.weaken_rule: str = RULE_ASSIGN_WEAKEN
+        self._frames: list[tuple] = []
+        self._call_extras: list[dict] = []
+
+    # -- statement / call context ---------------------------------------
+
+    def set_stmt(self, stmt_id: int | None, func: str | None) -> None:
+        self.stmt_id = stmt_id
+        self.func = func
+        self.support = []
+        self.support_stmt = stmt_id
+
+    def push_call(
+        self,
+        site: int | None,
+        callee: str,
+        indirect: bool = False,
+        fp: str | None = None,
+    ) -> None:
+        """Enter the dynamic extent of one call (map -> body -> unmap).
+
+        Saves the caller's statement context so the callee's body does
+        not clobber it; :meth:`pop_call` restores it.
+        """
+        self._frames.append(
+            (
+                self.stmt_id,
+                self.func,
+                self.path,
+                self.support,
+                self.support_stmt,
+                self.gen_rule,
+                self.gen_extra,
+                self.weaken_rule,
+            )
+        )
+        self.path = self.path + (f"{callee}@s{site}",)
+        extra: dict = {"callee": callee, "site": site}
+        if indirect:
+            extra["indirect"] = True
+            extra["fp"] = fp
+        self._call_extras.append(extra)
+        self.support = []
+        self.support_stmt = None
+        self.gen_rule = RULE_ASSIGN_GEN
+        self.gen_extra = None
+        self.weaken_rule = RULE_ASSIGN_WEAKEN
+
+    def pop_call(self) -> None:
+        self._call_extras.pop()
+        (
+            self.stmt_id,
+            self.func,
+            self.path,
+            self.support,
+            self.support_stmt,
+            self.gen_rule,
+            self.gen_extra,
+            self.weaken_rule,
+        ) = self._frames.pop()
+
+    def call_extra(self) -> dict | None:
+        """Details of the innermost call being processed, if any."""
+        return self._call_extras[-1] if self._call_extras else None
+
+    def restore_caller_stmt(self) -> None:
+        """Reset the statement context to the enclosing call statement
+        (used by unmap: its records belong to the call site, not to
+        whatever statement the callee's body ended on)."""
+        if self._frames:
+            frame = self._frames[-1]
+            self.stmt_id = frame[0]
+            self.func = frame[1]
+
+    # -- recording -------------------------------------------------------
+
+    def class_counts(self) -> dict[str, int]:
+        """Figure 1 kill/gen classification counters, computed on
+        demand (keeping them out of the hot recording path)."""
+        counts = {"gen": 0, "kill": self.kill_count, "weaken": 0,
+                  "transfer": 0}
+        classify = CLASSIFICATION.get
+        for record in self.records:
+            counts[classify(record[3], "transfer")] += 1
+        return counts
+
+    def record(
+        self,
+        src,
+        tgt,
+        definite: bool,
+        rule: str,
+        parents: tuple[int, ...] = (),
+        extra: dict | None = None,
+    ) -> int:
+        records = self.records
+        latest = self.latest
+        key = (src, tgt)
+        rid = latest.get(key)
+        stmt_id = self.stmt_id
+        path = self.path
+        if rid is not None:
+            # Fixed-point iterations re-derive the same fact through
+            # the same step over and over; an identical re-derivation
+            # adds nothing to the witness, so keep the existing record.
+            prev = records[rid]
+            if (
+                prev[4] == stmt_id
+                and prev[2] == definite
+                and prev[3] == rule
+                and prev[6] == path
+                and prev[5] == self.func
+            ):
+                return rid
+        rid = len(records)
+        records.append(
+            _make_record(
+                (src, tgt, definite, rule, stmt_id, self.func, path,
+                 parents, extra)
+            )
+        )
+        latest[key] = rid
+        return rid
+
+    def record_init(self, src, tgt, definite: bool, func: str | None) -> int:
+        """A NULL-initialization fact (no statement of its own)."""
+        saved_stmt, saved_func = self.stmt_id, self.func
+        self.stmt_id, self.func = None, func
+        try:
+            return self.record(src, tgt, definite, RULE_INIT_NULL)
+        finally:
+            self.stmt_id, self.func = saved_stmt, saved_func
+
+    def record_gen(self, src, tgt, definite: bool) -> int:
+        """A generated pair of the current assignment; parents are the
+        support facts that justified either side's location set."""
+        return self.record(
+            src,
+            tgt,
+            definite,
+            self.gen_rule,
+            self.support_parents(src, tgt),
+            self.gen_extra,
+        )
+
+    def record_weaken(self, src, tgt, rule: str | None = None) -> int:
+        """A definite pair flipped to possible; chained to the pair's
+        previous derivation.  (Open-coded rather than delegating to
+        :meth:`record` — one ``latest`` lookup serves both the parent
+        link and the duplicate check; weakening is the hottest rule.)"""
+        if rule is None:
+            rule = self.weaken_rule
+        records = self.records
+        latest = self.latest
+        key = (src, tgt)
+        rid = latest.get(key)
+        if rid is not None:
+            prev = records[rid]
+            if not prev[2]:
+                # The pair's current derivation is already possible —
+                # a further weakening changes nothing, and the oldest
+                # weakening is the one ``why_possible`` wants anyway.
+                return rid
+            parents: tuple[int, ...] = (rid,)
+        else:
+            parents = ()
+        rid = len(records)
+        records.append(
+            _make_record(
+                (src, tgt, False, rule, self.stmt_id, self.func,
+                 self.path, parents, None)
+            )
+        )
+        latest[key] = rid
+        return rid
+
+    def record_kill(self, src, count: int) -> None:
+        """Strong update removed ``count`` pairs sourced at ``src``
+        (kills delete facts, so they are counted, not chained)."""
+        self.kill_count += count
+
+    def record_symbolic(self, symbolic, represents, via) -> None:
+        """A symbolic name was introduced to represent an invisible
+        caller location during the map step."""
+        self.symbolic_intros.append(
+            {
+                "name": str(symbolic),
+                "base": symbolic.base,
+                "func": symbolic.func,
+                "represents": str(represents),
+                "via": str(via),
+                "stmt_id": self.stmt_id,
+                "path": list(self.path),
+            }
+        )
+
+    # -- support (facts consumed by the current statement) ---------------
+
+    def add_support(self, src, pairs: Iterable) -> None:
+        """Note that the pairs ``(src -> tgt)`` were consumed while
+        resolving a location set for the current statement."""
+        if self.support_stmt != self.stmt_id:
+            self.support = []
+            self.support_stmt = self.stmt_id
+        self.support.append((src, pairs))
+
+    def add_resolved_support(self, entries: Iterable) -> None:
+        """Support whose record ids are already known — ``(justified
+        target location, record id)`` pairs (used for unmapped return
+        values, whose callee-side records are in hand)."""
+        if self.support_stmt != self.stmt_id:
+            self.support = []
+            self.support_stmt = self.stmt_id
+        self.support.append((None, list(entries)))
+
+    def support_parents(self, *locs) -> tuple[int, ...]:
+        """Support record ids justifying any of ``locs`` (deduped,
+        in first-seen order)."""
+        support = self.support
+        if not support or self.support_stmt != self.stmt_id:
+            return ()
+        latest = self.latest
+        out: dict[int, None] = {}
+        for src, pairs in support:
+            if src is None:
+                for tgt, rid in pairs:
+                    if tgt in locs:
+                        out[rid] = None
+            else:
+                for tgt, _definiteness in pairs:
+                    if tgt in locs:
+                        rid = latest.get((src, tgt))
+                        if rid is not None:
+                            out[rid] = None
+        return tuple(out)
+
+
+class NullProvenance:
+    """Disabled recorder; every hook reduces to the ``enabled`` check.
+
+    The methods exist (as no-ops) purely defensively — correct call
+    sites never reach them.
+    """
+
+    enabled = False
+    kill_count = 0
+
+    def class_counts(self) -> dict[str, int]:
+        return {"gen": 0, "kill": 0, "weaken": 0, "transfer": 0}
+
+    def set_stmt(self, stmt_id, func) -> None:
+        pass
+
+    def push_call(self, site, callee, indirect=False, fp=None) -> None:
+        pass
+
+    def pop_call(self) -> None:
+        pass
+
+    def call_extra(self) -> None:
+        return None
+
+    def restore_caller_stmt(self) -> None:
+        pass
+
+    def record(self, src, tgt, definite, rule, parents=(), extra=None) -> int:
+        return -1
+
+    def record_init(self, src, tgt, definite, func) -> int:
+        return -1
+
+    def record_gen(self, src, tgt, definite) -> int:
+        return -1
+
+    def record_weaken(self, src, tgt, rule=None) -> int:
+        return -1
+
+    def record_kill(self, src, count) -> None:
+        pass
+
+    def record_symbolic(self, symbolic, represents, via) -> None:
+        pass
+
+    def add_support(self, src, pairs) -> None:
+        pass
+
+    def add_resolved_support(self, entries) -> None:
+        pass
+
+    def support_parents(self, *locs) -> tuple:
+        return ()
+
+
+#: The shared disabled recorder.
+NULL_PROVENANCE = NullProvenance()
+
+#: The current recorder, consulted by every hook site.  Installed by
+#: :meth:`repro.core.analysis.Analyzer.run` for the extent of a run
+#: when ``perf.CONFIG.track_provenance`` is on.
+CURRENT: ProvenanceLog | NullProvenance = NULL_PROVENANCE
+
+
+def install(log: ProvenanceLog | None):
+    """Install ``log`` as the current recorder (None restores the null
+    recorder); returns the previously-installed one."""
+    global CURRENT
+    previous = CURRENT
+    CURRENT = log if log is not None else NULL_PROVENANCE
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Witness reconstruction (shared by live and decoded logs)
+# ---------------------------------------------------------------------------
+
+#: Safety bound on witness length (chains are acyclic, but re-derived
+#: facts in loop fixed points can make them long and repetitive).
+MAX_WITNESS_STEPS = 128
+
+
+def witness(log, src, tgt, max_steps: int = MAX_WITNESS_STEPS) -> list:
+    """The primary-parent derivation chain of ``(src, tgt)``, newest
+    first: ``[(record id, Derivation), ...]``.
+
+    ``log`` is anything with ``records`` (indexable Derivations) and
+    ``latest`` (pair -> id); both :class:`ProvenanceLog` and the
+    decoded form from :mod:`repro.service.serialize` qualify.  Only
+    the first parent of each record is followed (it is the
+    highest-signal justification); remaining parents stay available on
+    each step for callers that want the full DAG.
+    """
+    rid = log.latest.get((src, tgt))
+    steps: list = []
+    seen: set[int] = set()
+    records = log.records
+    while rid is not None and rid not in seen and len(steps) < max_steps:
+        seen.add(rid)
+        record = records[rid]
+        steps.append((rid, record))
+        rid = record.parents[0] if record.parents else None
+    return steps
+
+
+def chain_depth(log, key: tuple, max_steps: int = MAX_WITNESS_STEPS) -> int:
+    """Length of the primary-parent chain behind ``latest[key]``."""
+    rid = log.latest.get(key)
+    depth = 0
+    seen: set[int] = set()
+    records = log.records
+    while rid is not None and rid not in seen and depth < max_steps:
+        seen.add(rid)
+        depth += 1
+        record = records[rid]
+        rid = record.parents[0] if record.parents else None
+    return depth
+
+
+def first_weakening(log, src, tgt) -> tuple | None:
+    """The earliest D→P weakening on the witness chain of ``(src,
+    tgt)``: ``(record id, Derivation)``, or None when the chain never
+    weakens (the fact was born possible at its source).
+
+    A step weakens when its rule is classified ``weaken`` or when a
+    possible fact's primary parent was definite (e.g. a weak unmap
+    update of a definite callee fact).
+    """
+    chain = witness(log, src, tgt)
+    weakening = None
+    records = log.records
+    for rid, record in chain:
+        if CLASSIFICATION.get(record.rule) == "weaken":
+            weakening = (rid, record)
+            continue
+        if not record.definite and record.parents:
+            parent = records[record.parents[0]]
+            if parent.definite:
+                weakening = (rid, record)
+    return weakening

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.analysis import PointsToAnalysis
 from repro.core.invocation_graph import IGNodeKind, call_site_count
 from repro.core.locations import AbsLoc, LocKind
 from repro.core.pointsto import D
+from repro.core.provenance import chain_depth
 from repro.core.transforms import (
     IndirectRef,
     find_pointer_replacements,
@@ -321,6 +323,155 @@ def collect_table6(analysis: PointsToAnalysis, name: str) -> Table6Row:
 
 
 # ---------------------------------------------------------------------------
+# Precision dashboard (definite/possible ratios, invisible variables,
+# derivation-depth profile)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionPrecision:
+    """Definite/possible pair counts over one function's statements.
+
+    Counted like Table 5 — every non-NULL pair valid at every basic
+    statement — so a pair that stays definite across ten statements
+    weighs ten, which is exactly the exposure an optimizer sees."""
+
+    function: str
+    definite: int = 0
+    possible: int = 0
+    invisible_vars: int = 0  # distinct symbolic names in this scope
+
+    @property
+    def pairs(self) -> int:
+        return self.definite + self.possible
+
+    @property
+    def definite_ratio(self) -> float:
+        pairs = self.pairs
+        return self.definite / pairs if pairs else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "definite": self.definite,
+            "possible": self.possible,
+            "definite_ratio": round(self.definite_ratio, 4),
+            "invisible_vars": self.invisible_vars,
+        }
+
+
+@dataclass
+class PrecisionRow:
+    """The precision dashboard of one analysis run.
+
+    The structural half (per-function definite/possible ratios,
+    invisible-variable counts, approximate/recursive invocation-graph
+    nodes) is always available; the derivation half (Figure 1
+    kill/gen/weaken classification and the witness-depth profile)
+    needs the run's :class:`~repro.core.provenance.ProvenanceLog` and
+    is ``None`` without one.
+    """
+
+    benchmark: str
+    functions: list[FunctionPrecision] = field(default_factory=list)
+    invisible_vars: int = 0
+    approximate_nodes: int = 0
+    recursive_nodes: int = 0
+    #: Provenance-backed (None when the run did not record):
+    records: int | None = None
+    class_counts: dict | None = None
+    kill_count: int | None = None
+    #: Exact depth -> chain count over every live (src, tgt) pair.
+    depth_counts: dict[int, int] | None = None
+    #: ``repro.obs.Histogram`` summary of the same depths (count /
+    #: mean / min / max plus the log-scale buckets).
+    depth_histogram: dict | None = None
+
+    @property
+    def definite(self) -> int:
+        return sum(fn.definite for fn in self.functions)
+
+    @property
+    def possible(self) -> int:
+        return sum(fn.possible for fn in self.functions)
+
+    @property
+    def definite_ratio(self) -> float:
+        total = self.definite + self.possible
+        return self.definite / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        result = {
+            "benchmark": self.benchmark,
+            "functions": [fn.as_dict() for fn in self.functions],
+            "definite": self.definite,
+            "possible": self.possible,
+            "definite_ratio": round(self.definite_ratio, 4),
+            "invisible_vars": self.invisible_vars,
+            "approximate_nodes": self.approximate_nodes,
+            "recursive_nodes": self.recursive_nodes,
+        }
+        if self.records is not None:
+            result["records"] = self.records
+            result["class_counts"] = self.class_counts
+            result["kill_count"] = self.kill_count
+            result["depth_counts"] = {
+                str(depth): count
+                for depth, count in sorted(self.depth_counts.items())
+            }
+            result["depth_histogram"] = self.depth_histogram
+        return result
+
+
+def collect_precision(analysis: PointsToAnalysis, name: str) -> PrecisionRow:
+    """The precision dashboard: how definite the result is, where the
+    invisible-variable abstraction concentrates, and — when the run
+    recorded provenance — how deep the derivation chains run."""
+    row = PrecisionRow(benchmark=name)
+    for fn_name in sorted(analysis.program.functions):
+        fn = analysis.program.functions[fn_name]
+        entry = FunctionPrecision(function=fn_name)
+        symbolics: set[AbsLoc] = set()
+        for stmt in fn.iter_stmts():
+            if not isinstance(stmt, BasicStmt):
+                continue
+            info = analysis.at_stmt(stmt.stmt_id)
+            if info is None:
+                continue
+            for src, tgt, definiteness in info.triples():
+                if tgt.is_null:
+                    continue
+                if definiteness is D:
+                    entry.definite += 1
+                else:
+                    entry.possible += 1
+                for loc in (src, tgt):
+                    if loc.kind is LocKind.SYMBOLIC:
+                        symbolics.add(loc)
+        entry.invisible_vars = len(symbolics)
+        row.functions.append(entry)
+    row.invisible_vars = sum(fn.invisible_vars for fn in row.functions)
+    ig = analysis.ig
+    row.approximate_nodes = ig.count_kind(IGNodeKind.APPROXIMATE)
+    row.recursive_nodes = ig.count_kind(IGNodeKind.RECURSIVE)
+
+    log = getattr(analysis, "provenance", None)
+    if log is not None:
+        row.records = len(log.records)
+        row.class_counts = log.class_counts()
+        row.kill_count = log.kill_count
+        depth_counts: dict[int, int] = {}
+        histogram = obs.Histogram()
+        for key in log.latest:
+            depth = chain_depth(log, key)
+            depth_counts[depth] = depth_counts.get(depth, 0) + 1
+            histogram.observe(float(depth))
+        row.depth_counts = depth_counts
+        row.depth_histogram = histogram.as_dict()
+    return row
+
+
+# ---------------------------------------------------------------------------
 # Performance counters (memo tables, recursion truncation, set sizes)
 # ---------------------------------------------------------------------------
 
@@ -371,6 +522,11 @@ class PerfRow:
     #: a PerfRow, and artifacts must stay byte-identical with tracing
     #: on or off — callers opt in by passing ``tracer=``.
     metrics: dict | None = None
+    #: Table 3 headline precision fractions, opt-in for the same
+    #: byte-identity reason (callers pass ``table3=``; the benchmark
+    #: report does, serialized store summaries do not).
+    single_definite_fraction: float | None = None
+    single_target_fraction: float | None = None
 
     @property
     def memo_lookups(self) -> int:
@@ -398,6 +554,14 @@ class PerfRow:
             result["store"] = self.store_stats
         if self.metrics is not None:
             result["metrics"] = self.metrics
+        if self.single_definite_fraction is not None:
+            result["single_definite_fraction"] = round(
+                self.single_definite_fraction, 4
+            )
+        if self.single_target_fraction is not None:
+            result["single_target_fraction"] = round(
+                self.single_target_fraction, 4
+            )
         return result
 
 
@@ -407,6 +571,7 @@ def collect_perf(
     queries: QueryStats | None = None,
     store=None,
     tracer=None,
+    table3: Table3Row | None = None,
 ) -> PerfRow:
     """Performance counters of one run.
 
@@ -417,7 +582,10 @@ def collect_perf(
     :class:`~repro.service.store.ResultStore` (anything exposing
     ``stats.as_dict()``); ``tracer`` a
     :class:`~repro.obs.Tracer` whose counter/gauge/histogram snapshot
-    should ride along in the row's ``metrics`` block.
+    should ride along in the row's ``metrics`` block; ``table3`` the
+    run's :class:`Table3Row`, from which the headline precision
+    fractions (single-definite, single-target) ride along in the
+    benchmark report.
     """
     stats = analysis.stats
     peak = max(
@@ -445,6 +613,12 @@ def collect_perf(
             tracer.snapshot()
             if tracer is not None and tracer.enabled
             else None
+        ),
+        single_definite_fraction=(
+            table3.single_definite_fraction if table3 is not None else None
+        ),
+        single_target_fraction=(
+            table3.single_target_fraction if table3 is not None else None
         ),
     )
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from repro.core.baselines import StrategyComparison
 from repro.core.statistics import (
+    PrecisionRow,
     SuiteSummary,
     Table2Row,
     Table3Row,
@@ -205,6 +206,66 @@ def render_livc_study(comparison: StrategyComparison) -> str:
         f"{comparison.address_taken_count} candidate functions per site   "
         f"(paper: 589 nodes, 72 fns)",
     ]
+    return "\n".join(lines)
+
+
+def render_precision(row: PrecisionRow) -> str:
+    """The precision dashboard (see
+    :func:`repro.core.statistics.collect_precision`): per-function
+    definite/possible ratios and invisible-variable counts, the
+    invocation-graph approximation counters, and — when the run
+    recorded provenance — the Figure 1 rule-classification counts and
+    the derivation-depth profile."""
+    body = [
+        [
+            fn.function,
+            str(fn.definite),
+            str(fn.possible),
+            f"{100 * fn.definite_ratio:.1f}%",
+            str(fn.invisible_vars),
+        ]
+        for fn in row.functions
+    ]
+    body.append(
+        [
+            "TOTAL",
+            str(row.definite),
+            str(row.possible),
+            f"{100 * row.definite_ratio:.1f}%",
+            str(row.invisible_vars),
+        ]
+    )
+    table = _format_table(
+        ["Function", "Definite", "Possible", "D ratio", "Invisible"],
+        body,
+    )
+    lines = [
+        f"Precision dashboard: {row.benchmark}",
+        table,
+        f"invocation graph: {row.approximate_nodes} approximate, "
+        f"{row.recursive_nodes} recursive node(s)",
+    ]
+    if row.records is not None:
+        classes = row.class_counts or {}
+        lines.append(
+            f"derivations: {row.records} records "
+            f"(gen {classes.get('gen', 0)}, "
+            f"transfer {classes.get('transfer', 0)}, "
+            f"weaken {classes.get('weaken', 0)}, "
+            f"kill {classes.get('kill', 0)})"
+        )
+        histogram = row.depth_histogram or {}
+        depths = ", ".join(
+            f"{depth}:{count}"
+            for depth, count in sorted(
+                (row.depth_counts or {}).items()
+            )
+        )
+        lines.append(
+            f"witness depth: mean {histogram.get('mean_s', 0):.2f}, "
+            f"max {int(histogram.get('max_s') or 0)} "
+            f"(depth:count {depths})"
+        )
     return "\n".join(lines)
 
 

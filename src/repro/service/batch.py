@@ -15,6 +15,7 @@ or external tool uses to hold a hot session::
     {"id": 1, "file": "prog.c", "query": "points_to:p@HERE"}
     {"id": 2, "source": "int main(){...}", "query": "labels"}
     {"cmd": "stats"}
+    {"cmd": "provenance"}
     {"cmd": "quit"}
 
 Every response is one JSON object per line: ``{"id": ..., "ok": true,
@@ -29,9 +30,14 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro import obs
+from repro.core import perf
 from repro.core.analysis import AnalysisOptions
 from repro.service.queries import QueryError, QuerySession
 from repro.service.store import ResultStore
+
+#: Control commands the serve loop understands (reported back on an
+#: unknown ``cmd`` so callers can discover the protocol).
+SERVE_COMMANDS = ("stats", "metrics", "provenance", "quit")
 
 
 # ---------------------------------------------------------------------------
@@ -235,9 +241,44 @@ def _serve_request(
                     "sessions": len(sessions),
                 },
             }
+        if cmd == "provenance":
+            # Gated on the recording switch: when it is off, sessions
+            # hold no derivation logs, so say how to get them instead
+            # of reporting an all-None table.
+            if not perf.CONFIG.track_provenance:
+                return {
+                    "ok": False,
+                    "error": (
+                        "provenance tracking is off: enable "
+                        "perf.CONFIG.track_provenance before serving "
+                        "(see docs/PROVENANCE.md)"
+                    ),
+                    "cmd": cmd,
+                }
+            summaries = {}
+            for key, session in sorted(sessions.items()):
+                log = getattr(session.analysis, "provenance", None)
+                summaries[key[:12]] = (
+                    None
+                    if log is None
+                    else {
+                        "records": len(log.records),
+                        "classes": log.class_counts(),
+                        "symbolic_intros": len(log.symbolic_intros),
+                    }
+                )
+            return {
+                "ok": True,
+                "result": {"enabled": True, "sessions": summaries},
+            }
         if cmd == "quit":
             return {"ok": True, "result": "bye", "quit": True}
-        return {"ok": False, "error": f"unknown cmd {cmd!r}"}
+        return {
+            "ok": False,
+            "error": f"unknown cmd {cmd!r}",
+            "cmd": cmd,
+            "known_cmds": list(SERVE_COMMANDS),
+        }
 
     if "query" not in request:
         return {"ok": False, "error": "missing 'query'"}

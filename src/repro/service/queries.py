@@ -21,6 +21,14 @@ JSON-lines serve loop; see docs/SERVICE.md):
   edge into ``FUNC``.
 * ``read_write:FUNC``          — aggregated may/must write and read
   sets of ``FUNC``.
+* ``explain:EXPR@LABEL``       — derivation witnesses for every pair
+  traversed while resolving ``EXPR`` at the label (requires a result
+  produced with ``perf.CONFIG.track_provenance`` on).
+* ``why_possible:EXPR@LABEL``  — for each merely-possible pair on the
+  walk, the earliest definite-to-possible weakening on its witness.
+* ``blame_invisible:NAME``     — where the symbolic (invisible-
+  variable) name ``NAME`` was introduced, and for which caller
+  location, along which call path.
 * ``labels`` / ``call_sites`` / ``warnings`` / ``graph`` / ``summary``
   — discovery helpers.
 
@@ -34,6 +42,7 @@ import re
 from dataclasses import dataclass
 
 from repro import obs
+from repro.core import provenance as prov_mod
 from repro.core.aliases import may_alias as _may_alias
 from repro.core.analysis import PointsToAnalysis
 from repro.core.locations import HEAP, NULL, AbsLoc
@@ -69,26 +78,27 @@ def parse_query(text: str) -> Query:
     if not sep or not rest.strip():
         raise QueryError(
             f"malformed query {text!r}: expected KIND:ARGS (one of "
-            f"points_to, may_alias, callees_at, callers_of, read_write) "
+            f"points_to, may_alias, explain, why_possible, "
+            f"blame_invisible, callees_at, callers_of, read_write) "
             f"or a bare {', '.join(_NO_ARG_KINDS)}"
         )
     rest = rest.strip()
     label = None
-    if kind in ("points_to", "may_alias"):
+    if kind in ("points_to", "may_alias", "explain", "why_possible"):
         rest, at, label = rest.rpartition("@")
         if not at or not rest or not label:
             raise QueryError(
                 f"{kind} queries need a program point: {kind}:ARGS@LABEL"
             )
         label = label.strip()
-    if kind == "points_to":
+    if kind in ("points_to", "explain", "why_possible"):
         return Query(kind, (rest.strip(),), label)
     if kind == "may_alias":
         parts = [part.strip() for part in rest.split(",")]
         if len(parts) != 2 or not all(parts):
             raise QueryError("may_alias takes exactly two expressions")
         return Query(kind, tuple(parts), label)
-    if kind in ("callees_at", "callers_of", "read_write"):
+    if kind in ("callees_at", "callers_of", "read_write", "blame_invisible"):
         return Query(kind, (rest,))
     raise QueryError(f"unknown query kind {kind!r}")
 
@@ -167,19 +177,22 @@ class QuerySession:
 
     # -- the query API -----------------------------------------------------
 
-    def points_to(
-        self, expr: str, label: str, skip_null: bool = False
-    ) -> list[tuple[str, str]]:
-        """Targets of ``expr`` at ``label`` as sorted (target, D|P)
-        pairs.  ``expr`` may dereference (``*p``) — definiteness
-        composes along the chain (Table 1's ``d1 ∧ d2``)."""
-        self.stats.record("points_to")
+    def _traverse(self, expr: str, label: str):
+        """Resolve ``expr`` at ``label`` and walk its dereference
+        chain, collecting every points-to pair consumed on the way.
+
+        Returns ``(function, traversed pairs, final frontier)``; the
+        pairs are ``(src, tgt, definiteness)`` triples in traversal
+        order (outermost level first), the frontier maps the chain's
+        final targets to their composed definiteness.
+        """
         pts = self._at_label(label)
         depth, scope, name = _parse_expr(expr)
         func = scope if scope is not None else self.labels[label][0]
         base = self._resolve(name, func, pts)
         # ``p`` is one dereference hop (what p points to); each ``*``
         # adds another.  NULL is reported but never traversed through.
+        traversed: list[tuple[AbsLoc, AbsLoc, Definiteness]] = []
         frontier: dict[AbsLoc, Definiteness] = {base: D}
         for _ in range(depth + 1):
             next_frontier: dict[AbsLoc, Definiteness] = {}
@@ -187,16 +200,146 @@ class QuerySession:
                 if loc.is_null:
                     continue
                 for tgt, d in pts.targets_of(loc):
+                    traversed.append((loc, tgt, d))
                     combined = definiteness.both(d)
                     prev = next_frontier.get(tgt)
                     if prev is None or (prev is not D and combined is D):
                         next_frontier[tgt] = combined
             frontier = next_frontier
+        return func, traversed, frontier
+
+    def points_to(
+        self, expr: str, label: str, skip_null: bool = False
+    ) -> list[tuple[str, str]]:
+        """Targets of ``expr`` at ``label`` as sorted (target, D|P)
+        pairs.  ``expr`` may dereference (``*p``) — definiteness
+        composes along the chain (Table 1's ``d1 ∧ d2``)."""
+        self.stats.record("points_to")
+        _, _, frontier = self._traverse(expr, label)
         return sorted(
             (str(tgt), str(d))
             for tgt, d in frontier.items()
             if not (skip_null and tgt.is_null)
         )
+
+    # -- the explain family (provenance-backed) ---------------------------
+
+    def _provenance(self):
+        log = getattr(self.analysis, "provenance", None)
+        if log is None:
+            raise QueryError(
+                "no derivation log on this result: analyze with "
+                "perf.CONFIG.track_provenance on (CLI: analyze "
+                "--explain; see docs/PROVENANCE.md)"
+            )
+        return log
+
+    @staticmethod
+    def _witness_step(rid: int, record) -> dict:
+        """One witness step as a JSON-safe dict.  ``stmt`` is the live
+        statement id on a fresh result and the payload's canonical id
+        on a cached one (matching that payload's own labels)."""
+        step = {
+            "id": rid,
+            "src": str(record.src),
+            "tgt": str(record.tgt),
+            "definiteness": "D" if record.definite else "P",
+            "rule": record.rule,
+            "class": record.classification,
+            "stmt": record.stmt_id,
+            "func": record.func,
+            "path": list(record.path),
+        }
+        if record.extra:
+            step["extra"] = dict(record.extra)
+        if len(record.parents) > 1:
+            step["other_parents"] = list(record.parents[1:])
+        return step
+
+    def explain(self, expr: str, label: str) -> dict:
+        """Derivation witnesses for every pair the ``expr`` walk at
+        ``label`` traverses: how each fact came to be, back to a
+        source-level assignment, across map/unmap boundaries."""
+        self.stats.record("explain")
+        log = self._provenance()
+        func, traversed, frontier = self._traverse(expr, label)
+        pairs = []
+        seen: set[tuple] = set()
+        for src, tgt, d in traversed:
+            if (src, tgt) in seen:
+                continue
+            seen.add((src, tgt))
+            chain = prov_mod.witness(log, src, tgt)
+            pairs.append(
+                {
+                    "src": str(src),
+                    "tgt": str(tgt),
+                    "definiteness": str(d),
+                    "witness": [
+                        self._witness_step(rid, record)
+                        for rid, record in chain
+                    ],
+                }
+            )
+        pairs.sort(key=lambda entry: (entry["src"], entry["tgt"]))
+        return {
+            "expr": expr,
+            "label": label,
+            "function": func,
+            "targets": sorted(
+                [str(tgt), str(d)] for tgt, d in frontier.items()
+            ),
+            "pairs": pairs,
+        }
+
+    def why_possible(self, expr: str, label: str) -> dict:
+        """For each merely-possible pair on the ``expr`` walk, the
+        earliest definite-to-possible weakening on its witness chain
+        (or the fact that it was born possible at its source)."""
+        self.stats.record("why_possible")
+        log = self._provenance()
+        func, traversed, _ = self._traverse(expr, label)
+        pairs = []
+        seen: set[tuple] = set()
+        for src, tgt, d in traversed:
+            if d is D or (src, tgt) in seen:
+                continue
+            seen.add((src, tgt))
+            entry: dict = {"src": str(src), "tgt": str(tgt)}
+            weakening = prov_mod.first_weakening(log, src, tgt)
+            if weakening is not None:
+                entry["weakening"] = self._witness_step(*weakening)
+            else:
+                entry["born_possible"] = True
+            pairs.append(entry)
+        pairs.sort(key=lambda entry: (entry["src"], entry["tgt"]))
+        return {
+            "expr": expr,
+            "label": label,
+            "function": func,
+            "pairs": pairs,
+        }
+
+    def blame_invisible(self, name: str) -> list[dict]:
+        """Where the symbolic (invisible-variable) name ``name`` was
+        introduced: which caller location it represents, through which
+        access path, along which invocation-graph path."""
+        self.stats.record("blame_invisible")
+        log = self._provenance()
+        intros = [
+            dict(intro)
+            for intro in log.symbolic_intros
+            if intro["name"] == name or intro["base"] == name
+        ]
+        if not intros:
+            known = ", ".join(
+                sorted({intro["name"] for intro in log.symbolic_intros})
+            ) or "<none>"
+            raise QueryError(
+                f"no invisible variable {name!r} was introduced "
+                f"(known: {known})"
+            )
+        return intros
 
     def may_alias(self, x_expr: str, y_expr: str, label: str) -> bool:
         """May the two expressions denote the same location at
@@ -290,6 +433,12 @@ class QuerySession:
             return self.points_to(query.args[0], query.label)
         if query.kind == "may_alias":
             return self.may_alias(query.args[0], query.args[1], query.label)
+        if query.kind == "explain":
+            return self.explain(query.args[0], query.label)
+        if query.kind == "why_possible":
+            return self.why_possible(query.args[0], query.label)
+        if query.kind == "blame_invisible":
+            return self.blame_invisible(query.args[0])
         if query.kind == "callees_at":
             try:
                 site = int(query.args[0])

@@ -33,12 +33,19 @@ from repro.core.interproc import MemoStats
 from repro.core.invocation_graph import IGNode, IGNodeKind, InvocationGraph
 from repro.core.locations import AbsLoc, LocKind
 from repro.core.pointsto import D, P, PointsToSet
+from repro.core.provenance import CLASSIFICATION, Derivation
 from repro.core.readwrite import ReadWriteSets, function_read_write
 from repro.simple.ir import iter_stmts
 
 #: Bump whenever the payload layout changes; stale store entries are
 #: then simply cache misses (the version participates in the key).
 FORMAT_VERSION = 1
+
+#: Version of the *optional* ``"provenance"`` payload section.  The
+#: section is versioned independently: it only appears when the
+#: producing run recorded derivations, and payloads without it must
+#: stay byte-identical across releases that only change this schema.
+PROVENANCE_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +181,62 @@ def _collect_summaries(analysis, name: str) -> dict:
     }
 
 
+def _encode_provenance(log, stmt_ids: dict[int, int]) -> dict:
+    """The derivation log as a self-contained payload section.
+
+    The section carries its *own* location table: reusing the main
+    payload's table would shift its indexes (derivations mention
+    killed/intermediate locations the final triples don't), and the
+    contract is that stripping the ``"provenance"`` key from an
+    enabled-run payload yields the byte-identical disabled-run payload.
+
+    Records keep their list order (a record's id is its index), so
+    ``latest`` and the parent links survive encoding for free.  Live
+    statement ids are renumbered through the same canonical mapping as
+    the rest of the payload; a ``None`` statement (NULL initialization)
+    stays ``null``.
+    """
+    locations: set[AbsLoc] = set()
+    for record in log.records:
+        locations.add(record.src)
+        locations.add(record.tgt)
+    table = _LocTable(locations)
+    return {
+        "version": PROVENANCE_VERSION,
+        "locations": table.encode(),
+        "records": [
+            [
+                table.index(record.src),
+                table.index(record.tgt),
+                1 if record.definite else 0,
+                record.rule,
+                (
+                    stmt_ids.get(record.stmt_id)
+                    if record.stmt_id is not None
+                    else None
+                ),
+                record.func,
+                list(record.path),
+                list(record.parents),
+                record.extra,
+            ]
+            for record in log.records
+        ],
+        "kill_count": log.kill_count,
+        "symbolic_intros": [
+            {
+                **intro,
+                "stmt_id": (
+                    stmt_ids.get(intro["stmt_id"])
+                    if intro["stmt_id"] is not None
+                    else None
+                ),
+            }
+            for intro in log.symbolic_intros
+        ],
+    }
+
+
 def _canonical_stmt_ids(program) -> dict[int, int]:
     """Live stmt_id -> canonical id.
 
@@ -233,6 +296,13 @@ def encode_analysis(
         "stats": analysis.stats.as_dict(),
         "summaries": _collect_summaries(analysis, name),
     }
+    log = getattr(analysis, "provenance", None)
+    if log is not None:
+        # Optional section: present exactly when the producing run
+        # recorded derivations, absent (not null) otherwise, so
+        # provenance-off artifacts are byte-identical to pre-provenance
+        # ones.
+        payload["provenance"] = _encode_provenance(log, stmt_ids)
     if source is not None:
         payload["source_sha256"] = hashlib.sha256(
             source.encode()
@@ -288,6 +358,66 @@ def _decode_ig(encoded: list) -> DecodedInvocationGraph:
         for site, child_index in edges:
             node.add_child(site, nodes[child_index])
     return DecodedInvocationGraph(nodes[0], nodes[0].func)
+
+
+class DecodedProvenance:
+    """A derivation log rebuilt from the ``"provenance"`` section.
+
+    Exposes the read surface the witness helpers and query verbs need
+    — ``records`` (real :class:`~repro.core.provenance.Derivation`
+    tuples), ``latest``, ``kill_count``, ``symbolic_intros``,
+    ``class_counts()`` — so :func:`repro.core.provenance.witness` and
+    friends work on it verbatim.  ``latest`` is rebuilt by scanning
+    records in order, which reproduces the live dict exactly: the
+    recorder overwrites ``latest[(src, tgt)]`` on every append, so the
+    last record per pair wins in both.
+
+    Statement ids here are the payload's *canonical* ids (matching
+    ``labels`` / ``point_info`` of the same payload), not the producing
+    process's live ids.
+    """
+
+    def __init__(self, section: dict):
+        version = section.get("version")
+        if version != PROVENANCE_VERSION:
+            raise ValueError(
+                f"provenance section version {version!r} != "
+                f"{PROVENANCE_VERSION}"
+            )
+        locs = [
+            AbsLoc(base, LocKind(kind), func, tuple(path))
+            for base, kind, func, path in section["locations"]
+        ]
+        self.records: list[Derivation] = [
+            Derivation(
+                src=locs[si],
+                tgt=locs[ti],
+                definite=bool(definite),
+                rule=rule,
+                stmt_id=stmt_id,
+                func=func,
+                path=tuple(path),
+                parents=tuple(parents),
+                extra=extra,
+            )
+            for si, ti, definite, rule, stmt_id, func, path, parents, extra
+            in section["records"]
+        ]
+        self.latest: dict[tuple, int] = {
+            (record.src, record.tgt): rid
+            for rid, record in enumerate(self.records)
+        }
+        self.kill_count: int = section["kill_count"]
+        self.symbolic_intros: list[dict] = section["symbolic_intros"]
+
+    def class_counts(self) -> dict[str, int]:
+        counts = {
+            "gen": 0, "kill": self.kill_count, "weaken": 0, "transfer": 0
+        }
+        classify = CLASSIFICATION.get
+        for record in self.records:
+            counts[classify(record.rule, "transfer")] += 1
+        return counts
 
 
 class DecodedAnalysis:
@@ -354,6 +484,14 @@ class DecodedAnalysis:
             truncated_functions=list(stats["truncated_functions"]),
         )
         self.summaries: dict = payload["summaries"]
+        #: Derivation log of the producing run (mirrors the live
+        #: ``PointsToAnalysis.provenance`` attribute), or None when the
+        #: payload was produced with provenance tracking off.
+        self.provenance = (
+            DecodedProvenance(payload["provenance"])
+            if "provenance" in payload
+            else None
+        )
         self._readwrite: dict[str, list[ReadWriteSets]] | None = None
 
     # -- the PointsToAnalysis query surface ------------------------------

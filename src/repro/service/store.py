@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro import obs
+from repro.core import perf
 from repro.core.analysis import AnalysisOptions, analyze_source
 from repro.service.serialize import (
     FORMAT_VERSION,
@@ -83,18 +84,28 @@ class ResultStore:
 
     @staticmethod
     def key_for(source: str, options: AnalysisOptions | None = None) -> str:
-        """The content address of one (source, options) request."""
+        """The content address of one (source, options) request.
+
+        When provenance tracking is on, the key carries a marker:
+        provenance-enabled artifacts embed an extra payload section, so
+        they must not satisfy (or be overwritten by) plain requests for
+        the same source.  The marker is *omitted* — not ``False`` —
+        when tracking is off, keeping every pre-provenance cache entry
+        valid.
+        """
         options = options or AnalysisOptions()
-        request = json.dumps(
-            {
-                "source": source,
-                "options": asdict(options),
-                "format_version": FORMAT_VERSION,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(request.encode()).hexdigest()
+        request: dict = {
+            "source": source,
+            "options": asdict(options),
+            "format_version": FORMAT_VERSION,
+        }
+        if perf.CONFIG.track_provenance:
+            request["provenance"] = True
+        return hashlib.sha256(
+            json.dumps(
+                request, sort_keys=True, separators=(",", ":")
+            ).encode()
+        ).hexdigest()
 
     def path_for(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"

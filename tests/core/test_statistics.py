@@ -1,7 +1,10 @@
 """The Table 2-6 collectors on small programs with known answers."""
 
+from repro.core import perf
 from repro.core.analysis import analyze_source
 from repro.core.statistics import (
+    collect_perf,
+    collect_precision,
     collect_table2,
     collect_table3,
     collect_table4,
@@ -138,3 +141,65 @@ class TestSuiteSummary:
         summary = summarize_suite([])
         assert summary.overall_average == 0.0
         assert summary.pct_heap_pairs == 0.0
+
+
+class TestPrecisionDashboard:
+    def test_structural_half_without_provenance(self):
+        row = collect_precision(analysis(), "demo")
+        assert [fn.function for fn in row.functions] == ["main", "store"]
+        assert row.definite + row.possible > 0
+        assert 0.0 <= row.definite_ratio <= 1.0
+        store_fn = row.functions[1]
+        assert store_fn.invisible_vars > 0  # 1_q / 1_v symbolics
+        assert row.records is None
+        as_dict = row.as_dict()
+        assert "depth_counts" not in as_dict
+        assert as_dict["definite"] == row.definite
+
+    def test_derivation_half_with_provenance(self):
+        with perf.configured(track_provenance=True):
+            result = analyze_source(SOURCE)
+        row = collect_precision(result, "demo")
+        assert row.records == len(result.provenance.records) > 0
+        assert row.class_counts["gen"] > 0
+        assert sum(row.depth_counts.values()) == len(
+            result.provenance.latest
+        )
+        histogram = row.depth_histogram
+        assert histogram["count"] == len(result.provenance.latest)
+        assert histogram["max_s"] >= 1
+        as_dict = row.as_dict()
+        assert as_dict["depth_counts"] == {
+            str(depth): count
+            for depth, count in sorted(row.depth_counts.items())
+        }
+
+    def test_render_precision(self):
+        from repro.reporting.tables import render_precision
+
+        with perf.configured(track_provenance=True):
+            result = analyze_source(SOURCE)
+        rendered = render_precision(collect_precision(result, "demo"))
+        assert "Precision dashboard: demo" in rendered
+        assert "TOTAL" in rendered and "D ratio" in rendered
+        assert "derivations:" in rendered
+        assert "witness depth:" in rendered
+
+
+class TestPerfPrecisionFractions:
+    def test_opt_in_table3_fractions(self):
+        result = analysis()
+        table3 = collect_table3(result, "demo")
+        row = collect_perf(result, "demo", table3=table3)
+        as_dict = row.as_dict()
+        assert as_dict["single_definite_fraction"] == round(
+            table3.single_definite_fraction, 4
+        )
+        assert as_dict["single_target_fraction"] == round(
+            table3.single_target_fraction, 4
+        )
+
+    def test_omitted_without_opt_in(self):
+        as_dict = collect_perf(analysis(), "demo").as_dict()
+        assert "single_definite_fraction" not in as_dict
+        assert "single_target_fraction" not in as_dict

@@ -78,3 +78,67 @@ class TestDotOutput:
         out = capsys.readouterr().out
         assert "(R)" in out and "(A)" in out
         assert "style=dashed, constraint=false" in out
+
+
+FIG5 = """
+int a; int b;
+int *pa;
+void install(int ***h) { *h = &pa; pa = &a; }
+void install_b(int ***h) { *h = &pa; pa = &b; }
+int main() {
+    int **p; void (*fp)(int ***); int sel;
+    sel = 0;
+    fp = install;
+    if (sel) { fp = install_b; }
+    fp(&p);
+    L: return 0;
+}
+"""
+
+
+@pytest.fixture()
+def fig5_file(tmp_path):
+    path = tmp_path / "fig5.c"
+    path.write_text(FIG5)
+    return str(path)
+
+
+class TestExplainFlag:
+    def test_witness_crosses_call_boundary(self, fig5_file, capsys):
+        assert main(["analyze", fig5_file, "--explain", "*main::p@L"]) == 0
+        out = capsys.readouterr().out
+        # The witness for (p, pa) crosses the indirect call: unmapped
+        # back into main from a mapped installer formal.
+        assert "unmap.strong" in out
+        assert "map.formal" in out
+        assert "indirect=True" in out
+        assert "Precision dashboard" in out
+
+    def test_bare_explain_prints_dashboard_only(self, fig5_file, capsys):
+        assert main(["analyze", fig5_file, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Precision dashboard" in out
+        assert "derivations:" in out
+        assert "explain:" not in out
+
+    def test_bad_expression_is_reported(self, fig5_file, capsys):
+        assert main(["analyze", fig5_file, "--explain", "nosuch@L"]) == 1
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+
+    def test_query_provenance_flag(self, fig5_file, tmp_path, capsys):
+        assert main([
+            "query", fig5_file, "explain:pa@L",
+            "--provenance", "--store", str(tmp_path / "store"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "witness" in out
+
+    def test_query_without_provenance_flag_errors(
+        self, fig5_file, tmp_path, capsys
+    ):
+        assert main([
+            "query", fig5_file, "explain:pa@L",
+            "--store", str(tmp_path / "store"),
+        ]) == 1
+        assert "track_provenance" in capsys.readouterr().err
