@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench bench-perf bench-service check artifacts examples soundness all
+.PHONY: install test bench bench-perf bench-service bench-checkers check check-demo artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -25,11 +25,23 @@ bench-perf:
 bench-service:
 	PYTHONPATH=src python benchmarks/bench_service.py
 
+# Per-checker timings and finding counts over the benchmark suite;
+# merges a "checkers" section into BENCH_perf.json.
+bench-checkers:
+	PYTHONPATH=src python benchmarks/bench_checkers.py
+
 # Tier-1 gate: the full test suite plus a quick performance smoke
 # (one small and one large program through both cores).
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python benchmarks/bench_perf.py --smoke --out /tmp/bench_perf_smoke.json
+
+# Run the pointer-bug checkers over the C example fixtures (text and
+# SARIF); exercises every shipped checker plus a suppression.
+check-demo:
+	PYTHONPATH=src python -m repro.cli check examples/pointer_bugs.c --no-cache
+	PYTHONPATH=src python -m repro.cli check examples/funcptr_dispatch.c --no-cache --format sarif > /dev/null
+	@echo "check-demo: ok"
 
 artifacts: bench
 	@echo "rendered tables/figures are in benchmarks/out/"

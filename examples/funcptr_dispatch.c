@@ -1,0 +1,70 @@
+/* Function-pointer dispatch fixture for `repro-pta check`.
+ *
+ * The device-driver framework from examples/funcptr_dispatch.py: the
+ * indirect calls in do_io are resolved by the points-to analysis to
+ * exactly the installed handlers (debug_dump is never bound), which is
+ * what the checkers' read/write and interference verdicts build on.
+ * broken_probe carries a definite null dereference — `repro-pta check
+ * examples/funcptr_dispatch.c --format sarif` reports it as an
+ * error-level result with a provenance witness — and main demonstrates
+ * a `repro-ignore` suppression.  See docs/CHECKERS.md.
+ */
+
+struct device {
+    int id;
+    int (*read)(int *buf);
+    int (*write)(int *buf);
+};
+
+int disk_buf;
+int net_buf;
+
+int disk_read(int *buf)  { *buf = 1; return 1; }
+int disk_write(int *buf) { disk_buf = *buf; return 1; }
+int net_read(int *buf)   { *buf = 2; return 2; }
+int net_write(int *buf)  { net_buf = *buf; return 2; }
+
+/* never installed in any device */
+int debug_dump(int *buf) { return -1; }
+
+struct device disk;
+struct device net;
+
+void init_devices(void) {
+    disk.id = 1;
+    disk.read = disk_read;
+    disk.write = disk_write;
+    net.id = 2;
+    net.read = net_read;
+    net.write = net_write;
+}
+
+int do_io(struct device *dev, int *buf) {
+    int (*op)(int *);
+    op = dev->read;
+    CALL_READ: op(buf);
+    op = dev->write;
+    CALL_WRITE: op(buf);
+    return dev->id;
+}
+
+/* status is never assigned, so it still carries the analysis's
+ * implicit NULL initialization when dereferenced: a definite
+ * null-deref (error severity). */
+int broken_probe(void) {
+    int *status;
+    PROBE: return *status;
+}
+
+int main() {
+    int data;
+    int ignored;
+    int *shadow;
+    init_devices();
+    do_io(&disk, &data);
+    do_io(&net, &data);
+    broken_probe();
+    shadow = 0;
+    ignored = *shadow;  // repro-ignore[null-deref] -- suppression demo
+    DONE: return 0;
+}

@@ -1,0 +1,61 @@
+/* One bug per checker — the fixture `make check-demo` runs and the
+ * docs/CHECKERS.md worked example dissects.
+ *
+ *   dangle        -> dangling-stack-return (error + unmap warning)
+ *   drop          -> heap-leak (warning)
+ *   stir(&g, &g)  -> loop-interference through aliased params (warning)
+ *   sink(fresh)   -> uninit-ptr-use (error)
+ *   poke          -> null-deref through a possibly-NULL pointer (warning)
+ */
+
+int g;
+
+int sink(int *q) { return 0; }
+
+/* Returns a pointer into its own (popped) frame. */
+int *dangle(void) {
+    int x;
+    int *p;
+    x = 1;
+    p = &x;
+    ESCAPE: return p;
+}
+
+/* The only pointer to the allocation is overwritten before exit. */
+void drop(void) {
+    int *h;
+    h = (int *) malloc(4);
+    *h = 5;
+    h = 0;
+    LOST: return;
+}
+
+/* With both arguments aliased to g, every iteration's store conflicts
+ * with the next iteration's load. */
+void stir(int *a, int *b) {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        MIX: *a = *b + i;
+    }
+}
+
+/* One path leaves p NULL: a possible (warning) dereference. */
+int poke(int flag) {
+    int *p;
+    p = 0;
+    if (flag) {
+        p = &g;
+    }
+    DEREF: return *p;
+}
+
+int main(void) {
+    int *q;
+    int *fresh;
+    q = dangle();
+    drop();
+    stir(&g, &g);
+    sink(fresh);
+    poke(1);
+    DONE: return 0;
+}

@@ -1,0 +1,59 @@
+"""Pointer-bug checkers built on the points-to facts.
+
+The classic payoff of the paper's analysis: client detectors that
+consume the per-point triples, the invocation graph, the heap
+connection matrices, and the read/write sets to diagnose pointer bugs
+— with severity keyed to the definite/possible distinction and, when
+provenance tracking is on, a derivation "why" chain attached to each
+finding.  See docs/CHECKERS.md for the catalog.
+
+Importing this package registers the shipped checkers; the registry
+lives in :data:`repro.checkers.base.CHECKERS`.
+"""
+
+from repro.checkers.base import (
+    CHECKERS,
+    Checker,
+    CheckContext,
+    Finding,
+    register,
+)
+from repro.checkers.facts import CheckFacts, collect_facts
+
+# Importing the checker modules populates the registry.
+from repro.checkers import (  # noqa: E402  (after base/facts by design)
+    dangling,
+    interference,
+    leak,
+    nullderef,
+    uninit,
+)
+from repro.checkers.runner import (
+    CheckerError,
+    parse_suppressions,
+    run_checkers,
+    select_checkers,
+)
+from repro.checkers.sarif import render_findings, render_sarif, to_sarif
+
+__all__ = [
+    "CHECKERS",
+    "CheckContext",
+    "CheckFacts",
+    "Checker",
+    "CheckerError",
+    "Finding",
+    "collect_facts",
+    "dangling",
+    "interference",
+    "leak",
+    "nullderef",
+    "parse_suppressions",
+    "register",
+    "render_findings",
+    "render_sarif",
+    "run_checkers",
+    "select_checkers",
+    "to_sarif",
+    "uninit",
+]

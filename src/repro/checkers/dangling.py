@@ -1,0 +1,125 @@
+"""Dangling-stack-return checker.
+
+Two complementary detection angles, both specific to this paper's
+stack abstraction:
+
+* **Return sites** — at a ``return p`` whose function returns a
+  pointer, the points-to set flowing into the return is inspected: any
+  target that is a local or parameter *of the returning function
+  itself* is about to have its frame popped.  ``return &x`` is the
+  same bug without the indirection and is reported unconditionally.
+* **Unmap warnings** — Figure 3's unmap step already detects the
+  escape on the *caller* side: when a callee-local target cannot be
+  rewritten into the caller's name space (no invisible/symbolic name
+  maps back to it), the analysis drops the relationship and records a
+  ``pointer to local ... escapes its frame`` warning.  Those warnings
+  are surfaced as findings so the caller-side evidence is not lost
+  (the relationship itself is gone from the sets by then).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.locations import LocKind
+from repro.core.pointsto import D
+
+from repro.checkers.base import Checker, CheckContext, Finding, register
+
+_STACK_KINDS = (LocKind.LOCAL, LocKind.PARAM)
+
+_ESCAPE_RE = re.compile(
+    r"pointer to local '([^']+)' of '([^']+)' escapes\s+its frame"
+)
+
+
+@register
+class DanglingStackReturn(Checker):
+    id = "dangling-stack-return"
+    description = (
+        "function returns (or leaks through unmap) a pointer to one of "
+        "its own locals"
+    )
+
+    @classmethod
+    def run(cls, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        for site in ctx.facts.returns:
+            if not site.ptr:
+                continue
+            if site.addr is not None:
+                loc = ctx.resolve(site.addr, site.func)
+                if loc is not None and loc.kind in _STACK_KINDS and \
+                        loc.func == site.func:
+                    findings.append(
+                        Finding(
+                            checker=cls.id,
+                            message=(
+                                f"'{site.func}' returns the address of "
+                                f"its own local '{site.addr}'"
+                            ),
+                            definite=True,
+                            func=site.func,
+                            stmt=site.stmt,
+                            line=site.line or None,
+                            extra={"local": str(loc)},
+                        )
+                    )
+                continue
+            if site.name is None:
+                continue
+            pts = ctx.pts_at(site.stmt)
+            if pts is None:
+                continue
+            loc = ctx.resolve(site.name, site.func)
+            if loc is None:
+                continue
+            for tgt, d in pts.targets_of(loc):
+                if tgt.kind not in _STACK_KINDS or tgt.func != site.func:
+                    continue
+                definite = d is D
+                findings.append(
+                    Finding(
+                        checker=cls.id,
+                        message=(
+                            f"'{site.func}' returns '{site.name}', which "
+                            f"{'points' if definite else 'may point'} to "
+                            f"its own local '{tgt}'"
+                        ),
+                        definite=definite,
+                        func=site.func,
+                        stmt=site.stmt,
+                        line=site.line or None,
+                        witness=ctx.witness_for(loc, tgt),
+                        extra={"local": str(tgt)},
+                    )
+                )
+        findings.extend(cls._from_unmap_warnings(ctx))
+        return findings
+
+    @classmethod
+    def _from_unmap_warnings(cls, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        seen = set()
+        for warning in ctx.analysis.warnings:
+            match = _ESCAPE_RE.search(warning)
+            if match is None:
+                continue
+            local, func = match.groups()
+            if (local, func) in seen:
+                continue
+            seen.add((local, func))
+            findings.append(
+                Finding(
+                    checker=cls.id,
+                    message=(
+                        f"pointer to local '{local}' of '{func}' escapes "
+                        f"the function's frame across a call boundary "
+                        f"(relationship dropped at unmap)"
+                    ),
+                    definite=False,
+                    func=func,
+                    extra={"local": local, "source": "unmap"},
+                )
+            )
+        return findings

@@ -1,0 +1,82 @@
+"""Heap-unreachability leak checker.
+
+The paper models all dynamic memory as the single ``heap`` location,
+so a leak cannot be phrased per-object; instead the companion
+heap-connection analysis (:mod:`repro.core.heapconn`) tracks which
+stack locations still have a path to heap-directed storage.  For every
+function that allocates, the facts layer records whether *any*
+heap-directed relationship survives to some exit point
+(``CheckFacts.heap_alive``).  When none does — every pointer that
+reached the allocation was overwritten or went out of scope before
+every ``return`` — the allocation can no longer be freed by this
+function or anything it returns into: a leak ``warning`` on each
+reachable allocation site.
+
+Always a warning, never an error: with one abstract heap location the
+analysis cannot prove the *specific* allocation unreachable (another
+context's heap storage shares the location), matching the paper's
+possible-level confidence for heap facts.
+"""
+
+from __future__ import annotations
+
+from repro.checkers.base import Checker, CheckContext, Finding, register
+
+
+@register
+class HeapLeak(Checker):
+    id = "heap-leak"
+    description = (
+        "function allocates but no heap-directed pointer survives to "
+        "any of its exit points"
+    )
+
+    @classmethod
+    def run(cls, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        leaky_funcs = {
+            func
+            for func, alive in ctx.facts.heap_alive.items()
+            if alive is False
+        }
+        if not leaky_funcs:
+            return findings
+        for site in ctx.facts.allocs:
+            if site.func not in leaky_funcs:
+                continue
+            pts = ctx.pts_at(site.stmt)
+            if pts is None:  # unreachable allocation never runs
+                continue
+            receiver = f" into '{site.name}'" if site.name else ""
+            witness = []
+            if site.name is not None:
+                loc = ctx.resolve(site.name, site.func)
+                heap = next(
+                    (t for t, _ in (pts.targets_of(loc) if loc else ())
+                     if t.is_heap),
+                    None,
+                )
+                # The allocation's own derivation is recorded against
+                # the *output* of the statement; the heap pair is
+                # usually still visible downstream, so witness the pair
+                # if the log has one.
+                if loc is not None:
+                    from repro.core.locations import HEAP
+
+                    witness = ctx.witness_for(loc, heap or HEAP)
+            findings.append(
+                Finding(
+                    checker=cls.id,
+                    message=(
+                        f"heap storage allocated{receiver} is unreachable "
+                        f"from every exit of '{site.func}' (leak)"
+                    ),
+                    definite=False,
+                    func=site.func,
+                    stmt=site.stmt,
+                    line=site.line or None,
+                    witness=witness,
+                    extra={"receiver": site.name or ""},
+                )
+            )
+        return findings

@@ -1,0 +1,75 @@
+"""Null-dereference checker.
+
+At every dereference site (``*p = ...``, ``... = *p``, or an indirect
+call ``(*fp)()``), look up the pointer's targets in the points-to set
+flowing into the statement.  The paper's definiteness flag maps
+straight onto severity:
+
+* ``(p, NULL, D)`` with no other target — the pointer is NULL on
+  *every* execution path reaching the statement: ``error``.
+* ``(p, NULL, P)`` or NULL alongside other targets — some path leaves
+  it NULL: ``warning``.
+
+The definite case is the one the fuzz gate cross-examines against the
+concrete interpreter: a run that executes the statement must raise
+``NullDereference``.
+"""
+
+from __future__ import annotations
+
+from repro.core.pointsto import D
+
+from repro.checkers.base import Checker, CheckContext, Finding, register
+
+
+@register
+class NullDeref(Checker):
+    id = "null-deref"
+    description = (
+        "dereference of a pointer that definitely (error) or possibly "
+        "(warning) points to NULL"
+    )
+
+    @classmethod
+    def run(cls, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        for site in ctx.facts.derefs:
+            pts = ctx.pts_at(site.stmt)
+            if pts is None:  # unreachable statement
+                continue
+            loc = ctx.resolve(site.name, site.func)
+            if loc is None:
+                continue
+            targets = pts.targets_of(loc)
+            null_pairs = [(t, d) for t, d in targets if t.is_null]
+            if not null_pairs:
+                continue
+            others = [t for t, _ in targets if not t.is_null]
+            definite = not others and null_pairs[0][1] is D
+            action = "write through" if site.write else "read through"
+            if definite:
+                message = (
+                    f"{action} '{site.name}', which is NULL on every "
+                    f"path reaching this statement"
+                )
+            else:
+                message = (
+                    f"{action} '{site.name}', which may be NULL at "
+                    f"this point"
+                )
+            findings.append(
+                Finding(
+                    checker=cls.id,
+                    message=message,
+                    definite=definite,
+                    func=site.func,
+                    stmt=site.stmt,
+                    line=site.line or None,
+                    witness=ctx.witness_for(loc, null_pairs[0][0]),
+                    extra={
+                        "targets": sorted(str(t) for t, _ in targets),
+                        "access": "write" if site.write else "read",
+                    },
+                )
+            )
+        return findings

@@ -1,0 +1,151 @@
+"""Checker orchestration: selection, suppression, canonicalization.
+
+``run_checkers`` is the single entry point used by the CLI ``check``
+subcommand, the serve-loop ``{"cmd": "check"}`` verb, the benchmark,
+and the fuzz gate.  It runs the selected checkers over a
+:class:`~repro.checkers.base.CheckContext`, then post-processes the
+findings so a live analysis and its decoded store artifact report the
+same thing:
+
+* statement labels are attached (from the program or the payload),
+* live statement ids are rewritten to the payload's canonical ids
+  (``canonical_ids=False`` keeps raw ids — the fuzz gate needs them to
+  match the interpreter's), and
+* ``// repro-ignore[checker-id]`` line suppressions from the source
+  text are applied.
+
+Each checker runs under an ``obs`` span with its own wall-time and
+findings counter, inside one ``checkers.run`` parent span.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import obs
+
+from repro.checkers.base import CHECKERS, CheckContext, Finding
+from repro.checkers.facts import collect_facts
+
+
+class CheckerError(ValueError):
+    """Unknown checker id or unusable input."""
+
+
+#: ``// repro-ignore`` suppresses every checker on its line;
+#: ``// repro-ignore[a, b]`` only the listed checker ids.
+_SUPPRESS_RE = re.compile(r"//\s*repro-ignore(?:\[([^\]]*)\])?")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str] | None]:
+    """line number -> suppressed checker ids (None: all checkers)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group(1)
+        if ids is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {part.strip() for part in ids.split(",")
+                           if part.strip()}
+    return out
+
+
+def select_checkers(names=None) -> list:
+    """Checker classes to run, in deterministic (id) order."""
+    if names is None:
+        return [CHECKERS[cid] for cid in sorted(CHECKERS)]
+    unknown = sorted(set(names) - set(CHECKERS))
+    if unknown:
+        raise CheckerError(
+            f"unknown checker(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(CHECKERS))})"
+        )
+    return [CHECKERS[cid] for cid in sorted(set(names))]
+
+
+def run_checkers(
+    analysis,
+    source: str | None = None,
+    checkers=None,
+    canonical_ids: bool = True,
+    facts=None,
+) -> list[Finding]:
+    """Run checkers over a live or decoded analysis.
+
+    ``facts`` defaults to the payload's decoded section on a cached
+    result and to a fresh :func:`collect_facts` extraction on a live
+    one.  ``source`` enables ``// repro-ignore`` suppressions.
+    """
+    if facts is None:
+        facts = getattr(analysis, "checkfacts", None)
+        if facts is None:
+            if getattr(analysis, "program", None) is None:
+                raise CheckerError(
+                    "decoded analysis has no checkfacts section and no "
+                    "program to extract them from"
+                )
+            facts = collect_facts(analysis)
+
+    ctx = CheckContext(analysis, facts)
+    findings: list[Finding] = []
+    with obs.span("checkers.run"):
+        for checker in select_checkers(checkers):
+            with obs.timed("checkers.checker", checker=checker.id):
+                found = checker.run(ctx)
+            obs.count(f"checkers.findings.{checker.id}", len(found))
+            findings.extend(found)
+
+    _attach_labels(analysis, findings)
+    if canonical_ids and getattr(analysis, "program", None) is not None:
+        _canonicalize(analysis.program, findings)
+    if source is not None:
+        findings = _apply_suppressions(findings, source)
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
+def _attach_labels(analysis, findings: list[Finding]) -> None:
+    """Source labels of each finding's statement (the paper's
+    program-point vocabulary), in whichever id space is current."""
+    program = getattr(analysis, "program", None)
+    labels = program.labels if program is not None else analysis.labels
+    by_stmt: dict[int, list[str]] = {}
+    for label, (_func, stmt_id) in labels.items():
+        by_stmt.setdefault(stmt_id, []).append(label)
+    for finding in findings:
+        if finding.stmt is not None:
+            finding.labels = tuple(sorted(by_stmt.get(finding.stmt, ())))
+
+
+def _canonicalize(program, findings: list[Finding]) -> None:
+    """Rewrite live statement ids to the store payload's canonical
+    numbering so fresh and cached runs are byte-identical."""
+    # Lazy import: serialize imports this package for the checkfacts
+    # payload section, so the dependency must stay one-way at load.
+    from repro.service.serialize import _canonical_stmt_ids
+
+    mapping = _canonical_stmt_ids(program)
+    for finding in findings:
+        if finding.stmt is not None:
+            finding.stmt = mapping.get(finding.stmt)
+        for step in finding.witness:
+            if step.get("stmt") is not None:
+                step["stmt"] = mapping.get(step["stmt"])
+
+
+def _apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
+    suppressions = parse_suppressions(source)
+    if not suppressions:
+        return findings
+    kept = []
+    for finding in findings:
+        if finding.line is not None and finding.line in suppressions:
+            ids = suppressions[finding.line]
+            if ids is None or finding.checker in ids:
+                obs.count("checkers.suppressed")
+                continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,123 @@
+"""Finding renderers: SARIF 2.1.0 and plain text.
+
+The SARIF document is deterministic — rules and results are sorted and
+serialized with ``sort_keys`` — because the test suite asserts that a
+fresh analysis and its decoded store artifact render byte-identical
+reports.  Severity maps the paper's definiteness: definite findings
+are ``error``-level results, possible ones ``warning``-level; the
+provenance witness (when recorded) rides along in each result's
+``properties.witness``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checkers.base import CHECKERS, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-pta"
+TOOL_VERSION = "1.0.0"
+
+
+def to_sarif(findings: list[Finding], artifact: str) -> dict:
+    """Findings as a SARIF 2.1.0 log with one run."""
+    rule_ids = sorted({f.checker for f in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": CHECKERS[rule_id].description
+                if rule_id in CHECKERS
+                else rule_id
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results = []
+    for finding in findings:
+        properties = {
+            "definiteness": "D" if finding.definite else "P",
+            "function": finding.func,
+            "stmt": finding.stmt,
+            "labels": list(finding.labels),
+        }
+        if finding.witness:
+            properties["witness"] = finding.witness
+        if finding.extra:
+            properties["extra"] = dict(sorted(finding.extra.items()))
+        result = {
+            "ruleId": finding.checker,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "properties": properties,
+        }
+        if finding.line:
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": artifact},
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri":
+                            "https://github.com/example/repro-pta",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: list[Finding], artifact: str) -> str:
+    return json.dumps(to_sarif(findings, artifact), indent=2,
+                      sort_keys=True)
+
+
+def render_findings(findings: list[Finding], artifact: str) -> str:
+    """Plain-text report, one finding per line plus witness chains."""
+    if not findings:
+        return f"{artifact}: no findings"
+    lines = []
+    errors = 0
+    for finding in findings:
+        where = f"{artifact}:{finding.line}" if finding.line else artifact
+        context = []
+        if finding.func:
+            context.append(f"in {finding.func}")
+        if finding.labels:
+            context.append(f"at {', '.join(finding.labels)}")
+        suffix = f"  ({'; '.join(context)})" if context else ""
+        lines.append(
+            f"{where}: {finding.severity}: [{finding.checker}] "
+            f"{finding.message}{suffix}"
+        )
+        if finding.severity == "error":
+            errors += 1
+        for step in finding.witness:
+            stmt = step.get("stmt")
+            at = f" @s{stmt}" if stmt is not None else ""
+            lines.append(
+                f"    why: {step['rule']} [{step['definiteness']}] "
+                f"{step['src']} -> {step['tgt']}{at} in {step['func']}"
+            )
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Uninitialized-pointer-use checker.
+
+The analysis initializes every visible pointer to NULL (the paper's
+convention), so a pointer variable that is *never assigned* in its
+function and still carries a NULL target where its value is consumed
+(copied, passed to a call, returned) was used before initialization.
+The syntactic never-assigned pre-filter (``UseSite.assigned``, which
+also counts address-taking and parameters) keeps deliberate
+``p = NULL``-then-check idioms out of scope; the points-to facts then
+grade the finding: a sole ``(p, NULL, D)`` target is an ``error``,
+NULL among other targets a ``warning`` (some path through a merged
+context may have assigned it).
+"""
+
+from __future__ import annotations
+
+from repro.core.pointsto import D
+
+from repro.checkers.base import Checker, CheckContext, Finding, register
+from repro.checkers.facts import USE_ARG, USE_RETURN
+
+_VERBS = {
+    USE_ARG: "passed to a call",
+    USE_RETURN: "returned",
+}
+
+
+@register
+class UninitPtrUse(Checker):
+    id = "uninit-ptr-use"
+    description = (
+        "pointer variable used (copied, passed, or returned) before "
+        "ever being assigned"
+    )
+
+    @classmethod
+    def run(cls, ctx: CheckContext) -> list[Finding]:
+        findings = []
+        for site in ctx.facts.uses:
+            if site.assigned:
+                continue
+            pts = ctx.pts_at(site.stmt)
+            if pts is None:
+                continue
+            loc = ctx.resolve(site.name, site.func)
+            if loc is None:
+                continue
+            targets = pts.targets_of(loc)
+            null_pairs = [(t, d) for t, d in targets if t.is_null]
+            if not null_pairs:
+                continue
+            definite = len(targets) == 1 and null_pairs[0][1] is D
+            verb = _VERBS.get(site.kind, "copied")
+            findings.append(
+                Finding(
+                    checker=cls.id,
+                    message=(
+                        f"'{site.name}' is {verb} but never assigned in "
+                        f"'{site.func}' (still its implicit NULL "
+                        f"initialization)"
+                    ),
+                    definite=definite,
+                    func=site.func,
+                    stmt=site.stmt,
+                    line=site.line or None,
+                    witness=ctx.witness_for(loc, null_pairs[0][0]),
+                    extra={"use": site.kind},
+                )
+            )
+        return findings

@@ -230,6 +230,51 @@ def cmd_query(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.checkers import (
+        CheckerError,
+        render_findings,
+        render_sarif,
+        run_checkers,
+    )
+    from repro.core import perf
+
+    source = _read(args.file)
+    options = AnalysisOptions(function_pointer_strategy=args.fnptr)
+    recording = (
+        contextlib.nullcontext()
+        if args.no_provenance
+        else perf.configured(track_provenance=True)
+    )
+    with recording:
+        if args.no_cache:
+            result = analyze_source(source, options, filename=args.file)
+        else:
+            store = _make_store(args)
+            result, _ = store.load_or_analyze(
+                source, options, name=args.file, refresh=args.refresh
+            )
+    checkers = (
+        [part.strip() for part in args.checkers.split(",") if part.strip()]
+        if args.checkers
+        else None
+    )
+    try:
+        findings = run_checkers(result, source=source, checkers=checkers)
+    except CheckerError as exc:
+        print(f"check: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "sarif":
+        print(render_sarif(findings, args.file))
+    else:
+        print(render_findings(findings, args.file))
+    if args.strict and any(f.severity == "error" for f in findings):
+        return 1
+    return 0
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.service.batch import collect_items, run_batch, serve
     from repro.reporting.tables import render_batch_report
@@ -432,6 +477,57 @@ def main(argv: list[str] | None = None) -> int:
         help="print session query counters and store traffic",
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the pointer-bug checkers (see docs/CHECKERS.md)",
+    )
+    p_check.add_argument("file")
+    p_check.add_argument(
+        "--format",
+        choices=["text", "sarif"],
+        default="text",
+        help="report format (SARIF 2.1.0 or plain text)",
+    )
+    p_check.add_argument(
+        "--checkers",
+        default=None,
+        metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    p_check.add_argument(
+        "--fnptr",
+        choices=["precise", "all_functions", "address_taken"],
+        default="precise",
+        help="function-pointer binding strategy",
+    )
+    p_check.add_argument(
+        "--store", default=None, help="result-store directory"
+    )
+    p_check.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-analyze even on a store hit",
+    )
+    p_check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze fresh without touching the result store",
+    )
+    p_check.add_argument(
+        "--no-provenance",
+        action="store_true",
+        help=(
+            "skip derivation recording (faster; findings carry no "
+            "witness chains)"
+        ),
+    )
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any error-severity finding remains",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_batch = sub.add_parser(
         "batch", help="analyze many files through the store in parallel"

@@ -421,6 +421,16 @@ class HeapConnectionAnalysis:
             if self._points_into_heap(base, pts):
                 for root in rhs_roots:
                     out.merge_structures(base, root)
+            # *p = q with p pointing to *stack* storage: each possible
+            # target location becomes heap-directed itself (this is how
+            # an allocation escapes through an output parameter).
+            if rhs_roots:
+                for loc, _ in l_locations(stmt.lhs, pts, env):
+                    if loc.is_null or loc.is_heap:
+                        continue
+                    out.enter(loc)
+                    for root in rhs_roots:
+                        out.join_structure(loc, root)
             return out
 
         # Direct assignment p = ... : p joins the rhs structure.

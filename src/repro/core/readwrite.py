@@ -15,7 +15,7 @@ from repro.core.analysis import PointsToAnalysis
 from repro.core.locations import AbsLoc
 from repro.core.lvalues import l_locations
 from repro.core.pointsto import D
-from repro.simple.ir import AddrOf, BasicStmt, Const, Ref, SReturn
+from repro.simple.ir import AddrOf, BasicKind, BasicStmt, Const, Ref, SReturn
 
 
 @dataclass
@@ -54,9 +54,18 @@ def _read_locs(operand, info, env) -> set[AbsLoc]:
 
 
 def statement_read_write(
-    analysis: PointsToAnalysis, fn_name: str, stmt
+    analysis: PointsToAnalysis, fn_name: str, stmt,
+    callee_effects: bool = True,
 ) -> ReadWriteSets | None:
-    """Read/write sets of one basic statement (None if unreachable)."""
+    """Read/write sets of one basic statement (None if unreachable).
+
+    For calls, the sets include the *visible* effects (globals and the
+    heap) of every callee the invocation graph binds at the call site —
+    for an indirect call, exactly the functions the points-to analysis
+    resolved the function pointer to, not an all-functions fallback.
+    ``callee_effects=False`` restricts a call to its own argument
+    evaluation (used internally while summarizing callees).
+    """
     info = analysis.at_stmt(stmt.stmt_id)
     if info is None:
         return None
@@ -91,7 +100,100 @@ def statement_read_write(
     operands.extend(stmt.args)
     for operand in operands:
         sets.reads |= _read_locs(operand, info, env)
+
+    if isinstance(stmt, BasicStmt) and stmt.kind is BasicKind.CALL:
+        if stmt.callee is None and stmt.callee_ptr is not None:
+            # Dispatching through a function pointer reads the pointer.
+            sets.reads.add(env.var_loc(stmt.callee_ptr))
+        if callee_effects:
+            for callee in resolved_callees(analysis, stmt):
+                callee_reads, callee_writes = _visible_effects(
+                    analysis, callee
+                )
+                # Callee effects are may-effects from the caller's view
+                # (the call may take any path through the callee).
+                sets.reads |= callee_reads
+                sets.may_write |= callee_writes
     return sets
+
+
+def resolved_callees(analysis: PointsToAnalysis, stmt) -> list[str]:
+    """Defined functions the invocation graph binds at the statement's
+    call site.  For a direct call that is the named callee; for an
+    indirect call it is exactly the set the points-to analysis resolved
+    the function pointer to (every IG node for the caller contributes
+    its bindings, covering all calling contexts)."""
+    if not isinstance(stmt, BasicStmt) or stmt.kind is not BasicKind.CALL:
+        return []
+    functions = analysis.program.functions
+    if stmt.callee is not None:
+        return [stmt.callee] if stmt.callee in functions else []
+    if stmt.call_site is None:
+        return []
+    callees: set[str] = set()
+    for node in analysis.ig.root.walk():
+        bindings = node.children.get(stmt.call_site)
+        if bindings:
+            callees.update(bindings)
+    return sorted(callee for callee in callees if callee in functions)
+
+
+def _is_visible_effect(loc: AbsLoc) -> bool:
+    return (
+        loc.is_visible_everywhere
+        and not loc.is_null
+        and not loc.is_function
+    )
+
+
+def _visible_effects(
+    analysis: PointsToAnalysis, fn_name: str
+) -> tuple[frozenset[AbsLoc], frozenset[AbsLoc]]:
+    """(reads, may-writes) of ``fn_name`` restricted to locations the
+    caller can see — globals and the heap.  Memoized on the analysis;
+    recursion is truncated (the enclosing walk unions the rest)."""
+    cache = getattr(analysis, "_visible_effects_cache", None)
+    if cache is None:
+        cache = {}
+        analysis._visible_effects_cache = cache
+    cached = cache.get(fn_name)
+    if cached is not None:
+        return cached
+    result = _compute_visible_effects(analysis, fn_name, set())
+    cache[fn_name] = result
+    return result
+
+
+def _compute_visible_effects(
+    analysis: PointsToAnalysis, fn_name: str, visiting: set[str]
+) -> tuple[frozenset[AbsLoc], frozenset[AbsLoc]]:
+    if fn_name in visiting:
+        return frozenset(), frozenset()
+    visiting.add(fn_name)
+    reads: set[AbsLoc] = set()
+    writes: set[AbsLoc] = set()
+    fn = analysis.program.functions.get(fn_name)
+    if fn is not None:
+        for stmt in fn.iter_stmts():
+            if not isinstance(stmt, (BasicStmt, SReturn)):
+                continue
+            own = statement_read_write(
+                analysis, fn_name, stmt, callee_effects=False
+            )
+            if own is not None:
+                reads |= {loc for loc in own.reads if _is_visible_effect(loc)}
+                writes |= {
+                    loc for loc in own.may_write if _is_visible_effect(loc)
+                }
+            if isinstance(stmt, BasicStmt) and stmt.kind is BasicKind.CALL:
+                for callee in resolved_callees(analysis, stmt):
+                    sub_reads, sub_writes = _compute_visible_effects(
+                        analysis, callee, visiting
+                    )
+                    reads |= sub_reads
+                    writes |= sub_writes
+    visiting.discard(fn_name)
+    return frozenset(reads), frozenset(writes)
 
 
 def function_read_write(

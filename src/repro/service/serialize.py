@@ -33,13 +33,16 @@ from repro.core.interproc import MemoStats
 from repro.core.invocation_graph import IGNode, IGNodeKind, InvocationGraph
 from repro.core.locations import AbsLoc, LocKind
 from repro.core.pointsto import D, P, PointsToSet
+from repro.checkers.facts import CheckFacts, collect_facts
 from repro.core.provenance import CLASSIFICATION, Derivation
 from repro.core.readwrite import ReadWriteSets, function_read_write
 from repro.simple.ir import iter_stmts
 
 #: Bump whenever the payload layout changes; stale store entries are
 #: then simply cache misses (the version participates in the key).
-FORMAT_VERSION = 1
+#: v2: "checkfacts" section (checker-framework program facts) and
+#: call read/write sets folded over resolved callees.
+FORMAT_VERSION = 2
 
 #: Version of the *optional* ``"provenance"`` payload section.  The
 #: section is versioned independently: it only appears when the
@@ -292,6 +295,7 @@ def encode_analysis(
         "functions": sorted(program.functions),
         "externals": sorted(program.externals),
         "readwrite": _encode_readwrite(readwrite, table, stmt_ids),
+        "checkfacts": collect_facts(analysis).encode(stmt_ids),
         "warnings": list(analysis.warnings),
         "stats": analysis.stats.as_dict(),
         "summaries": _collect_summaries(analysis, name),
@@ -484,6 +488,9 @@ class DecodedAnalysis:
             truncated_functions=list(stats["truncated_functions"]),
         )
         self.summaries: dict = payload["summaries"]
+        #: Program-shape facts for the checker framework (statement ids
+        #: already canonical — the same id space as ``point_info``).
+        self.checkfacts = CheckFacts.decode(payload["checkfacts"])
         #: Derivation log of the producing run (mirrors the live
         #: ``PointsToAnalysis.provenance`` attribute), or None when the
         #: payload was produced with provenance tracking off.

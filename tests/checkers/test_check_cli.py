@@ -1,0 +1,109 @@
+"""The ``repro check`` CLI subcommand, driven through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BUGGY = """
+int main() {
+    int *p;
+    p = 0;
+    L: *p = 1;
+    return 0;
+}
+"""
+
+CLEAN = "int g; int main() { int *p; p = &g; L: return 0; }\n"
+
+
+@pytest.fixture()
+def buggy(tmp_path):
+    path = tmp_path / "buggy.c"
+    path.write_text(BUGGY)
+    return path
+
+
+@pytest.fixture()
+def clean(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture()
+def store_root(tmp_path):
+    return tmp_path / "store"
+
+
+class TestTextOutput:
+    def test_reports_finding_with_location(self, buggy, capsys):
+        assert main(["check", str(buggy), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "error: [null-deref]" in out
+        assert f"{buggy}:5:" in out
+        assert "why:" in out, "provenance is on by default"
+
+    def test_clean_file_reports_none(self, clean, capsys):
+        assert main(["check", str(clean), "--no-cache"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_no_provenance_drops_why(self, buggy, capsys):
+        assert (
+            main(["check", str(buggy), "--no-cache", "--no-provenance"]) == 0
+        )
+        assert "why:" not in capsys.readouterr().out
+
+    def test_strict_exit_code(self, buggy, clean, capsys):
+        assert main(["check", str(buggy), "--no-cache", "--strict"]) == 1
+        assert main(["check", str(clean), "--no-cache", "--strict"]) == 0
+
+
+class TestSarifOutput:
+    def test_valid_sarif_document(self, buggy, capsys):
+        assert (
+            main(["check", str(buggy), "--no-cache", "--format", "sarif"])
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "null-deref"
+        assert result["properties"]["witness"]
+
+
+class TestStorePath:
+    def test_cold_and_warm_output_identical(self, buggy, store_root, capsys):
+        argv = ["check", "--store", str(store_root), str(buggy)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+
+class TestCheckerSelection:
+    def test_unknown_checker_exits_2(self, buggy, capsys):
+        assert (
+            main(
+                ["check", str(buggy), "--no-cache", "--checkers", "nope"]
+            )
+            == 2
+        )
+        assert "nope" in capsys.readouterr().err
+
+    def test_selected_subset_only(self, buggy, capsys):
+        assert (
+            main(
+                [
+                    "check",
+                    str(buggy),
+                    "--no-cache",
+                    "--checkers",
+                    "heap-leak",
+                ]
+            )
+            == 0
+        )
+        assert "no findings" in capsys.readouterr().out

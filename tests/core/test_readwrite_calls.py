@@ -1,0 +1,126 @@
+"""Read/write sets across calls, including function-pointer dispatch.
+
+Regression for the indirect-call fix: the callee set for a call through
+a function pointer comes from the invocation graph's resolved bindings,
+not from "all functions in the program".  A Figure-5-style dispatch
+where only one handler is ever installed must charge the call site with
+that handler's effects alone.
+"""
+
+from repro.core.analysis import analyze_source
+from repro.core.readwrite import (
+    function_read_write,
+    resolved_callees,
+    statement_read_write,
+)
+from repro.simple.ir import BasicKind, BasicStmt
+
+
+def names(locs):
+    return {str(loc) for loc in locs}
+
+
+def call_stmts(analysis, func):
+    fn = analysis.program.functions[func]
+    return [
+        stmt
+        for stmt in fn.iter_stmts()
+        if isinstance(stmt, BasicStmt) and stmt.kind is BasicKind.CALL
+    ]
+
+
+DISPATCH = """
+int gf;
+int gg;
+void f(void) { gf = 1; }
+void g(void) { gg = 1; }
+int main() {
+    void (*fp)(void);
+    fp = f;
+    CALL: fp();
+    return 0;
+}
+"""
+
+
+class TestIndirectCallResolution:
+    def test_only_bound_callee_counts(self):
+        analysis = analyze_source(DISPATCH)
+        (call,) = call_stmts(analysis, "main")
+        assert resolved_callees(analysis, call) == ["f"]
+        rw = statement_read_write(analysis, "main", call)
+        assert "gf" in names(rw.may_write)
+        assert "gg" not in names(rw.may_write)
+
+    def test_call_reads_the_function_pointer(self):
+        analysis = analyze_source(DISPATCH)
+        (call,) = call_stmts(analysis, "main")
+        rw = statement_read_write(analysis, "main", call)
+        assert "fp" in names(rw.reads)
+
+    def test_two_way_dispatch_is_may_not_must(self):
+        source = """
+        int gf;
+        int gg;
+        void f(void) { gf = 1; }
+        void g(void) { gg = 1; }
+        int main(int c) {
+            void (*fp)(void);
+            fp = f;
+            if (c) { fp = g; }
+            CALL: fp();
+            return 0;
+        }
+        """
+        analysis = analyze_source(source)
+        (call,) = call_stmts(analysis, "main")
+        assert resolved_callees(analysis, call) == ["f", "g"]
+        rw = statement_read_write(analysis, "main", call)
+        assert {"gf", "gg"} <= names(rw.may_write)
+        # Callee effects are never promoted to must_write.
+        assert names(rw.must_write) & {"gf", "gg"} == set()
+
+
+class TestDirectCallEffects:
+    def test_global_write_visible_at_call_site(self):
+        source = """
+        int total;
+        void bump(void) { total = total + 1; }
+        int main() { bump(); return 0; }
+        """
+        analysis = analyze_source(source)
+        (call,) = call_stmts(analysis, "main")
+        rw = statement_read_write(analysis, "main", call)
+        assert "total" in names(rw.may_write)
+        assert "total" in names(rw.reads)
+
+    def test_transitive_effects_fold_through(self):
+        source = """
+        int deep;
+        void inner(void) { deep = 1; }
+        void outer(void) { inner(); }
+        int main() { outer(); return 0; }
+        """
+        analysis = analyze_source(source)
+        (call,) = call_stmts(analysis, "main")
+        rw = statement_read_write(analysis, "main", call)
+        assert "deep" in names(rw.may_write)
+
+    def test_callee_effects_can_be_disabled(self):
+        source = """
+        int total;
+        void bump(void) { total = 1; }
+        int main() { bump(); return 0; }
+        """
+        analysis = analyze_source(source)
+        (call,) = call_stmts(analysis, "main")
+        own = statement_read_write(
+            analysis, "main", call, callee_effects=False
+        )
+        assert "total" not in names(own.may_write)
+
+    def test_function_read_write_includes_call_effects(self):
+        analysis = analyze_source(DISPATCH)
+        rw = function_read_write(analysis, "main")
+        may = set().union(*(names(s.may_write) for s in rw)) if rw else set()
+        assert "gf" in may and "gg" not in may
