@@ -21,6 +21,14 @@ acceptance criterion — disabled recording must be free) and on (the
 honest cost of one Derivation record per created triple, guarded by
 a generous regression backstop; see docs/PROVENANCE.md).
 
+A fifth section measures the dense bitset core (bitset points-to
+sets + change-driven worklist + slice-keyed call memoization, the
+default configuration) against the dict core
+(:func:`repro.core.perf.dict_core_overrides`) over the classic
+workload plus the two worklist-stressing programs from
+``repro.benchsuite.perfsuite``, and checks that the semantic payload
+is byte-identical across the bitset, dict, and legacy cores.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_perf.py [--smoke] [--out PATH]
@@ -45,13 +53,24 @@ sys.path.insert(
 from repro import obs  # noqa: E402
 from repro.benchsuite import BENCHMARKS, generate_program  # noqa: E402
 from repro.benchsuite.generator import GeneratorConfig  # noqa: E402
+from repro.benchsuite.perfsuite import PERF_BENCHMARKS  # noqa: E402
 from repro.core import perf  # noqa: E402
 from repro.core.analysis import analyze  # noqa: E402
 from repro.core.statistics import collect_perf, collect_table3  # noqa: E402
+from repro.service.serialize import semantic_payload_bytes  # noqa: E402
 from repro.simple.simplify import simplify_source  # noqa: E402
 
 #: The tier-1 ceiling on tracing-off instrumentation overhead.
 MAX_TRACING_OFF_OVERHEAD = 0.05
+
+#: Acceptance floors for the bitset+worklist+slice core against the
+#: dict core (the previous optimized baseline), enforced in full mode.
+MIN_BITSET_SPEEDUP = 3.0
+MIN_BODY_PASS_RATIO = 5.0
+MIN_SLICE_HIT_RATE = 0.60
+#: The CI smoke floor (smoke timings are noisier; the semantic
+#: byte-identity check is enforced in both modes).
+MIN_BITSET_SPEEDUP_SMOKE = 2.5
 
 #: The tier-1 ceiling on provenance-off hook overhead (the acceptance
 #: criterion: disabled recording must be free).
@@ -214,6 +233,114 @@ def provenance_section(programs, optimized_s: float, smoke: bool) -> dict:
     }
 
 
+def stress_workload() -> list[tuple[str, str]]:
+    """The worklist-stressing programs from
+    :mod:`repro.benchsuite.perfsuite`, pre-simplified.  They are kept
+    out of the classic workload above so the tracing/provenance
+    sections keep their historical baselines (provenance recording
+    disables the slice memo, which is the whole point of these
+    programs)."""
+    return [
+        (name, simplify_source(PERF_BENCHMARKS[name].source))
+        for name in sorted(PERF_BENCHMARKS)
+    ]
+
+
+def bitset_section(classic_programs, smoke: bool) -> dict:
+    """Dense bitset core vs dict core, classic suite plus stress programs.
+
+    Times the full analysis under the default configuration (dense-id
+    bitset sets + change-driven worklist + slice-keyed call memo) and
+    under :func:`repro.core.perf.dict_core_overrides` (the previous
+    optimized baseline), interleaved per program.  A separate untimed,
+    traced pass counts ``analysis.body_passes`` per core, and the same
+    pass collects each core's semantic payload (the artifact minus
+    ``stats`` and ``summaries.perf``), which must be byte-identical
+    across the bitset, dict, and legacy cores for every program — the
+    representation change must be invisible in the answers.
+    """
+    programs = list(classic_programs) + stress_workload()
+    bitset_rows, dict_rows = [], []
+    for name, program in programs:
+        bitset_rows.append(time_one(name, program))
+        with perf.configured(**perf.dict_core_overrides()):
+            dict_rows.append(time_one(name, program))
+    bitset_s = sum(row["wall_s"] for row in bitset_rows)
+    dict_s = sum(row["wall_s"] for row in dict_rows)
+    speedup = dict_s / bitset_s if bitset_s else 0.0
+
+    passes: dict[str, int] = {}
+    payloads: dict[str, dict[str, bytes]] = {}
+    for label, overrides in (
+        ("bitset", {}),
+        ("dict", perf.dict_core_overrides()),
+        ("legacy", perf.legacy_overrides()),
+    ):
+        tracer = obs.Tracer()
+        with perf.configured(**overrides), obs.tracing(tracer):
+            for name, program in programs:
+                payloads.setdefault(name, {})[label] = (
+                    semantic_payload_bytes(analyze(program), name)
+                )
+        passes[label] = int(tracer.counters.get("analysis.body_passes", 0))
+    divergent = sorted(
+        name
+        for name, by_core in payloads.items()
+        if not (by_core["bitset"] == by_core["dict"] == by_core["legacy"])
+    )
+
+    memo_hits = sum(row["memo_hits"] for row in bitset_rows)
+    memo_lookups = memo_hits + sum(r["memo_misses"] for r in bitset_rows)
+    hit_rate = memo_hits / memo_lookups if memo_lookups else 0.0
+    slice_hits = sum(row["slice"]["hits"] for row in bitset_rows)
+    slice_lookups = sum(row["slice"]["lookups"] for row in bitset_rows)
+    body_ratio = passes["dict"] / passes["bitset"] if passes["bitset"] else 0.0
+    print(
+        f"  bitset: {bitset_s:.3f}s vs dict {dict_s:.3f}s "
+        f"({speedup:.2f}x), body passes {passes['bitset']} vs "
+        f"{passes['dict']} ({body_ratio:.2f}x), memo hit rate "
+        f"{hit_rate:.1%} ({memo_hits}/{memo_lookups})"
+    )
+    assert not divergent, (
+        "semantic payloads diverge across cores for: " + ", ".join(divergent)
+    )
+    floor = MIN_BITSET_SPEEDUP_SMOKE if smoke else MIN_BITSET_SPEEDUP
+    assert speedup >= floor, (
+        f"bitset-core speedup {speedup:.2f}x is below the {floor:.1f}x floor"
+    )
+    if not smoke:
+        assert body_ratio >= MIN_BODY_PASS_RATIO, (
+            f"body-pass reduction {body_ratio:.2f}x is below the "
+            f"{MIN_BODY_PASS_RATIO:.0f}x floor"
+        )
+        assert hit_rate >= MIN_SLICE_HIT_RATE, (
+            f"memo hit rate {hit_rate:.1%} is below the "
+            f"{MIN_SLICE_HIT_RATE:.0%} floor"
+        )
+    return {
+        "bitset_s": round(bitset_s, 6),
+        "dict_s": round(dict_s, 6),
+        "speedup": round(speedup, 3),
+        "min_speedup": floor,
+        "body_passes": {
+            "bitset": passes["bitset"],
+            "dict": passes["dict"],
+            "legacy": passes["legacy"],
+            "ratio": round(body_ratio, 3),
+        },
+        "memo": {
+            "hits": memo_hits,
+            "lookups": memo_lookups,
+            "hit_rate": round(hit_rate, 4),
+            "slice_hits": slice_hits,
+            "slice_lookups": slice_lookups,
+        },
+        "artifacts_identical": not divergent,
+        "bitset": bitset_rows,
+        "dict": dict_rows,
+    }
+
+
 def summarize(rows: list[dict], label: str) -> dict:
     total = sum(row["wall_s"] for row in rows)
     hits = sum(row["memo_hits"] for row in rows)
@@ -254,6 +381,9 @@ def main(argv: list[str] | None = None) -> int:
     provenance = provenance_section(
         programs, optimized["total_s"], args.smoke
     )
+    perf.reset()
+    bitset = bitset_section(programs, args.smoke)
+    perf.reset()
 
     speedup = (
         legacy["total_s"] / optimized["total_s"]
@@ -267,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 3),
         "tracing": tracing,
         "provenance": provenance,
+        "bitset": bitset,
         "optimized": optimized["programs"],
         "legacy": legacy["programs"],
     }

@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.benchsuite.programs import BENCHMARKS, Benchmark, get_benchmark
 from repro.benchsuite.livc import livc_source
 from repro.benchsuite.generator import generate_program
+from repro.benchsuite.perfsuite import PERF_BENCHMARKS
 
 
 def materialize_suite(directory) -> list[Path]:
@@ -35,6 +36,7 @@ def materialize_suite(directory) -> list[Path]:
 
 __all__ = [
     "BENCHMARKS",
+    "PERF_BENCHMARKS",
     "Benchmark",
     "get_benchmark",
     "livc_source",

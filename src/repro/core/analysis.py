@@ -25,6 +25,7 @@ from repro.simple.ir import (
     SimpleFunction,
     SimpleProgram,
     Stmt,
+    iter_stmts,
 )
 from repro.simple.simplify import simplify_source
 from repro.core import provenance
@@ -32,9 +33,14 @@ from repro.core.env import FuncEnv
 from repro.core.externals import model_external
 from repro.core.funcptr import address_taken_functions, process_call_indirect
 from repro.core.interproc import MemoStats, process_call_node
-from repro.core.intra import IntraAnalyzer, apply_assignment, null_initialized
+from repro.core.intra import (
+    FlowOut,
+    IntraAnalyzer,
+    apply_assignment,
+    null_initialized,
+)
 from repro.core.invocation_graph import IGNode, InvocationGraph
-from repro.core.locations import HEAP, NULL
+from repro.core.locations import HEAP, NULL, LocTable, install_table
 from repro.core.lvalues import l_locations
 from repro.core.perf import CONFIG
 from repro.core.pointsto import P, PointsToSet, merge_all
@@ -138,6 +144,90 @@ class PointsToAnalysis:
         return sorted(result)
 
 
+class _TransferCache:
+    """Change-driven worklist: per-(invocation-graph node, compound
+    statement) transfer memo.
+
+    A compound statement's flow is a deterministic function of its
+    input set and of the interprocedural state its calls consult (memo
+    tables, recursion fixed-point state, pending inputs).  The
+    analyzer maintains a *call-state version* that every mutation of
+    that state bumps; an entry recorded at version ``v`` whose subtree
+    contains call statements is valid exactly while the version is
+    still ``v``, and an entry for a call-free subtree is valid forever
+    (for its input).  Re-flowing a statement with an unchanged input
+    under a valid entry returns copies of the recorded flow instead of
+    re-evaluating the subtree — this is what collapses
+    ``analysis.body_passes`` under loop and recursion fixed points.
+
+    Skipping a re-evaluation is behavior-preserving because an equal
+    re-run is a no-op on every observable: ``record`` merges are
+    idempotent, ``warn`` deduplicates, and function-pointer discovery
+    already attached its invocation-graph children on the recorded
+    run.  Captured record/warning streams are replayed into any
+    active capture frames so the slice-keyed call memo composes with
+    the worklist.
+    """
+
+    __slots__ = ("analyzer", "node_key")
+
+    def __init__(self, analyzer: "Analyzer", node: IGNode):
+        self.analyzer = analyzer
+        # IGNode is unhashable; nodes live as long as the run does.
+        self.node_key = id(node)
+
+    def lookup(self, stmt: Stmt, input_set: PointsToSet) -> FlowOut | None:
+        analyzer = self.analyzer
+        obs.count("analysis.worklist_visits")
+        entry = analyzer._transfer_entries.get((self.node_key, stmt.stmt_id))
+        if entry is None:
+            return None
+        fp, version, out, breaks, continues, returns, records, warnings = entry
+        if fp != input_set.fingerprint():
+            return None
+        if version is not None and version != analyzer.call_state_version:
+            return None
+        obs.count("analysis.worklist_skips")
+        analyzer.replay_capture(records, warnings)
+        return FlowOut(
+            out.copy() if out is not None else None,
+            breaks=[s.copy() for s in breaks],
+            continues=[s.copy() for s in continues],
+            returns=returns.copy() if returns is not None else None,
+        )
+
+    def begin(self, stmt: Stmt, input_set: PointsToSet):
+        analyzer = self.analyzer
+        records: list = []
+        warnings: list = []
+        analyzer._record_frames.append(records)
+        analyzer._warn_frames.append(warnings)
+        return (stmt, input_set.fingerprint(), records, warnings)
+
+    def end(self, token, flow: FlowOut | None) -> None:
+        analyzer = self.analyzer
+        stmt, fp, records, warnings = token
+        analyzer._record_frames.pop()
+        analyzer._warn_frames.pop()
+        if flow is None:
+            return
+        version = (
+            analyzer.call_state_version
+            if analyzer.stmt_has_calls(stmt)
+            else None
+        )
+        analyzer._transfer_entries[(self.node_key, stmt.stmt_id)] = (
+            fp,
+            version,
+            flow.out.copy() if flow.out is not None else None,
+            tuple(s.copy() for s in flow.breaks),
+            tuple(s.copy() for s in flow.continues),
+            flow.returns.copy() if flow.returns is not None else None,
+            records,
+            warnings,
+        )
+
+
 class Analyzer:
     """Mutable state of one analysis run."""
 
@@ -156,6 +246,66 @@ class Analyzer:
         self.subtree_cache_misses = 0
         #: Per-node memo table counters (see interproc.MemoStats).
         self.memo_stats = MemoStats()
+        #: Monotone counter over the interprocedural state (memo
+        #: tables, fixed-point stored inputs/outputs, pending lists,
+        #: in-progress brackets).  Transfer-cache entries for subtrees
+        #: containing calls are keyed on it; see :class:`_TransferCache`.
+        self.call_state_version = 0
+        #: (id(node), stmt_id) -> recorded transfer entry.
+        self._transfer_entries: dict[tuple[int, int], tuple] = {}
+        #: stmt_id -> whether the statement's subtree contains a call.
+        self._has_calls: dict[int, bool] = {}
+        #: Active capture frames: every ``record``/``warn`` during a
+        #: framed evaluation is appended to all open frames so cached
+        #: transfers (and memoized call bodies) can replay them later.
+        self._record_frames: list[list] = []
+        self._warn_frames: list[list] = []
+        #: Lazily-built per-function closure summaries for slice-keyed
+        #: call memoization (see repro.core.slices).
+        self._summaries: dict | None = None
+        #: Slice-keyed call memo, global per function: func ->
+        #: {("slice", key_pairs): interproc._SliceEntry}, LRU-bounded.
+        self._slice_memo: dict[str, dict] = {}
+
+    def bump_call_state(self) -> None:
+        """Note a mutation of the interprocedural call state (memo /
+        fixed-point / pending state), invalidating call-dependent
+        transfer-cache entries."""
+        self.call_state_version += 1
+
+    def stmt_has_calls(self, stmt: Stmt) -> bool:
+        """Whether ``stmt``'s subtree contains a call that consults
+        mutable interprocedural state (any CALL to an analyzed or
+        indirect target; ALLOC and direct external calls are pure
+        functions of the input set)."""
+        cached = self._has_calls.get(stmt.stmt_id)
+        if cached is None:
+            functions = self.program.functions
+            cached = any(
+                isinstance(s, BasicStmt)
+                and s.kind is BasicKind.CALL
+                and (s.callee_ptr is not None or s.callee in functions)
+                for s in iter_stmts(stmt)
+            )
+            self._has_calls[stmt.stmt_id] = cached
+        return cached
+
+    def function_summary(self, func: str):
+        """The static closure summary used for slice-keyed memoization."""
+        if self._summaries is None:
+            from repro.core.slices import summarize_program
+
+            self._summaries = summarize_program(self.program, self.options)
+        return self._summaries[func]
+
+    def replay_capture(self, records, warnings) -> None:
+        """Append a recorded (stmt_id, set) / warning stream to every
+        open capture frame (a skipped subtree still contributes to any
+        enclosing capture)."""
+        for frame in self._record_frames:
+            frame.extend(records)
+        for frame in self._warn_frames:
+            frame.extend(warnings)
 
     # -- plumbing ---------------------------------------------------------
 
@@ -165,6 +315,8 @@ class Analyzer:
         return self._envs[func]
 
     def warn(self, message: str) -> None:
+        for frame in self._warn_frames:
+            frame.append(message)
         if message not in self.warnings:
             self.warnings.append(message)
 
@@ -174,13 +326,20 @@ class Analyzer:
         return self._address_taken
 
     def record(self, stmt: BasicStmt, input_set: PointsToSet) -> None:
-        existing = self.point_info.get(stmt.stmt_id)
+        if self._record_frames:
+            captured = input_set.copy()
+            for frame in self._record_frames:
+                frame.append((stmt.stmt_id, captured))
+        self.record_by_id(stmt.stmt_id, input_set)
+
+    def record_by_id(self, stmt_id: int, input_set: PointsToSet) -> None:
+        existing = self.point_info.get(stmt_id)
         if existing is None:
-            self.point_info[stmt.stmt_id] = input_set.copy()
+            self.point_info[stmt_id] = input_set.copy()
         elif CONFIG.set_fast_paths and existing == input_set:
             pass  # merging an equal set is the identity; skip the copy
         else:
-            self.point_info[stmt.stmt_id] = existing.merge(input_set)
+            self.point_info[stmt_id] = existing.merge(input_set)
 
     # -- sub-tree sharing (the optimization planned in Section 6) ---------
 
@@ -216,6 +375,7 @@ class Analyzer:
             return
         key = (func, self._canonical_input(input_set))
         self._subtree_cache[key] = output
+        self.bump_call_state()
 
     # -- body analysis -------------------------------------------------------
 
@@ -228,15 +388,16 @@ class Analyzer:
         locals_null = null_initialized(env, fn.local_types.items())
         for src, tgt, definiteness in locals_null.triples():
             entry.add(src, tgt, definiteness)
+        use_worklist = CONFIG.worklist and not provenance.CURRENT.enabled
         intra = IntraAnalyzer(
             env,
             call_handler=lambda stmt, inp: self.handle_call_stmt(
                 node, env, stmt, inp
             ),
             recorder=self.record,
+            transfer_cache=_TransferCache(self, node) if use_worklist else None,
         )
-        obs.count("analysis.body_passes")
-        flow = intra.process_stmt(fn.body, entry)
+        flow = intra.process_root(fn.body, entry)
         return merge_all([flow.out, flow.returns])
 
     # -- call dispatch ---------------------------------------------------------
@@ -271,11 +432,13 @@ class Analyzer:
             if shared is None:
                 shared = IGNode(callee)
                 self._shared_nodes[callee] = shared
+                self.bump_call_state()
             return shared
         assert stmt.call_site is not None
         child = node.child(stmt.call_site, callee)
         if child is None:
             child = self.ig.attach_call(node, stmt.call_site, callee)
+            self.bump_call_state()
         return child
 
     def _handle_alloc(
@@ -349,10 +512,23 @@ class Analyzer:
             else None
         )
         previous = provenance.install(log) if log is not None else None
+        # One dense-id table per run: every bitset set this analysis
+        # creates binds to it, keeping ids small and reproducible.
+        fresh_table = CONFIG.bitset_sets
+        previous_table = install_table(LocTable()) if fresh_table else None
         try:
             with obs.span("core.analysis", entry=self.options.entry_point):
                 result = self._run()
         finally:
+            # The transfer cache only serves one run; free the
+            # recorded flows (the result object keeps us alive through
+            # its env hook).
+            self._transfer_entries.clear()
+            self._record_frames.clear()
+            self._warn_frames.clear()
+            self._slice_memo.clear()
+            if fresh_table:
+                install_table(previous_table)
             if log is not None:
                 provenance.install(previous)  # type: ignore[arg-type]
         result.provenance = log

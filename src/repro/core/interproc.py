@@ -35,6 +35,7 @@ from repro.core.lvalues import LocSet, l_locations
 from repro.core.mapping import map_call, unmap_call
 from repro.core.perf import CONFIG
 from repro.core.pointsto import PointsToSet, merge_all
+from repro.core.slices import split_input
 from repro.simple.ir import BasicStmt
 
 #: Safety valve for the recursion fixed point.  Hitting it truncates
@@ -58,6 +59,14 @@ class MemoStats:
     evictions: int = 0
     recursion_truncations: int = 0
     truncated_functions: list[str] = field(default_factory=list)
+    #: Per-function [hits, misses] over all of that function's nodes.
+    per_function: dict[str, list[int]] = field(default_factory=dict)
+    #: Slice-keyed memo traffic (perf observability; surfaced through
+    #: ``statistics.collect_perf`` and the ``stats`` payload).
+    slice_hits: int = 0
+    slice_lookups: int = 0
+    slice_key_pairs: int = 0
+    slice_passthrough_pairs: int = 0
 
     @property
     def lookups(self) -> int:
@@ -68,6 +77,21 @@ class MemoStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    def note(self, func: str, hit: bool) -> None:
+        counters = self.per_function.setdefault(func, [0, 0])
+        counters[0 if hit else 1] += 1
+
+    def per_function_rates(self) -> dict[str, dict]:
+        result = {}
+        for func, (hits, misses) in sorted(self.per_function.items()):
+            lookups = hits + misses
+            result[func] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            }
+        return result
+
     def as_dict(self) -> dict:
         return {
             "hits": self.hits,
@@ -76,6 +100,16 @@ class MemoStats:
             "hit_rate": round(self.hit_rate, 4),
             "recursion_truncations": self.recursion_truncations,
             "truncated_functions": list(self.truncated_functions),
+            "per_function": {
+                func: list(counters)
+                for func, counters in sorted(self.per_function.items())
+            },
+            "slice": {
+                "hits": self.slice_hits,
+                "lookups": self.slice_lookups,
+                "key_pairs": self.slice_key_pairs,
+                "passthrough_pairs": self.slice_passthrough_pairs,
+            },
         }
 
 
@@ -99,14 +133,17 @@ def _memo_lookup(analyzer, child: IGNode, func_input: PointsToSet):
             and child.stored_input == func_input
         ):
             stats.hits += 1
+            stats.note(child.func, True)
             return None, True, child.stored_output
         stats.misses += 1
+        stats.note(child.func, False)
         return None, False, None
     key = func_input.fingerprint()
     memo = child.memo
     output = memo.get(key)
     if output is None:
         stats.misses += 1
+        stats.note(child.func, False)
         return key, False, None
     newest = next(reversed(memo))
     if newest != key:
@@ -114,6 +151,7 @@ def _memo_lookup(analyzer, child: IGNode, func_input: PointsToSet):
         memo[key] = output  # refresh recency
         analyzer.subtree_cache_lookup(child.func, func_input)
     stats.hits += 1
+    stats.note(child.func, True)
     return key, True, output
 
 
@@ -129,6 +167,7 @@ def _memo_store(
     while len(memo) > capacity:
         memo.pop(next(iter(memo)))  # least recently used
         analyzer.memo_stats.evictions += 1
+    analyzer.bump_call_state()
 
 
 def process_call_node(
@@ -230,6 +269,7 @@ def _process_call_node(
             func_output = partner.stored_output
         else:
             partner.pending_inputs.append(func_input)
+            analyzer.bump_call_state()
             return None
     elif child.in_progress:
         # Re-entry of a node whose body is being analyzed: only
@@ -245,6 +285,7 @@ def _process_call_node(
             func_output = child.stored_output
         else:
             child.pending_inputs.append(func_input)
+            analyzer.bump_call_state()
             return None
     elif child.kind is IGNodeKind.RECURSIVE:
         func_output = _process_recursive(analyzer, child, func_input)
@@ -260,28 +301,211 @@ def _process_call_node(
     )
 
 
+def _refresh_stored(
+    analyzer, child: IGNode, func_input: PointsToSet, output
+) -> None:
+    """Refresh ``stored_input``/``stored_output`` from a memo or
+    sub-tree cache hit.  Bumps the call-state version only when the
+    *content* actually changes — a loop fixed point re-hitting the same
+    entry must not invalidate the caller's transfer cache, or the
+    worklist would never converge to skips.  Output comparison is by
+    content: a slice-keyed hit reconstructs a fresh (but equal) output
+    object every time."""
+    same_output = child.stored_output is output or (
+        child.stored_output is not None
+        and output is not None
+        and child.stored_output == output
+    )
+    if (
+        not same_output
+        or child.stored_input is None
+        or child.stored_input != func_input
+    ):
+        analyzer.bump_call_state()
+    child.stored_input = func_input
+    child.stored_output = output
+
+
+@dataclass
+class _SliceEntry:
+    """One slice-keyed memo entry: the body's output plus everything a
+    hit must replay — the passthrough pairs the output (and every
+    recorded program-point set) embeds, and the record/warning stream
+    the body emitted."""
+
+    output: PointsToSet
+    passthrough: tuple
+    records: list
+    warnings: list
+
+
+def _slice_context(analyzer, child: IGNode, func_input: PointsToSet):
+    """The (key, passthrough) split for this call, or None when slice
+    keying does not apply (config off, provenance recording, opaque
+    callee, or an invocation-graph mode whose nodes re-enter)."""
+    if not (CONFIG.slice_memo and CONFIG.fingerprint_memo):
+        return None
+    if provenance.CURRENT.enabled:
+        return None
+    options = analyzer.options
+    if options.share_subtrees or not options.context_sensitive:
+        return None
+    summary = analyzer.function_summary(child.func)
+    if summary.opaque:
+        return None
+    return split_input(
+        func_input,
+        analyzer.program.functions[child.func],
+        analyzer.env(child.func),
+        summary.referenced_globals,
+    )
+
+
+def _reconstruct_output(entry: _SliceEntry, passthrough: tuple) -> PointsToSet:
+    if entry.passthrough == passthrough:
+        return entry.output
+    output = entry.output.copy()
+    for src, tgt, _ in entry.passthrough:
+        output.discard(src, tgt)
+    for src, tgt, definiteness in passthrough:
+        output.add(src, tgt, definiteness)
+    return output
+
+
+def _replay_body(analyzer, entry: _SliceEntry, passthrough: tuple) -> None:
+    """Re-merge the stored body run's program-point records (with the
+    stored passthrough swapped for the current one) and re-emit its
+    warnings — exactly what a fresh body run under this input would
+    have contributed to ``point_info`` and the warning list."""
+    changed = entry.passthrough != passthrough
+    for stmt_id, recorded in entry.records:
+        if changed:
+            recorded = recorded.copy()
+            for src, tgt, _ in entry.passthrough:
+                recorded.discard(src, tgt)
+            for src, tgt, definiteness in passthrough:
+                recorded.add(src, tgt, definiteness)
+        for frame in analyzer._record_frames:
+            frame.append((stmt_id, recorded))
+        analyzer.record_by_id(stmt_id, recorded)
+    for message in entry.warnings:
+        analyzer.warn(message)
+
+
+def _process_ordinary_sliced(
+    analyzer, child: IGNode, func_input: PointsToSet, slice_ctx
+) -> PointsToSet | None:
+    key_pairs, passthrough, slice_root_count = slice_ctx
+    # Tagged so a slice key can never collide with a whole-input
+    # fingerprint in a node's mirror table (provenance-recording
+    # passes of the same run use whole-input keys).
+    key = ("slice", key_pairs)
+    stats = analyzer.memo_stats
+    stats.slice_lookups += 1
+    stats.slice_key_pairs += len(key_pairs)
+    stats.slice_passthrough_pairs += len(passthrough)
+    obs.gauge("analysis.slice_roots", slice_root_count)
+    # The table is global per function, not per node: a non-opaque
+    # callee's analysis is a deterministic function of (function,
+    # slice) — node identity only matters through recursion and
+    # function-pointer discovery, which opacity excludes — so distinct
+    # call sites with the same slice share one entry.
+    table = analyzer._slice_memo.setdefault(child.func, {})
+    entry = table.get(key)
+    if entry is not None:
+        if next(reversed(table)) != key:
+            table.pop(key)
+            table[key] = entry  # refresh recency
+        child.memo.pop(key, None)
+        child.memo[key] = entry  # mirror for per-node introspection
+        stats.hits += 1
+        stats.slice_hits += 1
+        stats.note(child.func, True)
+        obs.count("analysis.slice_memo_hits")
+        output = _reconstruct_output(entry, passthrough)
+        _replay_body(analyzer, entry, passthrough)
+        _refresh_stored(analyzer, child, func_input, output)
+        return output
+    stats.misses += 1
+    stats.note(child.func, False)
+    child.in_progress = True
+    analyzer.bump_call_state()
+    records: list = []
+    warnings: list = []
+    analyzer._record_frames.append(records)
+    analyzer._warn_frames.append(warnings)
+    try:
+        func_output = analyzer.analyze_body(child, func_input)
+    finally:
+        analyzer._record_frames.pop()
+        analyzer._warn_frames.pop()
+        child.in_progress = False
+        analyzer.bump_call_state()
+    if child.kind is IGNodeKind.RECURSIVE or child.pending_inputs:
+        # Defensive: non-opaque closures contain no indirect call
+        # sites, so ordinary nodes cannot be discovered recursive
+        # mid-body — but fall through safely if it ever happens.
+        return _process_recursive(analyzer, child, func_input)
+    child.stored_input = func_input
+    child.stored_output = func_output
+    if func_output is not None:
+        # Pre-merge the record stream per statement: replaying the
+        # merged set is equivalent (the record fold into point_info is
+        # associative — D survives only when definite in every
+        # operand) and caps the stream at one record per statement
+        # instead of one per (statement, context) of the whole
+        # sub-tree, which is what a hit pays to replay.
+        merged: dict[int, PointsToSet] = {}
+        for stmt_id, recorded in records:
+            prev = merged.get(stmt_id)
+            merged[stmt_id] = (
+                recorded if prev is None else prev.merge(recorded)
+            )
+        entry = _SliceEntry(
+            func_output, passthrough, list(merged.items()), warnings
+        )
+        table = analyzer._slice_memo.setdefault(child.func, {})
+        table.pop(key, None)
+        table[key] = entry
+        capacity = max(1, CONFIG.memo_capacity)
+        while len(table) > capacity:
+            table.pop(next(iter(table)))  # least recently used
+            stats.evictions += 1
+        # Mirror into the node's own table (introspection parity with
+        # the whole-input protocol; same bound, evictions counted once).
+        child.memo.pop(key, None)
+        child.memo[key] = entry
+        while len(child.memo) > capacity:
+            child.memo.pop(next(iter(child.memo)))
+    analyzer.bump_call_state()
+    return func_output
+
+
 def _process_ordinary(
     analyzer, child: IGNode, func_input: PointsToSet
 ) -> PointsToSet | None:
+    slice_ctx = _slice_context(analyzer, child, func_input)
+    if slice_ctx is not None:
+        return _process_ordinary_sliced(analyzer, child, func_input, slice_ctx)
     key, memo_hit, memo_output = _memo_lookup(analyzer, child, func_input)
     if memo_hit:
-        child.stored_input = func_input
-        child.stored_output = memo_output
+        _refresh_stored(analyzer, child, func_input, memo_output)
         return memo_output
     hit, cached = analyzer.subtree_cache_lookup(child.func, func_input)
     if hit:
         # Sub-tree sharing (Section 6's planned optimization): another
         # invocation-graph node already analyzed this function with an
         # identical input; reuse its output.
-        child.stored_input = func_input
-        child.stored_output = cached
+        _refresh_stored(analyzer, child, func_input, cached)
         _memo_store(analyzer, child, key, cached)
         return cached
     child.in_progress = True
+    analyzer.bump_call_state()
     try:
         func_output = analyzer.analyze_body(child, func_input)
     finally:
         child.in_progress = False
+        analyzer.bump_call_state()
     if child.kind is IGNodeKind.RECURSIVE or child.pending_inputs:
         # The body analysis discovered (via a function pointer) that
         # this node is recursive: switch to the fixed-point protocol.
@@ -308,6 +532,7 @@ def _process_recursive(
     child.stored_input = func_input
     child.stored_output = None
     child.pending_inputs = []
+    analyzer.bump_call_state()
     iterations = 0
     fixpoint_context = obs.span("analysis.fixed_point", func=child.func)
     fixpoint_span = fixpoint_context.__enter__()
@@ -335,6 +560,7 @@ def _process_recursive(
                 child.stored_input = merged
                 child.pending_inputs = []
                 child.stored_output = None
+                analyzer.bump_call_state()
                 continue
             if func_output is None:
                 # Every path recursed without resolution: no base case
@@ -347,8 +573,10 @@ def _process_recursive(
             child.stored_output = merge_all(
                 [child.stored_output, func_output]
             )
+            analyzer.bump_call_state()
     finally:
         child.in_progress = False
+        analyzer.bump_call_state()
         if obs.active():
             obs.count("analysis.fixpoint_rounds")
             obs.count("analysis.fixpoint_iterations", iterations)
@@ -358,6 +586,7 @@ def _process_recursive(
     # Reset the stored input to this call's input for future
     # memoization (the last line of Figure 4's recursive case).
     child.stored_input = func_input
+    analyzer.bump_call_state()
     return child.stored_output
 
 

@@ -204,6 +204,72 @@ class AbsLoc:
         return self.is_heap or self.in_array_tail
 
 
+class LocTable:
+    """Dense integer ids for the :class:`AbsLoc`\\ s of one analysis.
+
+    The bitset representation of :class:`repro.core.pointsto.
+    PointsToSet` stores target sets as Python-int bitsets indexed by
+    these ids.  Ids are assigned on first use, so they are dense and —
+    because the analysis itself is deterministic — reproducible for a
+    given (program, options) pair.  One table is installed per
+    analysis run (:func:`install_table`); sets constructed outside a
+    run share a process-wide fallback table so ad-hoc sets (tests,
+    REPL) still interoperate.
+    """
+
+    __slots__ = ("_ids", "_locs", "_roots")
+
+    def __init__(self) -> None:
+        self._ids: dict[AbsLoc, int] = {}
+        self._locs: list[AbsLoc] = []
+        #: id -> id of the location's root() (itself for whole vars).
+        self._roots: list[int] = []
+
+    def id_of(self, loc: AbsLoc) -> int:
+        index = self._ids.get(loc)
+        if index is None:
+            index = len(self._locs)
+            self._ids[loc] = index
+            self._locs.append(loc)
+            self._roots.append(index)
+            if loc.path:
+                self._roots[index] = self.id_of(loc.root())
+        return index
+
+    def loc_of(self, index: int) -> AbsLoc:
+        return self._locs[index]
+
+    def root_id(self, index: int) -> int:
+        return self._roots[index]
+
+    def __len__(self) -> int:
+        return len(self._locs)
+
+    def __repr__(self) -> str:
+        return f"<LocTable of {len(self._locs)} locations>"
+
+
+#: Fallback table for sets constructed outside an analysis run.
+_FALLBACK_TABLE = LocTable()
+
+_ACTIVE_TABLE: LocTable | None = None
+
+
+def active_table() -> LocTable:
+    """The table new bitset sets bind to (analysis-local or fallback)."""
+    table = _ACTIVE_TABLE
+    return table if table is not None else _FALLBACK_TABLE
+
+
+def install_table(table: LocTable | None) -> LocTable | None:
+    """Install ``table`` as the active table; returns the previous one
+    so callers can restore it (mirrors ``provenance.install``)."""
+    global _ACTIVE_TABLE
+    previous = _ACTIVE_TABLE
+    _ACTIVE_TABLE = table
+    return previous
+
+
 #: The single abstract heap location.
 HEAP = AbsLoc("heap", LocKind.HEAP)
 

@@ -20,8 +20,9 @@ manager.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -47,6 +48,21 @@ class PerfConfig:
       it never changes what the analysis computes, only what extra
       metadata is captured — so it is not part of
       :func:`legacy_overrides`.
+    * ``bitset_sets``: store points-to relations as per-source-id
+      integer bitsets over a dense per-analysis location table
+      (``repro.core.locations.LocTable``) instead of the
+      ``{(src, tgt): bool}`` dict; union/subset/copy become single
+      int operations.
+    * ``worklist``: change-driven re-evaluation — compound statements
+      cache their transfer (input fingerprint -> flow result) per
+      invocation-graph node and are skipped when re-flowed with an
+      unchanged input and unchanged interprocedural state, so loop and
+      recursion fixed points only re-run the statements a change can
+      reach.
+    * ``slice_memo``: key the invocation-graph memo tables on the
+      fingerprint of the *callee-reachable slice* of the input instead
+      of the whole input set; pairs outside the slice are passed
+      through around a hit.
     """
 
     intern_locations: bool = True
@@ -55,6 +71,9 @@ class PerfConfig:
     fingerprint_memo: bool = True
     memo_capacity: int = 8
     track_provenance: bool = False
+    bitset_sets: bool = True
+    worklist: bool = True
+    slice_memo: bool = True
 
 
 #: The process-wide configuration consulted by the hot paths.
@@ -71,7 +90,18 @@ def legacy_overrides() -> dict:
         "set_fast_paths": False,
         "fingerprint_memo": False,
         "memo_capacity": 1,
+        "bitset_sets": False,
+        "worklist": False,
+        "slice_memo": False,
     }
+
+
+def dict_core_overrides() -> dict:
+    """Overrides selecting the previous *optimized* dict-based core
+    (the PR-1 representation: interning, CoW, fingerprint memo — but
+    no bitsets, no worklist, whole-input memo keys).  This is the
+    baseline the bitset core is benchmarked against."""
+    return {"bitset_sets": False, "worklist": False, "slice_memo": False}
 
 
 def configure(**overrides) -> PerfConfig:
@@ -97,3 +127,63 @@ def configured(**overrides):
         yield CONFIG
     finally:
         configure(**saved)
+
+
+#: Environment variable consulted at import (and by the CLI's
+#: ``--perf``): a comma-separated list of ``flag=on/off`` (or
+#: ``memo_capacity=<int>``) entries, e.g.
+#: ``REPRO_PTA_PERF="bitset_sets=off,worklist=off"``.
+ENV_VAR = "REPRO_PTA_PERF"
+
+_TRUE_WORDS = frozenset({"on", "true", "yes", "1"})
+_FALSE_WORDS = frozenset({"off", "false", "no", "0"})
+
+
+def parse_overrides(text: str) -> dict:
+    """Parse a ``flag=on/off`` list into a :func:`configure` dict.
+
+    Raises ``ValueError`` on unknown flags or unparseable values, so a
+    typo in CI or on the command line fails loudly instead of silently
+    benchmarking the wrong core.
+    """
+    overrides: dict = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, raw = entry.partition("=")
+        name = name.strip()
+        raw = raw.strip().lower()
+        if not sep or not raw:
+            raise ValueError(
+                f"malformed perf override {entry!r} (expected flag=on/off)"
+            )
+        field_types = {f.name: f.type for f in fields(PerfConfig)}
+        if name not in field_types:
+            raise ValueError(f"unknown perf option {name!r}")
+        if raw in _TRUE_WORDS:
+            value: bool | int = True
+        elif raw in _FALSE_WORDS:
+            value = False
+        elif raw.isdigit():
+            value = int(raw)
+        else:
+            raise ValueError(
+                f"unparseable perf override value {entry!r} "
+                f"(expected on/off or an integer)"
+            )
+        overrides[name] = value
+    return overrides
+
+
+def apply_env_overrides(environ=None) -> dict:
+    """Apply :data:`ENV_VAR` overrides to :data:`CONFIG`; returns them."""
+    text = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if not text:
+        return {}
+    overrides = parse_overrides(text)
+    configure(**overrides)
+    return overrides
+
+
+apply_env_overrides()

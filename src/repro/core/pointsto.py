@@ -25,7 +25,7 @@ import enum
 from typing import Iterable, Iterator
 
 from repro.core import provenance
-from repro.core.locations import AbsLoc
+from repro.core.locations import AbsLoc, LocTable, active_table
 from repro.core.perf import CONFIG
 
 
@@ -61,6 +61,15 @@ class PointsToSet:
 
     __slots__ = ("_rel", "_by_src", "_by_tgt", "_shared", "_fingerprint")
 
+    def __new__(cls, *args, **kwargs) -> "PointsToSet":
+        # Representation dispatch: a plain ``PointsToSet()`` call
+        # yields the bitset-backed subclass when the perf switchboard
+        # selects it, so the ~20 construction sites in the core (and
+        # ``from_triples``) need no knowledge of the representation.
+        if cls is PointsToSet and CONFIG.bitset_sets:
+            return object.__new__(BitsetPointsToSet)
+        return object.__new__(cls)
+
     def __init__(self) -> None:
         self._rel: dict[tuple[AbsLoc, AbsLoc], bool] = {}
         #: Lazy indexes: None until first queried, then kept in sync.
@@ -88,7 +97,9 @@ class PointsToSet:
             # map and an always-materialized index, exactly like the
             # pre-optimization implementation.
             self._indexes()
-        result = PointsToSet.__new__(PointsToSet)
+        # object.__new__: the copy keeps *this* set's representation
+        # even if the switchboard has since selected another one.
+        result = object.__new__(PointsToSet)
         result._rel = self._rel
         result._by_src = self._by_src
         result._by_tgt = self._by_tgt
@@ -323,7 +334,8 @@ class PointsToSet:
         ):
             # Merge of equal sets is the set itself (d ∧ d = d).
             return self.copy()
-        result = PointsToSet()
+        result = object.__new__(PointsToSet)
+        result.__init__()
         # Start from everything-possible in self's order (one C-speed
         # pass), then upgrade the pairs definite in both inputs and
         # append other-only pairs (possible) in other's order.
@@ -418,6 +430,346 @@ class PointsToSet:
         if self._by_tgt != expected_tgt:
             problems.append("by-target index disagrees with relationships")
         return problems
+
+
+def _iter_bits(mask: int):
+    """Yield the set bit indexes of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BitsetPointsToSet(PointsToSet):
+    """Bitset-backed representation (``perf.CONFIG.bitset_sets``).
+
+    Locations are mapped to dense integer ids by the analysis's
+    :class:`repro.core.locations.LocTable`; the relation is stored as
+    ``{source id: (definite mask, possible mask)}`` with one bit per
+    target id.  The two masks are disjoint.  Union is ``|``, subset is
+    a masked-complement test, and ``copy()`` shares the row dict
+    copy-on-write — the rows themselves are immutable int pairs, so a
+    detach copies only the dict, never the masks.
+
+    Row order is source *insertion* order (first pair naming the
+    source), matching the dict representation's source-level ordering;
+    within a row, targets iterate in ascending id order.  The mapping
+    layer's symbolic-name assignment only depends on source-root
+    first-occurrence order and on explicitly sorted pair lists, so the
+    two representations produce identical analysis results (the
+    three-way equivalence suite pins this).
+    """
+
+    __slots__ = ("_table", "_src")
+
+    def __init__(self, table: LocTable | None = None) -> None:
+        self._table = table if table is not None else active_table()
+        #: source id -> (definite mask, possible mask); no empty rows.
+        self._src: dict[int, tuple[int, int]] = {}
+        self._shared = False
+        self._fingerprint = None
+        # Base-class index slots stay None; ``_indexes`` (used only by
+        # ``check_invariants``) rebuilds them from the materialized
+        # relation on demand.
+        self._by_src = None
+        self._by_tgt = None
+
+    # -- base-representation interop ----------------------------------
+
+    @property  # type: ignore[override]
+    def _rel(self) -> dict:
+        """The relation as the base class's dict (materialized fresh).
+
+        This makes every non-overridden :class:`PointsToSet` method —
+        and cross-representation ``==`` / ``merge`` / ``is_subset_of``
+        from a dict-backed operand — work unchanged, at dict-build
+        cost.  The hot paths below never touch it.
+        """
+        loc_of = self._table.loc_of
+        rel: dict[tuple[AbsLoc, AbsLoc], bool] = {}
+        for sid, (defs, poss) in self._src.items():
+            src = loc_of(sid)
+            for tid in _iter_bits(defs):
+                rel[(src, loc_of(tid))] = True
+            for tid in _iter_bits(poss):
+                rel[(src, loc_of(tid))] = False
+        return rel
+
+    def _indexes(self):
+        by_src: dict[AbsLoc, set[AbsLoc]] = {}
+        by_tgt: dict[AbsLoc, set[AbsLoc]] = {}
+        for src, tgt in self._rel:
+            by_src.setdefault(src, set()).add(tgt)
+            by_tgt.setdefault(tgt, set()).add(src)
+        self._by_src = by_src
+        self._by_tgt = by_tgt
+        return by_src, by_tgt
+
+    def _check_index_consistency(self) -> list[str]:
+        return []  # no incremental indexes to drift
+
+    # -- construction / copy-on-write ----------------------------------
+
+    def copy(self) -> "BitsetPointsToSet":
+        result = object.__new__(BitsetPointsToSet)
+        result._table = self._table
+        result._src = self._src
+        result._shared = True
+        result._fingerprint = self._fingerprint
+        result._by_src = None
+        result._by_tgt = None
+        self._shared = True
+        return result
+
+    def _own(self) -> None:
+        if self._shared:
+            self._src = dict(self._src)
+            self._shared = False
+        self._fingerprint = None
+
+    def fingerprint(self) -> tuple:
+        """Canonical exact key: sorted ``(source id, masks)`` rows.
+
+        A tuple (not a frozenset) so it is type-distinct from the dict
+        representation's fingerprints; the two are never mixed in one
+        memo table, but the distinction makes an accidental mix fail
+        closed (no false hits)."""
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            fingerprint = tuple(sorted(self._src.items()))
+            self._fingerprint = fingerprint
+        return fingerprint
+
+    # -- mutation -------------------------------------------------------
+
+    def add(self, src: AbsLoc, tgt: AbsLoc, definiteness: Definiteness) -> None:
+        table = self._table
+        sid = table.id_of(src)
+        bit = 1 << table.id_of(tgt)
+        row = self._src.get(sid)
+        if row is not None:
+            defs, poss = row
+            if bit & defs or (bit & poss and definiteness is not D):
+                return  # already present, at least as strong
+        else:
+            defs = poss = 0
+        self._own()
+        if definiteness is D:
+            self._src[sid] = (defs | bit, poss & ~bit)
+        else:
+            self._src[sid] = (defs, poss | bit)
+
+    def discard(self, src: AbsLoc, tgt: AbsLoc) -> None:
+        table = self._table
+        sid = table.id_of(src)
+        row = self._src.get(sid)
+        if row is None:
+            return
+        bit = 1 << table.id_of(tgt)
+        defs, poss = row
+        if not (bit & (defs | poss)):
+            return
+        self._own()
+        defs &= ~bit
+        poss &= ~bit
+        if defs or poss:
+            self._src[sid] = (defs, poss)
+        else:
+            del self._src[sid]
+
+    def kill_source(self, src: AbsLoc) -> None:
+        sid = self._table.id_of(src)
+        row = self._src.get(sid)
+        if row is None:
+            return
+        self._own()
+        del self._src[sid]
+        prov = provenance.CURRENT
+        if prov.enabled:
+            prov.kill_count += (row[0] | row[1]).bit_count()
+
+    def weaken_source(self, src: AbsLoc) -> None:
+        sid = self._table.id_of(src)
+        row = self._src.get(sid)
+        if row is None or not row[0]:
+            return
+        self._own()
+        defs, poss = row
+        self._src[sid] = (0, defs | poss)
+        if provenance.CURRENT.enabled:
+            loc_of = self._table.loc_of
+            for tid in _iter_bits(defs):
+                provenance.CURRENT.record_weaken(src, loc_of(tid))
+
+    # -- queries --------------------------------------------------------
+
+    def targets_of(self, src: AbsLoc) -> list[tuple[AbsLoc, Definiteness]]:
+        row = self._src.get(self._table.id_of(src))
+        if row is None:
+            return []
+        loc_of = self._table.loc_of
+        result = [(loc_of(tid), D) for tid in _iter_bits(row[0])]
+        result.extend((loc_of(tid), P) for tid in _iter_bits(row[1]))
+        return result
+
+    def sources_of(self, tgt: AbsLoc) -> list[tuple[AbsLoc, Definiteness]]:
+        bit = 1 << self._table.id_of(tgt)
+        loc_of = self._table.loc_of
+        result = []
+        for sid, (defs, poss) in self._src.items():
+            if bit & defs:
+                result.append((loc_of(sid), D))
+            elif bit & poss:
+                result.append((loc_of(sid), P))
+        return result
+
+    def has(self, src: AbsLoc, tgt: AbsLoc) -> bool:
+        row = self._src.get(self._table.id_of(src))
+        if row is None:
+            return False
+        return bool((1 << self._table.id_of(tgt)) & (row[0] | row[1]))
+
+    def definiteness(self, src: AbsLoc, tgt: AbsLoc) -> Definiteness | None:
+        row = self._src.get(self._table.id_of(src))
+        if row is None:
+            return None
+        bit = 1 << self._table.id_of(tgt)
+        if bit & row[0]:
+            return D
+        if bit & row[1]:
+            return P
+        return None
+
+    def sources(self) -> Iterator[AbsLoc]:
+        loc_of = self._table.loc_of
+        return (loc_of(sid) for sid in self._src)
+
+    def triples(self) -> Iterator[tuple[AbsLoc, AbsLoc, Definiteness]]:
+        loc_of = self._table.loc_of
+        for sid, (defs, poss) in self._src.items():
+            src = loc_of(sid)
+            for tid in _iter_bits(defs):
+                yield src, loc_of(tid), D
+            for tid in _iter_bits(poss):
+                yield src, loc_of(tid), P
+
+    def locations(self) -> set[AbsLoc]:
+        loc_of = self._table.loc_of
+        result = set()
+        all_targets = 0
+        for sid, (defs, poss) in self._src.items():
+            result.add(loc_of(sid))
+            all_targets |= defs | poss
+        for tid in _iter_bits(all_targets):
+            result.add(loc_of(tid))
+        return result
+
+    def __len__(self) -> int:
+        return sum(
+            (defs | poss).bit_count() for defs, poss in self._src.values()
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._src)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointsToSet):
+            return NotImplemented
+        if (
+            not isinstance(other, BitsetPointsToSet)
+            or other._table is not self._table
+        ):
+            return self._rel == other._rel
+        return self._src is other._src or self._src == other._src
+
+    __hash__ = PointsToSet.__hash__  # defining __eq__ would reset it
+
+    def is_subset_of(self, other: "PointsToSet") -> bool:
+        if (
+            not isinstance(other, BitsetPointsToSet)
+            or other._table is not self._table
+        ):
+            return PointsToSet.is_subset_of(self, other)
+        other_src = other._src
+        if self._src is other_src:
+            return True
+        if len(self._src) > len(other_src):
+            return False
+        for sid, (defs, poss) in self._src.items():
+            row = other_src.get(sid)
+            if row is None:
+                return False
+            # Precision order: a D pair is covered by D or P; a P pair
+            # only by P (see PointsToSet.is_subset_of).
+            if defs & ~(row[0] | row[1]) or poss & ~row[1]:
+                return False
+        return True
+
+    def merge(self, other: "PointsToSet") -> "PointsToSet":
+        if (
+            not isinstance(other, BitsetPointsToSet)
+            or other._table is not self._table
+        ):
+            return PointsToSet.merge(self, other)
+        self_src = self._src
+        other_src = other._src
+        if self_src is other_src or self_src == other_src:
+            return self.copy()
+        result = object.__new__(BitsetPointsToSet)
+        result._table = self._table
+        result._shared = False
+        result._fingerprint = None
+        result._by_src = None
+        result._by_tgt = None
+        rows = result._src = {}
+        recording = provenance.CURRENT.enabled
+        other_get = other_src.get
+        for sid, (defs, poss) in self_src.items():
+            row = other_get(sid)
+            if row is None:
+                union_defs = 0
+                union_poss = defs | poss
+            else:
+                union_defs = defs & row[0]
+                union_poss = (defs | poss | row[0] | row[1]) & ~union_defs
+            rows[sid] = (union_defs, union_poss)
+            if recording and defs & ~union_defs:
+                self._record_merge_weakens(sid, defs & ~union_defs)
+        for sid, (defs, poss) in other_src.items():
+            if sid not in self_src:
+                rows[sid] = (0, defs | poss)
+                if recording and defs:
+                    self._record_merge_weakens(sid, defs)
+            elif recording and defs & ~rows[sid][0]:
+                self._record_merge_weakens(sid, defs & ~rows[sid][0])
+        return result
+
+    def _record_merge_weakens(self, sid: int, mask: int) -> None:
+        loc_of = self._table.loc_of
+        src = loc_of(sid)
+        weaken = provenance.CURRENT.record_weaken
+        for tid in _iter_bits(mask):
+            weaken(src, loc_of(tid), rule=provenance.RULE_MERGE_WEAKEN)
+
+    # -- bitset-only helpers (slice memoization) ------------------------
+
+    def restrict_rows(self, keep_sids) -> "BitsetPointsToSet":
+        """A new set holding only the rows whose source id is in
+        ``keep_sids`` (shares the row tuples)."""
+        result = object.__new__(BitsetPointsToSet)
+        result._table = self._table
+        result._shared = False
+        result._fingerprint = None
+        result._by_src = None
+        result._by_tgt = None
+        result._src = {
+            sid: row for sid, row in self._src.items() if sid in keep_sids
+        }
+        return result
+
+    def rows(self) -> dict:
+        """Read-only view of the raw ``{sid: (defs, poss)}`` rows."""
+        return self._src
 
 
 def merge_all(sets: Iterable[PointsToSet | None]) -> PointsToSet | None:

@@ -1,0 +1,269 @@
+"""Reachable-slice memo keys for call memoization.
+
+The whole-input memo of Figure 4 misses whenever *anything* in the
+mapped input differs — including caller state the callee can never
+observe.  ``map_call`` already restricts the input to
+formals-reachable targets, but it also carries every global and heap
+root into the callee (they are visible everywhere), so the redundant
+context is exactly the global state the callee's transitive call
+closure never references.  This module computes, per call, the
+*reachable slice* of the mapped input — the pairs that can influence
+the body's analysis — and the *passthrough* complement that provably
+flows through the body unchanged.  The memo is then keyed on the
+slice alone; a hit reconstructs the output by swapping the stored
+passthrough for the current one (see ``interproc``).
+
+The passthrough invariant (those pairs flow through the body
+unchanged, with the same definiteness) holds because a passthrough
+root is required to be:
+
+* a GLOBAL root the closure never references by name and that is not
+  reachable from any slice root — so no l-location in the body can
+  name it and no statement can kill, weaken, or extend it;
+* a root *all* of whose targets are visible-everywhere — when a
+  sub-call maps it (``map_visible_roots`` carries every global root
+  into every callee) each pair maps to itself: no symbolic name is
+  created for any of its targets, so it can never become
+  multi-represented and have its definite pairs degraded, and the
+  sub-call's unmap performs a strong kill-and-re-add of the identical
+  pairs (globals are non-heap, uniquely represented visible roots).
+
+Roots failing either condition stay in the *key*: heap (weak-updated
+at call boundaries), anything referenced by or reachable from the
+closure, and any root with an invisible (param/symbolic) target —
+such pairs can change a sub-callee's symbolic multiplicities and
+thereby the output, so two calls may only share a memo entry when
+they agree on them.
+
+Functions are *opaque* — their nodes keep whole-input keys — when the
+static closure cannot bound what the body observes: indirect call
+sites anywhere in the closure (the invocation graph completes
+dynamically), the function participating in a call cycle (its node
+re-enters), or unmodeled externals under the ``havoc`` policy (havoc
+smashes everything reachable, including passthrough candidates).
+
+The key is *order-sensitive*: a tuple of the key pairs in the input
+set's iteration order.  Symbolic-name assignment during sub-call
+mapping is first-reaching-path-wins over that order, so a hit must
+guarantee the body would have seen the slice in the same order; the
+inert passthrough rows interleaved between key rows never compete for
+a symbolic name and cannot perturb it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.externals import (
+    CONTENT_COPIERS,
+    HEAP_RETURNING_EXTERNALS,
+    PURE_EXTERNALS,
+    RETURN_FIRST_ARG,
+)
+from repro.core.locations import HEAP, AbsLoc, LocKind, global_loc
+from repro.core.pointsto import PointsToSet
+from repro.simple.ir import (
+    AddrOf,
+    BasicKind,
+    BasicStmt,
+    Ref,
+    SimpleProgram,
+    SReturn,
+)
+
+#: Externals with effect models confined to argument-reachable state
+#: and the heap — both always inside the slice.
+MODELED_EXTERNALS = (
+    PURE_EXTERNALS
+    | HEAP_RETURNING_EXTERNALS
+    | RETURN_FIRST_ARG
+    | CONTENT_COPIERS
+)
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Static facts about a function's transitive direct-call closure."""
+
+    #: Global variable names referenced (read, written, or
+    #: address-taken) anywhere in the closure.
+    referenced_globals: frozenset[str]
+    #: Whether slice keying must be disabled for this function.
+    opaque: bool
+    #: Why (first reason found), for diagnostics.
+    opaque_reason: str | None = None
+
+
+@dataclass
+class _Scan:
+    """Single-function scan results (pre-closure)."""
+
+    callees: frozenset[str]
+    globals_referenced: frozenset[str]
+    has_indirect: bool
+    unmodeled_externals: frozenset[str]
+
+
+def _scan_function(fn, program: SimpleProgram) -> _Scan:
+    callees: set[str] = set()
+    globals_referenced: set[str] = set()
+    has_indirect = False
+    unmodeled: set[str] = set()
+    shadowed = set(fn.local_types) | {name for name, _ in fn.params}
+    global_names = program.global_types.keys()
+
+    def note_name(name: str) -> None:
+        if name in global_names and name not in shadowed:
+            globals_referenced.add(name)
+
+    def note_operand(operand) -> None:
+        if isinstance(operand, Ref):
+            note_name(operand.base)
+        elif isinstance(operand, AddrOf):
+            note_name(operand.ref.base)
+
+    for stmt in fn.iter_stmts():
+        if isinstance(stmt, SReturn):
+            if stmt.value is not None:
+                note_operand(stmt.value)
+            continue
+        if not isinstance(stmt, BasicStmt):
+            continue
+        if stmt.lhs is not None:
+            note_operand(stmt.lhs)
+        if stmt.rvalue is not None:
+            note_operand(stmt.rvalue)
+        for operand in stmt.operands:
+            note_operand(operand)
+        for arg in stmt.args:
+            note_operand(arg)
+        if stmt.kind is BasicKind.CALL:
+            if stmt.callee_ptr is not None:
+                has_indirect = True
+                note_name(stmt.callee_ptr)
+            elif stmt.callee in program.functions:
+                callees.add(stmt.callee)
+            elif stmt.callee is not None and stmt.callee not in MODELED_EXTERNALS:
+                unmodeled.add(stmt.callee)
+    return _Scan(
+        frozenset(callees),
+        frozenset(globals_referenced),
+        has_indirect,
+        frozenset(unmodeled),
+    )
+
+
+def summarize_program(
+    program: SimpleProgram, options
+) -> dict[str, FunctionSummary]:
+    """Per-function closure summaries for slice keying."""
+    scans = {
+        name: _scan_function(fn, program)
+        for name, fn in program.functions.items()
+    }
+    summaries: dict[str, FunctionSummary] = {}
+    havoc = options.unknown_external_policy == "havoc"
+    for name in program.functions:
+        # Transitive closure over direct callees, including the
+        # function itself (its own statements count).
+        closure: set[str] = set()
+        stack = [name]
+        while stack:
+            member = stack.pop()
+            if member in closure:
+                continue
+            closure.add(member)
+            stack.extend(scans[member].callees)
+        referenced: set[str] = set()
+        reason = None
+        for member in closure:
+            scan = scans[member]
+            referenced |= scan.globals_referenced
+            if reason is None and scan.has_indirect:
+                reason = f"indirect call site in '{member}'"
+            if reason is None and havoc and scan.unmodeled_externals:
+                reason = (
+                    f"unmodeled external under havoc policy in '{member}'"
+                )
+        if reason is None and any(
+            name in _reachable(scans, callee)
+            for callee in scans[name].callees
+        ):
+            reason = "participates in a call cycle"
+        summaries[name] = FunctionSummary(
+            frozenset(referenced), reason is not None, reason
+        )
+    return summaries
+
+
+def _reachable(scans: dict[str, _Scan], start: str) -> set[str]:
+    seen: set[str] = set()
+    stack = [start]
+    while stack:
+        member = stack.pop()
+        if member in seen:
+            continue
+        seen.add(member)
+        stack.extend(scans[member].callees)
+    return seen
+
+
+def split_input(
+    func_input: PointsToSet,
+    callee_fn,
+    callee_env,
+    referenced_globals: frozenset[str],
+) -> tuple[tuple, tuple, int]:
+    """Split the mapped input into (key_pairs, passthrough_pairs).
+
+    Returns ``(key, passthrough, slice_root_count)`` where ``key`` and
+    ``passthrough`` are tuples of ``(src, tgt, definiteness)`` triples
+    in the input's iteration order.
+    """
+    triples = list(func_input.triples())
+
+    # Group by source root; note which roots have invisible targets
+    # (their pairs can change sub-callee symbolic multiplicities).
+    adjacency: dict[AbsLoc, set[AbsLoc]] = {}
+    tainted_roots: set[AbsLoc] = set()
+    for src, tgt, _ in triples:
+        sroot = src.root()
+        adjacency.setdefault(sroot, set()).add(tgt.root())
+        if not tgt.is_visible_everywhere:
+            tainted_roots.add(sroot)
+
+    # Seed roots: the formals, the closure-referenced globals, the heap.
+    seeds: list[AbsLoc] = [
+        callee_env.var_loc(pname) for pname, _ in callee_fn.params
+    ]
+    for gname in referenced_globals:
+        seeds.append(global_loc(gname))
+    seeds.append(HEAP)
+
+    # Transitive closure over the points-to relation.
+    slice_roots: set[AbsLoc] = set()
+    stack = seeds
+    while stack:
+        root = stack.pop()
+        if root in slice_roots:
+            continue
+        slice_roots.add(root)
+        for tgt_root in adjacency.get(root, ()):
+            if tgt_root not in slice_roots and not (
+                tgt_root.is_null or tgt_root.is_function
+            ):
+                stack.append(tgt_root)
+
+    key: list = []
+    passthrough: list = []
+    for triple in triples:
+        sroot = triple[0].root()
+        if (
+            sroot.kind is LocKind.GLOBAL
+            and sroot not in slice_roots
+            and sroot not in tainted_roots
+        ):
+            passthrough.append(triple)
+        else:
+            key.append(triple)
+    return tuple(key), tuple(passthrough), len(slice_roots)

@@ -513,6 +513,16 @@ class PerfRow:
     memo_evictions: int = 0
     recursion_truncations: int = 0
     peak_triples: int = 0
+    #: Per-function {hits, misses, hit_rate} over that function's
+    #: invocation nodes (``MemoStats.per_function_rates()``).
+    memo_per_function: dict = field(default_factory=dict)
+    #: Slice-keyed memo traffic: lookups that used a reachable-slice
+    #: key, how many hit, and the summed key/passthrough pair counts
+    #: (from which the average slice size falls out).
+    slice_hits: int = 0
+    slice_lookups: int = 0
+    slice_key_pairs: int = 0
+    slice_passthrough_pairs: int = 0
     #: ``QueryStats.as_dict()`` of the serving session, when any.
     query_stats: dict | None = None
     #: ``StoreStats.as_dict()`` of the result store, when one was used.
@@ -537,6 +547,28 @@ class PerfRow:
         lookups = self.memo_lookups
         return self.memo_hits / lookups if lookups else 0.0
 
+    @property
+    def slice_hit_rate(self) -> float:
+        return (
+            self.slice_hits / self.slice_lookups if self.slice_lookups else 0.0
+        )
+
+    @property
+    def avg_slice_key_pairs(self) -> float:
+        return (
+            self.slice_key_pairs / self.slice_lookups
+            if self.slice_lookups
+            else 0.0
+        )
+
+    @property
+    def avg_slice_passthrough_pairs(self) -> float:
+        return (
+            self.slice_passthrough_pairs / self.slice_lookups
+            if self.slice_lookups
+            else 0.0
+        )
+
     def as_dict(self) -> dict:
         result = {
             "benchmark": self.benchmark,
@@ -545,6 +577,16 @@ class PerfRow:
             "memo_misses": self.memo_misses,
             "memo_evictions": self.memo_evictions,
             "memo_hit_rate": round(self.memo_hit_rate, 4),
+            "memo_per_function": self.memo_per_function,
+            "slice": {
+                "hits": self.slice_hits,
+                "lookups": self.slice_lookups,
+                "hit_rate": round(self.slice_hit_rate, 4),
+                "avg_key_pairs": round(self.avg_slice_key_pairs, 2),
+                "avg_passthrough_pairs": round(
+                    self.avg_slice_passthrough_pairs, 2
+                ),
+            },
             "recursion_truncations": self.recursion_truncations,
             "peak_triples": self.peak_triples,
         }
@@ -605,6 +647,11 @@ def collect_perf(
         memo_evictions=stats.evictions,
         recursion_truncations=stats.recursion_truncations,
         peak_triples=peak,
+        memo_per_function=stats.per_function_rates(),
+        slice_hits=stats.slice_hits,
+        slice_lookups=stats.slice_lookups,
+        slice_key_pairs=stats.slice_key_pairs,
+        slice_passthrough_pairs=stats.slice_passthrough_pairs,
         query_stats=queries.as_dict() if queries is not None else None,
         store_stats=(
             store.stats.as_dict() if store is not None else None

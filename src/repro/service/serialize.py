@@ -327,6 +327,25 @@ def canonical_json(payload: dict) -> bytes:
     ).encode()
 
 
+def semantic_payload_bytes(
+    analysis, name: str = "<source>", source: str | None = None
+) -> bytes:
+    """Canonical bytes of the *semantic* payload: the encoded analysis
+    minus the run-shape counters (top-level ``stats`` and the perf
+    summary), which legitimately differ between set representations
+    and memoization protocols.  This is the byte-identity contract the
+    bitset/worklist/slice core is held to against the dict and legacy
+    cores — everything an analysis *means* (per-point triples,
+    invocation graph, warnings, check facts, read/write summaries)
+    with nothing about how fast it was computed."""
+    payload = encode_analysis(analysis, name, source)
+    payload.pop("stats", None)
+    summaries = payload.get("summaries")
+    if isinstance(summaries, dict):
+        summaries.pop("perf", None)
+    return canonical_json(payload)
+
+
 # ---------------------------------------------------------------------------
 # Decoding
 # ---------------------------------------------------------------------------
@@ -480,12 +499,25 @@ class DecodedAnalysis:
         self.externals: list[str] = payload["externals"]
         self.warnings: list[str] = list(payload["warnings"])
         stats = payload["stats"]
+        # ``.get`` on the newer fields: payloads encoded before the
+        # slice-keyed memo decode to zeroed counters.
+        slice_stats = stats.get("slice", {})
         self.stats = MemoStats(
             hits=stats["hits"],
             misses=stats["misses"],
             evictions=stats["evictions"],
             recursion_truncations=stats["recursion_truncations"],
             truncated_functions=list(stats["truncated_functions"]),
+            per_function={
+                func: list(counters)
+                for func, counters in stats.get("per_function", {}).items()
+            },
+            slice_hits=slice_stats.get("hits", 0),
+            slice_lookups=slice_stats.get("lookups", 0),
+            slice_key_pairs=slice_stats.get("key_pairs", 0),
+            slice_passthrough_pairs=slice_stats.get(
+                "passthrough_pairs", 0
+            ),
         )
         self.summaries: dict = payload["summaries"]
         #: Program-shape facts for the checker framework (statement ids

@@ -54,10 +54,14 @@ class TestMemoTable:
         (node,) = [n for n in result.ig.nodes() if n.func == "touch"]
         assert len(node.memo) == 2
         assert result.stats.misses == 2
-        # Every memoized output is the node's analysis result for that
-        # fingerprinted input; the newest one is also the stored pair.
+        # Entries are keyed on the reachable slice of the input (the
+        # callee touches ``p``, so both loop inputs differ inside the
+        # slice); the newest entry is the stored pair's output.
         assert node.stored_output is not None
-        assert node.memo[node.stored_input.fingerprint()] == node.stored_output
+        tag, key_pairs = next(reversed(node.memo))
+        assert tag == "slice"
+        newest = node.memo[("slice", key_pairs)]
+        assert newest.output == node.stored_output
 
     def test_reentry_with_identical_input_hits(self):
         result = analyze_source(RECURSIVE_SOURCE)

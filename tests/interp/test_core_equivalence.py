@@ -1,0 +1,75 @@
+"""Differential equivalence of the three points-to cores.
+
+The dense bitset core (interned-id bitset sets + change-driven
+worklist + slice-keyed call memoization) must be a pure
+representation change: for every program in the soundness-fuzz
+corpus, the semantic payload — the encoded artifact minus ``stats``
+and ``summaries.perf`` — must be byte-identical across the bitset
+core (the default), the dict core
+(:func:`repro.core.perf.dict_core_overrides`), and the legacy core
+(:func:`repro.core.perf.legacy_overrides`), and a query session over
+each must give the same answers.
+
+The full sweep over the corpus is marked ``slow`` (nightly CI); the
+first seed of every generator configuration stays in tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.generator import generate_program
+from repro.core import perf
+from repro.core.analysis import analyze_source
+from repro.service.queries import QuerySession
+from repro.service.serialize import semantic_payload_bytes
+
+from .test_soundness_fuzz import CONFIGS, CORPUS, TIER1
+
+
+def _payload_and_answers(source: str, name: str):
+    analysis = analyze_source(source)
+    payload = semantic_payload_bytes(analysis, name)
+    session = QuerySession(analysis)
+    answers = (
+        session.list_labels(),
+        session.call_sites(),
+        session.summary(),
+    )
+    return payload, answers
+
+
+def _check(config_name: str, seed: int) -> None:
+    source = generate_program(seed, CONFIGS[config_name])
+    name = f"{config_name}-s{seed}"
+    perf.reset()
+    bitset = _payload_and_answers(source, name)
+    with perf.configured(**perf.dict_core_overrides()):
+        dict_core = _payload_and_answers(source, name)
+    with perf.configured(**perf.legacy_overrides()):
+        legacy = _payload_and_answers(source, name)
+    assert bitset[0] == dict_core[0] == legacy[0], (
+        f"semantic payload diverges across cores for {name}"
+    )
+    assert bitset[1] == dict_core[1] == legacy[1], (
+        f"query answers diverge across cores for {name}"
+    )
+
+
+@pytest.mark.parametrize(
+    "config_name,seed",
+    [(config, seed) for _, config, seed in TIER1],
+    ids=[test_id for test_id, _, _ in TIER1],
+)
+def test_cores_equivalent(config_name, seed):
+    _check(config_name, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "config_name,seed",
+    [(config, seed) for _, config, seed in CORPUS if seed != 0],
+    ids=[test_id for test_id, _, seed in CORPUS if seed != 0],
+)
+def test_cores_equivalent_full(config_name, seed):
+    _check(config_name, seed)

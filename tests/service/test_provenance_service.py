@@ -6,8 +6,10 @@ Three contracts:
   recording *off* carry no ``"provenance"`` key and are byte-identical
   to pre-provenance artifacts; an enabled-run payload reduces to the
   disabled-run payload when the optional section is stripped (the
-  section is fully self-contained).  This is the gate CI runs on every
-  push.
+  section is fully self-contained), modulo the perf counters in
+  ``stats`` / ``summaries.perf`` — recording forces opaque whole-input
+  memo keys, so those legitimately differ.  This is the gate CI runs
+  on every push.
 * **Round-trip fidelity** — enabled payloads encode deterministically
   across separate parses, decode to a log the witness helpers accept
   verbatim, and answer the ``explain:`` family identically to the
@@ -67,8 +69,8 @@ class TestArtifactNeutrality:
         )
         assert "provenance" not in payload
 
-    def test_stripped_on_payload_is_byte_identical_to_off(self):
-        off_bytes = encode_analysis_bytes(
+    def test_stripped_on_payload_reduces_to_off(self):
+        off_payload = encode_analysis(
             analyze_source(SOURCE), name="fig5", source=SOURCE
         )
         payload_on, _ = encode_with_provenance()
@@ -78,7 +80,24 @@ class TestArtifactNeutrality:
             for key, value in payload_on.items()
             if key != "provenance"
         }
-        assert canonical_json(stripped) == off_bytes
+
+        # Provenance recording forces opaque whole-input memo keys
+        # (the slice memo is off while recording), so the perf
+        # counters in ``stats`` and ``summaries.perf`` legitimately
+        # differ between the two runs; everything else — the semantic
+        # payload — must be byte-identical.
+        def semantic(payload: dict) -> bytes:
+            trimmed = {
+                key: value
+                for key, value in payload.items()
+                if key != "stats"
+            }
+            summaries = dict(trimmed.get("summaries") or {})
+            summaries.pop("perf", None)
+            trimmed["summaries"] = summaries
+            return canonical_json(trimmed)
+
+        assert semantic(stripped) == semantic(off_payload)
 
     def test_enabled_encoding_stable_across_parses(self):
         _, first = encode_with_provenance()
