@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench bench-perf bench-service bench-checkers check check-demo artifacts examples soundness all
+.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon check check-demo artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -29,6 +29,12 @@ bench-service:
 # merges a "checkers" section into BENCH_perf.json.
 bench-checkers:
 	PYTHONPATH=src python benchmarks/bench_checkers.py
+
+# Daemon throughput/latency grid, coalescing hit rate, and the warm
+# speedup over per-client serve loops; merges a "daemon" section into
+# BENCH_perf.json and enforces the >= 5x warm-speedup floor.
+bench-daemon:
+	PYTHONPATH=src python benchmarks/bench_daemon.py
 
 # Tier-1 gate: the full test suite plus a quick performance smoke
 # (one small and one large program through both cores).

@@ -16,7 +16,12 @@ Subcommands:
 * ``query FILE.c EXPR...`` — demand queries against the result store
   (``points_to:p@L``, ``may_alias:*p,q@L``, ``callees_at:3``, ...);
 * ``batch [PATHS|--suite]`` — analyze many files through the store
-  with parallel workers, or ``--serve`` JSON-lines queries on stdin.
+  with parallel workers, or ``--serve`` JSON-lines queries on stdin;
+* ``daemon`` — serve the same JSON-lines protocol over TCP with a
+  worker-process pool, request coalescing, and backpressure
+  (docs/DAEMON.md);
+* ``store ls|stats|clear|gc`` — inspect or maintain a result store on
+  any backend (``file:…``, ``memory://``, ``sqlite:…``).
 """
 
 from __future__ import annotations
@@ -190,10 +195,12 @@ def _run_analyze(args: argparse.Namespace) -> int:
 
 
 def _make_store(args: argparse.Namespace):
-    from repro.service.store import ResultStore, default_store_root
+    # --store accepts a directory path or any backend URL (file:…,
+    # memory://, sqlite:…, memory+file:…); unset falls back to
+    # REPRO_PTA_STORE or ~/.cache/repro-pta (see docs/DAEMON.md).
+    from repro.service.store import ResultStore
 
-    root = args.store if args.store else default_store_root()
-    return ResultStore(root)
+    return ResultStore(args.store) if args.store else ResultStore()
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -310,6 +317,63 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     return 1 if report.errors else 0
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    from repro.daemon import DaemonConfig, run_daemon
+    from repro.service.backends import BackendError
+
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        store_url=args.store,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        client_inflight=args.client_inflight,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        return run_daemon(config)
+    except BackendError as exc:
+        print(f"daemon: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.service.backends import BackendError
+    from repro.service.store import ResultStore
+
+    try:
+        store = _make_store(args)
+    except BackendError as exc:
+        print(f"store: error: {exc}", file=sys.stderr)
+        return 2
+    assert isinstance(store, ResultStore)
+    try:
+        if args.action == "ls":
+            entries = sorted(store.backend.entries())
+            for key, size, _ in entries:
+                print(f"{key}  {size}")
+            print(
+                f"({len(entries)} objects, "
+                f"{sum(size for _, size, _ in entries)} bytes, "
+                f"{store.url})"
+            )
+        elif args.action == "stats":
+            print(json.dumps(store.backend_stats(), indent=2,
+                             sort_keys=True))
+        elif args.action == "clear":
+            print(f"removed {store.clear()} objects from {store.url}")
+        elif args.action == "gc":
+            if args.max_bytes is None:
+                print("store gc: --max-bytes is required", file=sys.stderr)
+                return 2
+            report = store.gc(args.max_bytes)
+            print(json.dumps(report, sort_keys=True))
+        return 0
+    finally:
+        store.close()
 
 
 def cmd_simple(args: argparse.Namespace) -> int:
@@ -590,6 +654,84 @@ def main(argv: list[str] | None = None) -> int:
         help="serve JSON-lines queries from stdin against the store",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_daemon = sub.add_parser(
+        "daemon",
+        help=(
+            "serve the JSON-lines protocol over TCP with a worker-"
+            "process pool (see docs/DAEMON.md)"
+        ),
+    )
+    p_daemon.add_argument("--host", default="127.0.0.1")
+    p_daemon.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = pick a free one; the bound address is "
+        "printed on startup)",
+    )
+    p_daemon.add_argument(
+        "--store",
+        default=None,
+        help="store backend URL or directory (file:…, memory://, "
+        "sqlite:…, memory+file:…)",
+    )
+    p_daemon.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (default: os.cpu_count())",
+    )
+    p_daemon.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="warm query sessions kept per worker (LRU)",
+    )
+    p_daemon.add_argument(
+        "--queue-limit",
+        type=int,
+        default=128,
+        help="admitted-but-unfinished job cap before load shedding",
+    )
+    p_daemon.add_argument(
+        "--client-inflight",
+        type=int,
+        default=16,
+        help="per-connection in-flight request cap",
+    )
+    p_daemon.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight work on shutdown",
+    )
+    p_daemon.set_defaults(func=cmd_daemon)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect or maintain a result store (any backend)",
+    )
+    p_store.add_argument(
+        "action",
+        choices=["ls", "stats", "clear", "gc"],
+        help="ls: list objects; stats: backend storage facts; "
+        "clear: drop every object; gc: evict oldest past --max-bytes",
+    )
+    p_store.add_argument(
+        "--store",
+        default=None,
+        help="store backend URL or directory (default: REPRO_PTA_STORE "
+        "or ~/.cache/repro-pta)",
+    )
+    p_store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: evict least-recently-written objects until the "
+        "store fits this budget",
+    )
+    p_store.set_defaults(func=cmd_store)
 
     p_simple = sub.add_parser("simple", help="print the SIMPLE lowering")
     p_simple.add_argument("file")

@@ -1,0 +1,108 @@
+"""``repro.daemon`` — the concurrent analysis server.
+
+An asyncio TCP front end speaking the JSON-lines service protocol
+(the same verbs as ``repro-pta batch --serve``; see
+:mod:`repro.service.commands` and docs/DAEMON.md) over a pool of
+worker processes, with request coalescing, admission control +
+per-client quotas, warm session sharding by content hash, and
+graceful drain-on-shutdown.
+
+Entry points:
+
+* ``repro-pta daemon`` (CLI) → :func:`repro.daemon.server.run_daemon`;
+* :class:`DaemonHandle` — run a daemon on a background thread inside
+  the current process (tests, benchmarks, editors embedding the
+  analysis);
+* :class:`DaemonClient` — a blocking JSON-lines client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.daemon.client import DaemonClient
+from repro.daemon.server import Daemon, DaemonConfig, run_daemon
+
+__all__ = [
+    "Daemon",
+    "DaemonClient",
+    "DaemonConfig",
+    "DaemonHandle",
+    "run_daemon",
+]
+
+
+class DaemonHandle:
+    """A daemon running on a background thread with its own event loop.
+
+    ::
+
+        handle = DaemonHandle(DaemonConfig(store_url=f"file:{root}"))
+        host, port = handle.start()
+        with DaemonClient(host, port) as client:
+            client.request({"source": "...", "query": "labels"})
+        handle.stop()
+
+    ``stop`` performs the same graceful drain as SIGTERM.  The handle
+    is also a context manager.
+    """
+
+    def __init__(self, config: DaemonConfig | None = None):
+        self.daemon = Daemon(config)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._done = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-daemon", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("daemon failed to start in time")
+        if self._error is not None:
+            raise RuntimeError("daemon failed to start") from self._error
+        return self.daemon.host, self.daemon.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.daemon.start()
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.daemon.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            if self._error is None:
+                self._error = exc
+        finally:
+            self._done.set()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, flush stores, stop workers."""
+        loop = self._loop
+        if loop is not None and not self._done.is_set():
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.daemon.shutdown(), loop
+                ).result(timeout)
+            except (RuntimeError, TimeoutError):
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

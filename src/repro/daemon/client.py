@@ -1,0 +1,54 @@
+"""A small blocking JSON-lines client for the analysis daemon.
+
+One :class:`DaemonClient` is one TCP connection; :meth:`request` sends
+one JSON object and blocks for its one-line response.  Responses on a
+connection with concurrent *other* requests may interleave, so a
+client that wants pipelining should tag requests with ``"id"`` and use
+:meth:`send` / :meth:`recv` directly; for the common sequential case
+:meth:`request` is enough.  Used by the tests, the load benchmark, and
+``repro-pta daemon --ping``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class DaemonClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self.sock.makefile("rwb")
+
+    def send(self, request: dict) -> None:
+        self._file.write(json.dumps(request).encode() + b"\n")
+        self._file.flush()
+
+    def recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def request(self, request: dict) -> dict:
+        """Send one request, block for one response."""
+        self.send(request)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,563 @@
+"""The concurrent analysis daemon: asyncio front end over worker processes.
+
+Architecture (see docs/DAEMON.md)::
+
+    clients ──TCP/JSON-lines──▶ asyncio front end (this module)
+                                  │  admission control + per-client quotas
+                                  │  request coalescing (one analysis per
+                                  │  in-flight content key)
+                                  ▼  shard by ResultStore.key_for(...)
+                         worker process 0..N-1  (repro.daemon.worker)
+                                  │  warm SessionCache per worker
+                                  ▼
+                         store backend (file: / sqlite: / memory://)
+
+* **Sharding** — every source-bearing request routes by its content
+  key, so one key always lands on the same worker: that worker's
+  LRU'd sessions stay warm (repeat queries skip decode entirely) and
+  two racing requests for one key serialize on its queue instead of
+  analyzing twice.
+* **Coalescing** — identical in-flight requests (same content key and
+  same request body) share one worker round trip; the single response
+  fans out to every waiter.  ``daemon.coalesced`` counts the piggyback
+  rides, ``daemon.analyses`` counts true analysis runs.
+* **Backpressure** — a bounded admission queue: when the dispatched-
+  but-unfinished job count reaches ``queue_limit`` the daemon answers
+  ``{"ok": false, "error": "overloaded", "retry_after_ms": ...}``
+  instead of stalling the socket.  Per-connection in-flight caps
+  (``client_inflight``) keep one greedy client from filling the queue.
+* **Graceful shutdown** — ``{"cmd": "quit"}``, SIGTERM, or SIGINT
+  drain in-flight analyses, flush store writes in every worker, and
+  close sessions before exit; atomic backend writes mean a hard kill
+  mid-request never leaves a corrupt object either.
+
+The protocol verbs are exactly the stdin serve loop's
+(:mod:`repro.service.commands`); ``stats`` and ``provenance`` fan out
+to every worker and merge, ``metrics`` answers from the front end's
+tracer (which carries the ``daemon.*`` counters, queue-depth gauge,
+and per-command latency histograms).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Tracer
+from repro.service.commands import (
+    AGGREGATE_COMMANDS,
+    CMD_HANDLERS,
+    request_options,
+    request_source,
+)
+from repro.service.store import ResultStore, default_store_url
+
+#: One JSON-lines request (a whole C source travels inline) may be
+#: large; the asyncio default 64 KiB readline limit is not enough.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class DaemonConfig:
+    """Tunables for one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port (reported by Daemon.port)
+    store_url: str | None = None  # None = REPRO_PTA_STORE / default
+    workers: int = 0  # 0 = os.cpu_count()
+    max_sessions: int = 64  # warm QuerySessions kept per worker
+    queue_limit: int = 128  # dispatched-but-unfinished job cap
+    client_inflight: int = 16  # per-connection outstanding cap
+    drain_timeout: float = 30.0  # seconds to wait for in-flight work
+
+    def resolved_workers(self) -> int:
+        import os
+
+        if self.workers and self.workers > 0:
+            return self.workers
+        return os.cpu_count() or 1
+
+    def resolved_store_url(self) -> str:
+        return self.store_url or default_store_url()
+
+
+def _overloaded(reason: str, retry_after_ms: int) -> dict:
+    return {
+        "ok": False,
+        "error": "overloaded",
+        "reason": reason,
+        "retry_after_ms": retry_after_ms,
+    }
+
+
+class _Connection:
+    """Per-client state: write lock and the in-flight quota counter."""
+
+    __slots__ = ("writer", "lock", "inflight", "tasks")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.inflight = 0
+        self.tasks: set[asyncio.Task] = set()
+
+
+@dataclass
+class _WorkerInfo:
+    """Last-known facts reported by one worker."""
+
+    sessions: int = 0
+    store: dict = field(default_factory=dict)
+
+
+class Daemon:
+    """One daemon instance; drive it with :meth:`run` (blocking) or
+    :meth:`start` / :meth:`serve_forever` / :meth:`shutdown` inside an
+    event loop."""
+
+    def __init__(
+        self, config: DaemonConfig | None = None, tracer: Tracer | None = None
+    ):
+        self.config = config or DaemonConfig()
+        # A private tracer (not the process-global obs one): the event
+        # loop is the only writer, and the metrics verb snapshots it.
+        self.tracer = tracer or Tracer()
+        self.port: int | None = None
+        self.host: str | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._workers: list[multiprocessing.Process] = []
+        self._queues: list = []
+        self._results = None
+        self._pump: threading.Thread | None = None
+        self._pump_stop = threading.Event()
+        self._worker_info: dict[int, _WorkerInfo] = {}
+        self._worker_acks = 0
+        # job_id -> (future resolving to (response, info), coalesce key)
+        self._jobs: dict[int, tuple[asyncio.Future, str | None]] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._next_job = 0
+        self._pending = 0
+        self._latency_ewma = 0.05  # seconds; seeds retry-after estimates
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self.started_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn workers, the result pump, and the TCP listener."""
+        config = self.config
+        self._loop = asyncio.get_running_loop()
+        n_workers = config.resolved_workers()
+        store_url = config.resolved_store_url()
+        # Fork (where available) shares the already-imported analysis
+        # code; workers are spawned before the server accepts traffic.
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        self._results = ctx.Queue()
+        from repro.daemon.worker import worker_main
+
+        for worker_id in range(n_workers):
+            queue = ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(
+                    worker_id,
+                    store_url,
+                    config.max_sessions,
+                    queue,
+                    self._results,
+                ),
+                daemon=True,
+                name=f"repro-daemon-worker-{worker_id}",
+            )
+            process.start()
+            self._queues.append(queue)
+            self._workers.append(process)
+            self._worker_info[worker_id] = _WorkerInfo()
+        self._pump = threading.Thread(
+            target=self._pump_results, name="repro-daemon-pump", daemon=True
+        )
+        self._pump.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=config.host,
+            port=config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        self.started_at = time.time()
+        self.tracer.gauge("daemon.workers", n_workers)
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    async def run(self) -> None:
+        """Start, install signal handlers, and serve until shutdown."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(self.shutdown()),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without support
+        await self.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Drain in-flight work, flush stores, stop workers, exit."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # 1. Drain: wait for every dispatched job to come back.
+        deadline = time.monotonic() + self.config.drain_timeout
+        pending = [future for future, _ in self._jobs.values()]
+        if pending:
+            await asyncio.wait(
+                pending, timeout=max(0.0, deadline - time.monotonic())
+            )
+        # 2. Let response writers finish delivering to clients.
+        writers = [
+            task
+            for conn in list(self._connections)
+            for task in list(conn.tasks)
+        ]
+        if writers:
+            await asyncio.wait(
+                writers, timeout=max(0.1, deadline - time.monotonic())
+            )
+        # 3. Stop workers: sentinel, then wait for their flush acks.
+        for queue in self._queues:
+            queue.put(None)
+        join_deadline = max(1.0, deadline - time.monotonic())
+        for process in self._workers:
+            await self._loop.run_in_executor(
+                None, process.join, join_deadline / max(len(self._workers), 1)
+            )
+            if process.is_alive():
+                process.terminate()
+        self._pump_stop.set()
+        if self._pump is not None:
+            await self._loop.run_in_executor(None, self._pump.join, 2.0)
+        # 4. Close remaining client connections.
+        for conn in list(self._connections):
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        self._stopped.set()
+
+    # -- worker plumbing ---------------------------------------------------
+
+    def _pump_results(self) -> None:
+        """Move worker results onto the event loop (runs in a thread)."""
+        import queue as queue_mod
+
+        while not self._pump_stop.is_set():
+            try:
+                item = self._results.get(timeout=0.1)
+            except queue_mod.Empty:
+                continue
+            except (EOFError, OSError):
+                break
+            self._loop.call_soon_threadsafe(self._complete, *item)
+
+    def _complete(self, worker_id, job_id, response, info) -> None:
+        """One worker result arrived (event-loop thread)."""
+        if job_id is None:  # shutdown ack: stores flushed and closed
+            self._worker_acks += 1
+            return
+        entry = self._jobs.pop(job_id, None)
+        self._pending -= 1
+        self.tracer.gauge("daemon.queue_depth", self._pending)
+        wall = info.get("wall_s", 0.0)
+        self._latency_ewma = 0.8 * self._latency_ewma + 0.2 * wall
+        if info.get("analyzed"):
+            self.tracer.count("daemon.analyses")
+        known = self._worker_info.get(worker_id)
+        if known is not None:
+            known.sessions = info.get("sessions", known.sessions)
+            known.store = info.get("store", known.store)
+        if entry is None:
+            return
+        future, coalesce_key = entry
+        if coalesce_key is not None:
+            self._inflight.pop(coalesce_key, None)
+        if not future.done():
+            future.set_result((response, info))
+
+    def _dispatch(
+        self, shard: int, request: dict, coalesce_key: str | None
+    ) -> asyncio.Future:
+        """Queue one job on a worker; the future yields (response, info)."""
+        job_id = self._next_job
+        self._next_job += 1
+        future = self._loop.create_future()
+        self._jobs[job_id] = (future, coalesce_key)
+        self._pending += 1
+        self.tracer.gauge("daemon.queue_depth", self._pending)
+        self._queues[shard % len(self._queues)].put((job_id, request))
+        return future
+
+    def _retry_after_ms(self) -> int:
+        estimate = (
+            1000.0
+            * self._latency_ewma
+            * max(self._pending, 1)
+            / max(len(self._workers), 1)
+        )
+        return int(min(5000.0, max(50.0, estimate)))
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self.tracer.count("daemon.connections")
+        self.tracer.gauge("daemon.open_connections", len(self._connections))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(conn, line)
+                )
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+        finally:
+            if conn.tasks:
+                await asyncio.wait(list(conn.tasks))
+            self._connections.discard(conn)
+            self.tracer.gauge(
+                "daemon.open_connections", len(self._connections)
+            )
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        start = time.perf_counter()
+        request: dict | None = None
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {"ok": False, "error": f"bad JSON: {exc}"}
+        else:
+            if not isinstance(parsed, dict):
+                response = {"ok": False, "error": "request must be an object"}
+            else:
+                request = parsed
+                response = await self._answer(conn, request)
+        verb = (request or {}).get("cmd", "query")
+        # Copy before annotating: coalesced waiters share one response
+        # object, and each waiter stamps its own id and wall time.
+        response = dict(response)
+        if request is not None and "id" in request:
+            response["id"] = request["id"]
+        quit_now = response.pop("quit", False)
+        elapsed = time.perf_counter() - start
+        response["metrics"] = {"wall_ms": round(elapsed * 1000, 3)}
+        self.tracer.count("daemon.requests")
+        if not response.get("ok", False):
+            self.tracer.count("daemon.errors")
+        self.tracer.observe("daemon.request", elapsed)
+        self.tracer.observe(f"daemon.cmd.{verb}", elapsed)
+        async with conn.lock:
+            try:
+                conn.writer.write(
+                    json.dumps(response, sort_keys=True).encode() + b"\n"
+                )
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                return
+        if quit_now:
+            asyncio.ensure_future(self.shutdown())
+
+    async def _answer(self, conn: _Connection, request: dict) -> dict:
+        """Route one parsed request and await its response."""
+        if self._draining:
+            return {"ok": False, "error": "shutting down"}
+        cmd = request.get("cmd")
+        if cmd == "quit":
+            # Answer like the serve loop, then drain and exit.
+            return dict(CMD_HANDLERS["quit"](request, None, None))
+        if cmd == "metrics":
+            return self._metrics_response()
+        if cmd in AGGREGATE_COMMANDS:
+            return await self._fan_out(request)
+        if cmd is not None and cmd not in CMD_HANDLERS:
+            return {
+                "ok": False,
+                "error": f"unknown cmd {cmd!r}",
+                "cmd": cmd,
+                "known_cmds": sorted(CMD_HANDLERS),
+            }
+        if cmd is None and "query" not in request:
+            return {"ok": False, "error": "missing 'query'"}
+
+        # Source-bearing request (query or check): route by content key.
+        name, source, error = request_source(request)
+        if error is not None:
+            return error
+        options, error = request_options(request)
+        if error is not None:
+            return error
+        key = ResultStore.key_for(source, options)
+
+        if conn.inflight >= self.config.client_inflight:
+            self.tracer.count("daemon.shed")
+            self.tracer.count("daemon.shed.client_quota")
+            return _overloaded("client_quota", self._retry_after_ms())
+
+        conn.inflight += 1
+        try:
+            body = dict(request)
+            body.pop("id", None)
+            coalesce_key = key + "\n" + json.dumps(body, sort_keys=True)
+            future = self._inflight.get(coalesce_key)
+            if future is not None:
+                self.tracer.count("daemon.coalesced")
+            else:
+                if self._pending >= self.config.queue_limit:
+                    self.tracer.count("daemon.shed")
+                    self.tracer.count("daemon.shed.queue_full")
+                    return _overloaded("queue_full", self._retry_after_ms())
+                shard = int(key[:8], 16)
+                future = self._dispatch(shard, body, coalesce_key)
+                self._inflight[coalesce_key] = future
+            response, _ = await asyncio.shield(future)
+            return response
+        finally:
+            conn.inflight -= 1
+
+    # -- control verbs -----------------------------------------------------
+
+    def _merged_store_stats(self) -> dict:
+        totals = {"hits": 0, "misses": 0, "puts": 0, "invalid": 0}
+        for info in self._worker_info.values():
+            for field_name in totals:
+                totals[field_name] += info.store.get(field_name, 0)
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = (
+            round(totals["hits"] / lookups, 4) if lookups else 0.0
+        )
+        return totals
+
+    def _metrics_response(self) -> dict:
+        # Same shape as the serve loop's metrics verb; the snapshot
+        # carries the daemon.* counters, gauges, and histograms.
+        return {
+            "ok": True,
+            "result": {
+                "tracing": self.tracer.enabled,
+                "metrics": self.tracer.snapshot(),
+                "store": self._merged_store_stats(),
+                "sessions": sum(
+                    info.sessions for info in self._worker_info.values()
+                ),
+            },
+        }
+
+    async def _fan_out(self, request: dict) -> dict:
+        """stats/provenance: ask every worker, merge shard answers."""
+        body = dict(request)
+        body.pop("id", None)
+        futures = [
+            self._dispatch(shard, body, None)
+            for shard in range(len(self._workers))
+        ]
+        results = await asyncio.gather(*futures)
+        responses = [response for response, _ in results]
+        failed = next((r for r in responses if not r.get("ok")), None)
+        if failed is not None:
+            return failed
+        if request["cmd"] == "stats":
+            merged = {
+                "store": {"hits": 0, "misses": 0, "puts": 0, "invalid": 0},
+                "sessions": 0,
+                "queries": {},
+            }
+            for response in responses:
+                result = response["result"]
+                for field_name in ("hits", "misses", "puts", "invalid"):
+                    merged["store"][field_name] += result["store"][
+                        field_name
+                    ]
+                merged["sessions"] += result["sessions"]
+                merged["queries"].update(result["queries"])
+            lookups = merged["store"]["hits"] + merged["store"]["misses"]
+            merged["store"]["hit_rate"] = (
+                round(merged["store"]["hits"] / lookups, 4) if lookups else 0.0
+            )
+            return {"ok": True, "result": merged}
+        # provenance: union the per-shard session summaries.
+        sessions: dict = {}
+        for response in responses:
+            sessions.update(response["result"]["sessions"])
+        return {"ok": True, "result": {"enabled": True, "sessions": sessions}}
+
+
+def run_daemon(config: DaemonConfig | None = None) -> int:
+    """Blocking entry point used by ``repro-pta daemon``."""
+    daemon = Daemon(config)
+
+    # Announce the bound address on stdout so callers (tests, scripts,
+    # editors) can connect to an ephemeral --port 0.
+    async def announced() -> None:
+        await daemon.start()
+        # Handlers go in before the announce line: a supervisor may
+        # signal the instant it sees the address.
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(daemon.shutdown()),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(
+            f"daemon: listening on {daemon.host}:{daemon.port} "
+            f"workers={len(daemon._workers)} "
+            f"store={daemon.config.resolved_store_url()}",
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(announced())
+    except KeyboardInterrupt:
+        pass
+    print("daemon: stopped", file=sys.stderr)
+    return 0

@@ -1,0 +1,76 @@
+"""The daemon's worker-process entry point.
+
+Each worker owns one store handle (opened from the backend URL — file
+and sqlite backends share one object space across workers, a memory
+backend is worker-private but stays coherent because the front end
+shards requests by content hash, so a given key always lands on the
+same worker) and one LRU-bounded
+:class:`~repro.service.commands.SessionCache` of warm query sessions.
+Requests are answered with the exact
+:func:`~repro.service.commands.handle_request` dispatch the stdin
+serve loop uses, which is what keeps the two transports behaviorally
+identical.
+
+The job protocol over the multiprocessing queues::
+
+    job queue:    (job_id, request_dict)  |  None        (shutdown)
+    result queue: (worker_id, job_id, response, info)
+                  (worker_id, None, None, None)          (shutdown ack)
+
+``info`` carries per-request facts the front end aggregates:
+``analyzed`` (a store miss ran the full analysis — the coalescing
+counter's ground truth), ``wall_s``, the worker's session count and
+cumulative store traffic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def worker_main(
+    worker_id: int,
+    store_url: str,
+    max_sessions: int,
+    job_queue,
+    result_queue,
+) -> None:
+    """Blocking worker loop: jobs in, responses out, until sentinel."""
+    # Imports happen here (not at module top) so a spawn-context child
+    # pays them once, and a fork-context child reuses the parent's.
+    from repro.service.commands import SessionCache, handle_request
+    from repro.service.store import ResultStore
+
+    store = ResultStore(store_url)
+    sessions = SessionCache(max_sessions)
+    try:
+        while True:
+            job = job_queue.get()
+            if job is None:
+                break
+            job_id, request = job
+            start = time.perf_counter()
+            misses_before = store.stats.misses
+            try:
+                response = handle_request(request, store, sessions)
+            except Exception as exc:  # never kill the worker on one request
+                response = {
+                    "ok": False,
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                }
+            info = {
+                "analyzed": store.stats.misses > misses_before,
+                "wall_s": time.perf_counter() - start,
+                "sessions": len(sessions),
+                "store": store.stats.as_dict(),
+            }
+            result_queue.put((worker_id, job_id, response, info))
+    finally:
+        # Graceful shutdown: flush pending store writes (sqlite WAL
+        # checkpoints, tiered write-through) and release the backend
+        # before acking so the parent knows the data is durable.
+        try:
+            store.flush()
+            store.close()
+        finally:
+            result_queue.put((worker_id, None, None, None))

@@ -31,10 +31,24 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro import obs
-from repro.core import perf
 from repro.core.analysis import AnalysisOptions
-from repro.service.queries import QueryError, QuerySession
+from repro.service.commands import (
+    CMD_HANDLERS as _CMD_HANDLERS,
+    SERVE_COMMANDS,
+    handle_request,
+    request_options as _request_options,
+    request_source as _request_source,
+)
+from repro.service.queries import QuerySession
 from repro.service.store import ResultStore
+
+__all__ = [
+    "BatchReport",
+    "SERVE_COMMANDS",
+    "collect_items",
+    "run_batch",
+    "serve",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -158,14 +172,18 @@ def _worker(job: tuple) -> dict:
     """Pool entry point: one file through a worker-local store handle.
 
     Module-level (picklable) on purpose; workers share the store
-    *directory*, not the instance — writes are atomic, so races on one
-    key at worst duplicate work, never corrupt it.
+    *location* (a backend URL), not the instance — file and sqlite
+    writes are atomic, so races on one key at worst duplicate work,
+    never corrupt it.
     """
-    name, source, options_dict, store_root, refresh = job
-    store = ResultStore(Path(store_root))
-    return _run_item(
-        name, source, AnalysisOptions(**options_dict), store, refresh
-    )
+    name, source, options_dict, store_url, refresh = job
+    store = ResultStore(store_url)
+    try:
+        return _run_item(
+            name, source, AnalysisOptions(**options_dict), store, refresh
+        )
+    finally:
+        store.close()
 
 
 def run_batch(
@@ -180,7 +198,11 @@ def run_batch(
     options = options or AnalysisOptions()
     jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
     jobs = min(jobs, max(len(items), 1))
-    report = BatchReport(jobs=jobs, store_root=str(store.root))
+    if not store.process_shared:
+        # A per-process backend (memory://) cannot be fanned out:
+        # workers would fill private stores and drop every byte.
+        jobs = 1
+    report = BatchReport(jobs=jobs, store_root=store.url)
     with obs.timed("batch.run", jobs=jobs, files=len(items)) as timer:
         if jobs == 1:
             for name, source in items:
@@ -191,7 +213,7 @@ def run_batch(
             import multiprocessing
 
             payloads = [
-                (name, source, asdict(options), str(store.root), refresh)
+                (name, source, asdict(options), store.url, refresh)
                 for name, source in items
             ]
             with multiprocessing.Pool(jobs) as pool:
@@ -204,190 +226,10 @@ def run_batch(
 # The serve loop
 # ---------------------------------------------------------------------------
 
-
-def _request_source(request: dict):
-    """(name, source, error) from a request's ``source``/``file``."""
-    if "source" in request:
-        return "<inline>", request["source"], None
-    if "file" in request:
-        path = Path(request["file"])
-        try:
-            return str(path), path.read_text(), None
-        except OSError as exc:
-            return None, None, {
-                "ok": False,
-                "error": f"cannot read {path}: {exc}",
-            }
-    return None, None, {"ok": False, "error": "missing 'file' or 'source'"}
-
-
-def _request_options(request: dict):
-    """(options, error) from a request's ``options`` object."""
-    try:
-        return AnalysisOptions(**request.get("options", {})), None
-    except TypeError as exc:
-        return None, {"ok": False, "error": f"bad options: {exc}"}
-
-
-def _cmd_stats(request, store, sessions) -> dict:
-    return {
-        "ok": True,
-        "result": {
-            "store": store.stats.as_dict(),
-            "sessions": len(sessions),
-            "queries": {
-                key[:12]: session.stats.as_dict()
-                for key, session in sorted(sessions.items())
-            },
-        },
-    }
-
-
-def _cmd_metrics(request, store, sessions) -> dict:
-    # The tracer's cumulative view of the serve loop: counters (store
-    # traffic, analysis work), gauges, and the per-query latency
-    # histograms (see docs/OBSERVABILITY.md).
-    tracer = obs.get_tracer()
-    return {
-        "ok": True,
-        "result": {
-            "tracing": tracer.enabled,
-            "metrics": tracer.snapshot(),
-            "store": store.stats.as_dict(),
-            "sessions": len(sessions),
-        },
-    }
-
-
-def _cmd_provenance(request, store, sessions) -> dict:
-    # Gated on the recording switch: when it is off, sessions hold no
-    # derivation logs, so say how to get them instead of reporting an
-    # all-None table.
-    if not perf.CONFIG.track_provenance:
-        return {
-            "ok": False,
-            "error": (
-                "provenance tracking is off: enable "
-                "perf.CONFIG.track_provenance before serving "
-                "(see docs/PROVENANCE.md)"
-            ),
-            "cmd": request["cmd"],
-        }
-    summaries = {}
-    for key, session in sorted(sessions.items()):
-        log = getattr(session.analysis, "provenance", None)
-        summaries[key[:12]] = (
-            None
-            if log is None
-            else {
-                "records": len(log.records),
-                "classes": log.class_counts(),
-                "symbolic_intros": len(log.symbolic_intros),
-            }
-        )
-    return {
-        "ok": True,
-        "result": {"enabled": True, "sessions": summaries},
-    }
-
-
-def _cmd_check(request, store, sessions) -> dict:
-    """Run the pointer-bug checkers over the request's source (through
-    the store: warm keys are checked against the decoded artifact).
-    Optional keys: ``checkers`` (list of ids), ``provenance`` (default
-    True — findings carry derivation witnesses), ``format`` ("sarif"
-    returns the rendered SARIF document instead of finding dicts)."""
-    from repro.checkers import CheckerError, render_sarif, run_checkers
-
-    name, source, error = _request_source(request)
-    if error is not None:
-        return error
-    options, error = _request_options(request)
-    if error is not None:
-        return error
-    track = bool(request.get("provenance", True))
-    try:
-        with perf.configured(track_provenance=track):
-            result, hit = store.load_or_analyze(source, options, name=name)
-    except Exception as exc:
-        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-    try:
-        findings = run_checkers(
-            result, source=source, checkers=request.get("checkers")
-        )
-    except CheckerError as exc:
-        return {"ok": False, "error": str(exc)}
-    errors = sum(1 for f in findings if f.severity == "error")
-    payload: dict = {
-        "errors": errors,
-        "warnings": len(findings) - errors,
-    }
-    if request.get("format") == "sarif":
-        payload["sarif"] = render_sarif(findings, name or "<inline>")
-    else:
-        payload["findings"] = [f.as_dict() for f in findings]
-    return {"ok": True, "cached": hit, "result": payload}
-
-
-def _cmd_quit(request, store, sessions) -> dict:
-    return {"ok": True, "result": "bye", "quit": True}
-
-
-#: The serve loop's command dispatch table.  ``SERVE_COMMANDS`` (the
-#: list reported on an unknown ``cmd``) is derived from it, so adding a
-#: handler here is the single step to extend the protocol.
-_CMD_HANDLERS = {
-    "check": _cmd_check,
-    "metrics": _cmd_metrics,
-    "provenance": _cmd_provenance,
-    "quit": _cmd_quit,
-    "stats": _cmd_stats,
-}
-
-#: Control commands the serve loop understands (reported back on an
-#: unknown ``cmd`` so callers can discover the protocol), always
-#: alphabetical because it is derived from the dispatch table.
-SERVE_COMMANDS = tuple(sorted(_CMD_HANDLERS))
-
-
-def _serve_request(
-    request: dict,
-    store: ResultStore,
-    sessions: dict[str, QuerySession],
-) -> dict:
-    if "cmd" in request:
-        cmd = request["cmd"]
-        handler = _CMD_HANDLERS.get(cmd)
-        if handler is None:
-            return {
-                "ok": False,
-                "error": f"unknown cmd {cmd!r}",
-                "cmd": cmd,
-                "known_cmds": list(SERVE_COMMANDS),
-            }
-        return handler(request, store, sessions)
-
-    if "query" not in request:
-        return {"ok": False, "error": "missing 'query'"}
-    name, source, error = _request_source(request)
-    if error is not None:
-        return error
-    options, error = _request_options(request)
-    if error is not None:
-        return error
-    key = store.key_for(source, options)
-    session = sessions.get(key)
-    if session is None:
-        try:
-            result, _ = store.load_or_analyze(source, options, name=name)
-        except Exception as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        session = sessions[key] = QuerySession(result)
-    try:
-        answer = session.evaluate(request["query"])
-    except QueryError as exc:
-        return {"ok": False, "error": str(exc)}
-    return {"ok": True, "cached": session.cached, "result": answer}
+# The dispatch table and request handlers live in
+# repro.service.commands so the TCP daemon (repro.daemon) serves the
+# exact same protocol; the historical names stay importable from here.
+_serve_request = handle_request
 
 
 def serve(

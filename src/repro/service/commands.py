@@ -1,0 +1,278 @@
+"""The service request protocol, shared by every transport.
+
+One request is one JSON object; :func:`handle_request` answers it
+against a :class:`~repro.service.store.ResultStore` plus a mapping of
+warm :class:`~repro.service.queries.QuerySession` objects.  The
+JSON-lines stdin serve loop (``repro-pta batch --serve``,
+:mod:`repro.service.batch`) and the concurrent TCP daemon
+(:mod:`repro.daemon`) both dispatch through the same
+:data:`CMD_HANDLERS` table, which is what keeps the ``stats`` /
+``metrics`` / ``provenance`` / ``check`` / ``query`` verbs
+behaviorally identical over both transports (asserted by a
+parametrized transport-equality test).
+
+Adding a handler to :data:`CMD_HANDLERS` is the single step to extend
+the protocol on every transport at once; :data:`SERVE_COMMANDS` (the
+list reported back on an unknown ``cmd``) is derived from the table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import MutableMapping
+
+from repro import obs
+from repro.core import perf
+from repro.core.analysis import AnalysisOptions
+from repro.service.queries import QueryError, QuerySession
+from repro.service.store import ResultStore
+
+
+class SessionCache(MutableMapping):
+    """An LRU-bounded mapping of warm query sessions.
+
+    ``capacity=None`` (the serve loop's historical behavior) never
+    evicts; a bounded cache drops the least-recently-used session when
+    a new key would exceed the capacity.  Lookups refresh recency.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("SessionCache capacity must be >= 1 or None")
+        self.capacity = capacity
+        self.evictions = 0
+        self._sessions: OrderedDict[str, QuerySession] = OrderedDict()
+
+    def __getitem__(self, key: str) -> QuerySession:
+        session = self._sessions[key]
+        self._sessions.move_to_end(key)
+        return session
+
+    def __setitem__(self, key: str, session: QuerySession) -> None:
+        self._sessions[key] = session
+        self._sessions.move_to_end(key)
+        while (
+            self.capacity is not None
+            and len(self._sessions) > self.capacity
+        ):
+            self._sessions.popitem(last=False)
+            self.evictions += 1
+            obs.count("sessions.evicted")
+
+    def __delitem__(self, key: str) -> None:
+        del self._sessions[key]
+
+    def __iter__(self):
+        return iter(list(self._sessions))
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def items(self):
+        # Recency-neutral snapshot: stats/provenance introspection must
+        # not refresh LRU order (the default MutableMapping.items goes
+        # through __getitem__, which would).
+        return [(key, self._sessions[key]) for key in self._sessions]
+
+
+# ---------------------------------------------------------------------------
+# Request plumbing
+# ---------------------------------------------------------------------------
+
+
+def request_source(request: dict):
+    """(name, source, error) from a request's ``source``/``file``."""
+    if "source" in request:
+        return "<inline>", request["source"], None
+    if "file" in request:
+        path = Path(request["file"])
+        try:
+            return str(path), path.read_text(), None
+        except OSError as exc:
+            return None, None, {
+                "ok": False,
+                "error": f"cannot read {path}: {exc}",
+            }
+    return None, None, {"ok": False, "error": "missing 'file' or 'source'"}
+
+
+def request_options(request: dict):
+    """(options, error) from a request's ``options`` object."""
+    try:
+        return AnalysisOptions(**request.get("options", {})), None
+    except TypeError as exc:
+        return None, {"ok": False, "error": f"bad options: {exc}"}
+
+
+# ---------------------------------------------------------------------------
+# Control-command handlers
+# ---------------------------------------------------------------------------
+
+
+def _cmd_stats(request, store, sessions) -> dict:
+    return {
+        "ok": True,
+        "result": {
+            "store": store.stats.as_dict(),
+            "sessions": len(sessions),
+            "queries": {
+                key[:12]: session.stats.as_dict()
+                for key, session in sorted(sessions.items())
+            },
+        },
+    }
+
+
+def _cmd_metrics(request, store, sessions) -> dict:
+    # The tracer's cumulative view of the serve loop: counters (store
+    # traffic, analysis work), gauges, and the per-query latency
+    # histograms (see docs/OBSERVABILITY.md).
+    tracer = obs.get_tracer()
+    return {
+        "ok": True,
+        "result": {
+            "tracing": tracer.enabled,
+            "metrics": tracer.snapshot(),
+            "store": store.stats.as_dict(),
+            "sessions": len(sessions),
+        },
+    }
+
+
+def _cmd_provenance(request, store, sessions) -> dict:
+    # Gated on the recording switch: when it is off, sessions hold no
+    # derivation logs, so say how to get them instead of reporting an
+    # all-None table.
+    if not perf.CONFIG.track_provenance:
+        return {
+            "ok": False,
+            "error": (
+                "provenance tracking is off: enable "
+                "perf.CONFIG.track_provenance before serving "
+                "(see docs/PROVENANCE.md)"
+            ),
+            "cmd": request["cmd"],
+        }
+    summaries = {}
+    for key, session in sorted(sessions.items()):
+        log = getattr(session.analysis, "provenance", None)
+        summaries[key[:12]] = (
+            None
+            if log is None
+            else {
+                "records": len(log.records),
+                "classes": log.class_counts(),
+                "symbolic_intros": len(log.symbolic_intros),
+            }
+        )
+    return {
+        "ok": True,
+        "result": {"enabled": True, "sessions": summaries},
+    }
+
+
+def _cmd_check(request, store, sessions) -> dict:
+    """Run the pointer-bug checkers over the request's source (through
+    the store: warm keys are checked against the decoded artifact).
+    Optional keys: ``checkers`` (list of ids), ``provenance`` (default
+    True — findings carry derivation witnesses), ``format`` ("sarif"
+    returns the rendered SARIF document instead of finding dicts)."""
+    from repro.checkers import CheckerError, render_sarif, run_checkers
+
+    name, source, error = request_source(request)
+    if error is not None:
+        return error
+    options, error = request_options(request)
+    if error is not None:
+        return error
+    track = bool(request.get("provenance", True))
+    try:
+        with perf.configured(track_provenance=track):
+            result, hit = store.load_or_analyze(source, options, name=name)
+    except Exception as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    try:
+        findings = run_checkers(
+            result, source=source, checkers=request.get("checkers")
+        )
+    except CheckerError as exc:
+        return {"ok": False, "error": str(exc)}
+    errors = sum(1 for f in findings if f.severity == "error")
+    payload: dict = {
+        "errors": errors,
+        "warnings": len(findings) - errors,
+    }
+    if request.get("format") == "sarif":
+        payload["sarif"] = render_sarif(findings, name or "<inline>")
+    else:
+        payload["findings"] = [f.as_dict() for f in findings]
+    return {"ok": True, "cached": hit, "result": payload}
+
+
+def _cmd_quit(request, store, sessions) -> dict:
+    return {"ok": True, "result": "bye", "quit": True}
+
+
+#: The protocol's command dispatch table.  ``SERVE_COMMANDS`` (the
+#: list reported on an unknown ``cmd``) is derived from it, so adding a
+#: handler here is the single step to extend the protocol — on stdin
+#: and on TCP at once.
+CMD_HANDLERS = {
+    "check": _cmd_check,
+    "metrics": _cmd_metrics,
+    "provenance": _cmd_provenance,
+    "quit": _cmd_quit,
+    "stats": _cmd_stats,
+}
+
+#: Control commands the protocol understands (reported back on an
+#: unknown ``cmd`` so callers can discover the protocol), always
+#: alphabetical because it is derived from the dispatch table.
+SERVE_COMMANDS = tuple(sorted(CMD_HANDLERS))
+
+#: Commands whose answers aggregate over *sessions* (and so, in the
+#: sharded daemon, fan out to every worker and merge) rather than
+#: touching one source's shard.
+AGGREGATE_COMMANDS = ("provenance", "stats")
+
+
+def handle_request(
+    request: dict,
+    store: ResultStore,
+    sessions: MutableMapping,
+) -> dict:
+    """Answer one protocol request (shared by stdin and TCP serving)."""
+    if "cmd" in request:
+        cmd = request["cmd"]
+        handler = CMD_HANDLERS.get(cmd)
+        if handler is None:
+            return {
+                "ok": False,
+                "error": f"unknown cmd {cmd!r}",
+                "cmd": cmd,
+                "known_cmds": list(SERVE_COMMANDS),
+            }
+        return handler(request, store, sessions)
+
+    if "query" not in request:
+        return {"ok": False, "error": "missing 'query'"}
+    name, source, error = request_source(request)
+    if error is not None:
+        return error
+    options, error = request_options(request)
+    if error is not None:
+        return error
+    key = store.key_for(source, options)
+    session = sessions.get(key)
+    if session is None:
+        try:
+            result, _ = store.load_or_analyze(source, options, name=name)
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        session = sessions[key] = QuerySession(result)
+    try:
+        answer = session.evaluate(request["query"])
+    except QueryError as exc:
+        return {"ok": False, "error": str(exc)}
+    return {"ok": True, "cached": session.cached, "result": answer}

@@ -1,18 +1,18 @@
-"""On-disk, content-addressed result store.
+"""Content-addressed result store over a pluggable backend.
 
 Results are keyed by ``sha256(source, AnalysisOptions, FORMAT_VERSION)``
 — the *content* of the request, not the file path — so renaming a file
 still hits, editing a file misses, and bumping the payload format
 invalidates everything without any migration logic.
 
-Layout (all under one root directory)::
-
-    <root>/objects/<k[:2]>/<k>.json    one canonical-JSON payload per key
-
-Writes are atomic (temp file + ``os.replace``), so concurrent batch
-workers can race on the same key safely: both compute the same bytes
-and the last rename wins.  Corrupt or version-skewed payloads are
-treated as misses and overwritten.
+The store owns key computation, canonical encoding/decoding, dropping
+corrupt payloads, and traffic counters; raw object IO goes through a
+:class:`~repro.service.backends.StoreBackend` selected by URL
+(``file:…``, ``memory://``, ``sqlite:…``, or the tiered
+``memory+file:…`` read-through composition — see
+:mod:`repro.service.backends`).  The default is the filesystem backend
+with the historical layout (``<root>/objects/<k[:2]>/<k>.json``,
+atomic writes), byte- and key-compatible with existing on-disk stores.
 """
 
 from __future__ import annotations
@@ -20,13 +20,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro import obs
 from repro.core import perf
 from repro.core.analysis import AnalysisOptions, analyze_source
+from repro.service.backends import (
+    FileBackend,
+    StoreBackend,
+    open_backend,
+)
 from repro.service.serialize import (
     FORMAT_VERSION,
     DecodedAnalysis,
@@ -35,7 +39,11 @@ from repro.service.serialize import (
     encode_analysis,
 )
 
-#: Environment variable overriding the default store root.
+#: Environment variable overriding the default store location.  Holds
+#: either a bare directory path (filesystem backend, historical
+#: behavior) or any backend URL (``sqlite:…``, ``memory://``,
+#: ``memory+file:…``); an explicit ``--store`` / constructor argument
+#: always wins over the environment.
 STORE_ENV = "REPRO_PTA_STORE"
 
 
@@ -44,6 +52,14 @@ def default_store_root() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-pta"
+
+
+def default_store_url() -> str:
+    """The backend URL the environment selects (path or URL forms)."""
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return env
+    return str(Path.home() / ".cache" / "repro-pta")
 
 
 @dataclass
@@ -70,15 +86,60 @@ class StoreStats:
         return result
 
 
-@dataclass
 class ResultStore:
-    """A content-addressed cache of encoded analysis results."""
+    """A content-addressed cache of encoded analysis results.
 
-    root: Path = field(default_factory=default_store_root)
+    ``location`` may be a directory path (filesystem backend), a
+    backend URL string, an opened :class:`StoreBackend`, or ``None``
+    for the environment/default location.
+    """
 
-    def __post_init__(self) -> None:
-        self.root = Path(self.root)
+    def __init__(
+        self, location: str | Path | StoreBackend | None = None
+    ) -> None:
+        if location is None:
+            location = default_store_url()
+        if isinstance(location, (str, Path)):
+            self.backend: StoreBackend = open_backend(location)
+        else:
+            self.backend = location
         self.stats = StoreStats()
+
+    # -- backend passthroughs ----------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """URL that reopens this store (e.g. in a worker process)."""
+        return self.backend.url
+
+    @property
+    def process_shared(self) -> bool:
+        return self.backend.process_shared
+
+    @property
+    def root(self) -> Path:
+        """Filesystem root, for file-backed stores only."""
+        backend = self.backend
+        if isinstance(backend, FileBackend):
+            return backend.root
+        back = getattr(backend, "back", None)
+        if isinstance(back, FileBackend):
+            return back.root
+        raise AttributeError(
+            f"store backend {self.url!r} has no filesystem root"
+        )
+
+    def path_for(self, key: str) -> Path:
+        """On-disk object path, for file-backed stores only."""
+        backend = self.backend
+        if isinstance(backend, FileBackend):
+            return backend.path_for(key)
+        back = getattr(backend, "back", None)
+        if isinstance(back, FileBackend):
+            return back.path_for(key)
+        raise AttributeError(
+            f"store backend {self.url!r} keeps no per-object paths"
+        )
 
     # -- keys -------------------------------------------------------------
 
@@ -107,20 +168,15 @@ class ResultStore:
             ).encode()
         ).hexdigest()
 
-    def path_for(self, key: str) -> Path:
-        return self.root / "objects" / key[:2] / f"{key}.json"
-
     # -- raw object access -------------------------------------------------
 
     def has(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        return self.backend.has(key)
 
     def get(self, key: str) -> DecodedAnalysis | None:
         """The decoded payload under ``key``, or None on miss."""
-        path = self.path_for(key)
-        try:
-            raw = path.read_bytes()
-        except OSError:
+        raw = self.backend.get(key)
+        if raw is None:
             self.stats.misses += 1
             obs.count("store.misses")
             return None
@@ -133,57 +189,61 @@ class ResultStore:
                 self.stats.misses += 1
                 obs.count("store.invalid")
                 obs.count("store.misses")
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                self.backend.delete(key)
                 return None
         self.stats.hits += 1
         obs.count("store.hits")
         return decoded
 
-    def put(self, key: str, payload: dict) -> Path:
+    def put(self, key: str, payload: dict) -> None:
         """Atomically write ``payload`` under ``key``."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         data = canonical_json(payload)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.backend.put(key, data)
         self.stats.puts += 1
         if obs.active():
             obs.count("store.puts")
             obs.count("store.put_bytes", len(data))
-        return path
 
     # -- maintenance -------------------------------------------------------
 
     def keys(self) -> list[str]:
-        objects = self.root / "objects"
-        if not objects.is_dir():
-            return []
-        return sorted(p.stem for p in objects.glob("*/*.json"))
+        return self.backend.keys()
 
     def clear(self) -> int:
         """Delete every stored object; returns the number removed."""
-        removed = 0
-        for key in self.keys():
-            try:
-                self.path_for(key).unlink()
+        return self.backend.clear()
+
+    def gc(self, max_bytes: int) -> dict:
+        """Evict oldest objects until total size fits ``max_bytes``.
+
+        Returns ``{"removed", "freed_bytes", "kept", "kept_bytes"}``.
+        """
+        entries = sorted(self.backend.entries(), key=lambda e: e[2])
+        total = sum(size for _, size, _ in entries)
+        removed = freed = 0
+        for key, size, _ in entries:
+            if total <= max_bytes:
+                break
+            if self.backend.delete(key):
+                total -= size
                 removed += 1
-            except OSError:
-                pass
-        return removed
+                freed += size
+        kept = self.backend.entries()
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "kept": len(kept),
+            "kept_bytes": sum(size for _, size, _ in kept),
+        }
+
+    def backend_stats(self) -> dict:
+        return self.backend.stats()
+
+    def flush(self) -> None:
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()
 
     # -- the analyze-or-hit entry point -----------------------------------
 

@@ -1,0 +1,58 @@
+"""Shared fixtures for the daemon test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.daemon import DaemonClient, DaemonConfig, DaemonHandle
+
+FAST_SOURCE = "int g; int main() { int *p; p = &g; L: return 0; }\n"
+
+
+def heavy_source(funcs: int = 100) -> str:
+    """A program whose analysis takes long enough (~0.2s at 100
+    functions, ~0.7s at 200) that concurrent requests overlap it."""
+    parts = ["int g0, g1, g2, g3;"]
+    for i in range(funcs):
+        parts.append(
+            f"""
+int *f{i}(int **pp, int sel) {{
+    int *r; int i;
+    r = &g0;
+    for (i = 0; i < sel; i = i + 1) {{
+        if (sel) {{ r = *pp; }} else {{ r = &g1; }}
+        *pp = r;
+    }}
+    L{i}: return r;
+}}"""
+        )
+    calls = "".join(f"    q = f{i}(&q, {i});\n" for i in range(funcs))
+    parts.append(
+        "int main() {\n    int *q; q = &g2;\n" + calls + "    LM: return 0;\n}"
+    )
+    return "\n".join(parts)
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    """Start daemons with a throwaway file store; stop them at exit."""
+    handles: list[DaemonHandle] = []
+    roots = iter(range(1000))
+
+    def start(**overrides) -> tuple[str, int, DaemonHandle]:
+        overrides.setdefault(
+            "store_url", f"file:{tmp_path}/store-{next(roots)}"
+        )
+        overrides.setdefault("workers", 1)
+        handle = DaemonHandle(DaemonConfig(**overrides))
+        handles.append(handle)
+        host, port = handle.start()
+        return host, port, handle
+
+    yield start
+    for handle in handles:
+        handle.stop()
+
+
+def connect(host: str, port: int) -> DaemonClient:
+    return DaemonClient(host, port, timeout=120.0)

@@ -1,0 +1,79 @@
+"""SIGTERM drains the real daemon process without corrupting the store."""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+from repro.service.store import ResultStore
+
+from tests.daemon.conftest import connect, heavy_source
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _spawn_daemon(store_url: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "daemon",
+            "--port",
+            "0",
+            "--store",
+            store_url,
+            "--workers",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.match(r"daemon: listening on ([\d.]+):(\d+)", line)
+    assert match, f"unexpected announce line: {line!r}"
+    return proc, match.group(1), int(match.group(2))
+
+
+def test_sigterm_mid_request_leaves_store_intact(tmp_path):
+    store_url = f"file:{tmp_path}/term-store"
+    proc, host, port = _spawn_daemon(store_url)
+    try:
+        with connect(host, port) as client:
+            client.send({"id": 1, "source": heavy_source(200), "query": "labels"})
+            # Let the request reach the worker, then terminate.
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            # The drain must still deliver the in-flight response.
+            response = client.recv()
+            assert response["ok"] and response["id"] == 1
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    # Every object the daemon wrote decodes cleanly.
+    store = ResultStore(store_url)
+    keys = store.keys()
+    assert len(keys) == 1
+    assert all(store.get(key) is not None for key in keys)
+    assert store.stats.invalid == 0
+
+
+def test_sigterm_idle_daemon_exits_cleanly(tmp_path):
+    proc, host, port = _spawn_daemon(f"file:{tmp_path}/idle-store")
+    try:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
