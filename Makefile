@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon check check-demo artifacts examples soundness all
+.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon bench-incremental check check-demo artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -35,6 +35,13 @@ bench-checkers:
 # BENCH_perf.json and enforces the >= 5x warm-speedup floor.
 bench-daemon:
 	PYTHONPATH=src python benchmarks/bench_daemon.py
+
+# Warm one-function-edit update vs cold re-analysis on the perfsuite
+# programs; merges an "incremental" section into BENCH_perf.json and
+# enforces the >= 10x warm-speedup floor (byte-identity re-checked on
+# every timed run).
+bench-incremental:
+	PYTHONPATH=src python benchmarks/bench_incremental.py
 
 # Tier-1 gate: the full test suite plus a quick performance smoke
 # (one small and one large program through both cores).

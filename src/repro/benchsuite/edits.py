@@ -1,0 +1,241 @@
+"""Deterministic source-edit mutator for the edit-fuzz campaign.
+
+Feeds the incremental-update equivalence campaign
+(``tests/interp/test_edit_fuzz.py``): given a C source, propose small
+*valid* edits of the kinds a developer makes between two analysis
+runs — rename a local, add or remove an assignment, retarget a
+function pointer, delete a function.  Every proposal is gated by a
+real parse (:func:`~repro.simple.simplify.simplify_source`), so a
+returned :class:`Edit` is always analyzable; mutation kinds that do
+not apply to a given program (no function pointers, no deletable
+function) are simply skipped.
+
+Everything is seed-deterministic: ``propose_edits(source, seed)``
+returns the same edits for the same inputs on every run, which keeps
+campaign failure reports reproducible by seed number.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from repro.simple.patching import ChunkError, split_chunks
+from repro.simple.simplify import CFrontendError, simplify_source
+
+#: The mutation families the campaign sweeps.
+EDIT_KINDS = (
+    "rename_local",
+    "add_assignment",
+    "remove_assignment",
+    "retarget_fnptr",
+    "delete_function",
+)
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One validated source edit."""
+
+    kind: str  # one of EDIT_KINDS
+    function: str | None  # the function the edit touches (None: global)
+    description: str
+    source: str  # the full edited text
+
+
+# A top-of-body assignment statement: one indented line `lhs = rhs;`
+# that is not a declaration (no leading type keyword) and not control
+# flow.  Generated and benchmark programs both use this layout.
+_ASSIGN_LINE = re.compile(
+    r"^(?P<indent>[ \t]+)"
+    r"(?!int\b|char\b|float\b|double\b|void\b|struct\b|union\b|"
+    r"unsigned\b|long\b|short\b|return\b|if\b|while\b|for\b|else\b)"
+    r"(?P<stmt>[A-Za-z_*(][^;{}]*=[^=;{}][^;{}]*;)[ \t]*$",
+    re.MULTILINE,
+)
+
+# A local declaration line inside a body: `int *l0;` and friends.
+_DECL_LINE = re.compile(
+    r"^[ \t]+(?:int|char|float|double|struct\s+\w+|void)"
+    r"(?:\s*\*+\s*|\s+)(\w+)\s*;[ \t]*$",
+    re.MULTILINE,
+)
+
+# `lhs = name;` / `lhs = &name;` — candidate function-pointer stores.
+_FNPTR_STORE = re.compile(
+    r"(=\s*&?)([A-Za-z_]\w*)(\s*;)"
+)
+
+
+def _word_uses(text: str, name: str) -> int:
+    return len(re.findall(rf"\b{re.escape(name)}\b", text))
+
+
+def _parses(source: str) -> bool:
+    try:
+        simplify_source(source)
+    except (CFrontendError, Exception):
+        return False
+    return True
+
+
+def _splice(source: str, start: int, end: int, replacement: str) -> str:
+    return source[:start] + replacement + source[end:]
+
+
+def _rename_local(source, chunk, rng) -> tuple[str, str] | None:
+    names = [m.group(1) for m in _DECL_LINE.finditer(chunk.text)]
+    names = [n for n in names if _word_uses(source, n) == _word_uses(
+        chunk.text, n)]  # purely local to this function
+    if not names:
+        return None
+    name = rng.choice(names)
+    fresh = name + "_rn"
+    if _word_uses(source, fresh):
+        return None
+    body = re.sub(rf"\b{re.escape(name)}\b", fresh, chunk.text)
+    return (
+        _splice(source, chunk.start, chunk.end, body),
+        f"rename local '{name}' -> '{fresh}' in {chunk.name}",
+    )
+
+
+def _add_assignment(source, chunk, rng) -> tuple[str, str] | None:
+    matches = list(_ASSIGN_LINE.finditer(chunk.text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    line = match.group(0)
+    body = chunk.text[: match.end()] + "\n" + line + chunk.text[match.end():]
+    return (
+        _splice(source, chunk.start, chunk.end, body),
+        f"duplicate assignment {match.group('stmt')!r} in {chunk.name}",
+    )
+
+
+def _remove_assignment(source, chunk, rng) -> tuple[str, str] | None:
+    matches = list(_ASSIGN_LINE.finditer(chunk.text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    start, end = match.start(), match.end()
+    if chunk.text[end: end + 1] == "\n":
+        end += 1
+    body = chunk.text[:start] + chunk.text[end:]
+    return (
+        _splice(source, chunk.start, chunk.end, body),
+        f"remove assignment {match.group('stmt')!r} in {chunk.name}",
+    )
+
+
+def _retarget_fnptr(source, chunk, rng, function_names) -> (
+        tuple[str, str] | None):
+    # Never retarget to ``main``: the invocation graph is rooted at a
+    # uniquely-invoked entry point, so a fnptr call back into ``main``
+    # is outside the analysis model (as is deleting it, below).
+    candidates = []
+    for match in _FNPTR_STORE.finditer(chunk.text):
+        target = match.group(2)
+        others = [n for n in function_names
+                  if n != target and n != chunk.name and n != "main"]
+        if target in function_names and others:
+            candidates.append((match, others))
+    if not candidates:
+        return None
+    match, others = rng.choice(candidates)
+    replacement = rng.choice(sorted(others))
+    body = (
+        chunk.text[: match.start()]
+        + match.group(1) + replacement + match.group(3)
+        + chunk.text[match.end():]
+    )
+    return (
+        _splice(source, chunk.start, chunk.end, body),
+        f"retarget fnptr store {match.group(2)} -> {replacement} "
+        f"in {chunk.name}",
+    )
+
+
+def _delete_function(source, chunks, chunk) -> tuple[str, str] | None:
+    # Deletable only when nothing outside the definition references the
+    # name except its own prototype lines.  Never the entry point: a
+    # program without ``main`` is not analyzable.
+    name = chunk.name
+    if name == "main":
+        return None
+    outside = 0
+    proto_spans = []
+    proto_re = re.compile(
+        rf"^[^\n;{{}}]*\b{re.escape(name)}\s*\([^;{{)]*\)\s*;[ \t]*\n?",
+        re.MULTILINE,
+    )
+    for other in chunks:
+        if other is chunk:
+            continue
+        uses = _word_uses(other.text, name)
+        if not uses:
+            continue
+        protos = list(proto_re.finditer(other.text))
+        if len(protos) != uses:
+            return None  # a call, address-take, or store remains
+        for match in protos:
+            proto_spans.append((other.start + match.start(),
+                                other.start + match.end()))
+        outside += uses
+    spans = sorted(proto_spans + [(chunk.start, chunk.end)], reverse=True)
+    text = source
+    for start, end in spans:
+        text = text[:start] + text[end:]
+    return text, f"delete unreferenced function {name}"
+
+
+def propose_edits(
+    source: str,
+    seed: int,
+    kinds: tuple[str, ...] = EDIT_KINDS,
+    per_kind: int = 1,
+) -> list[Edit]:
+    """Deterministically propose up to ``per_kind`` valid edits of each
+    requested kind.  Kinds that do not apply to this program are
+    skipped; every returned edit re-parses successfully."""
+    try:
+        chunks = split_chunks(source)
+    except ChunkError:
+        return []
+    functions = [c for c in chunks if c.kind == "function"]
+    if not functions:
+        return []
+    function_names = {c.name for c in functions}
+    edits: list[Edit] = []
+    for kind in kinds:
+        rng = random.Random(f"{seed}:{kind}")
+        produced = 0
+        for attempt in range(8 * per_kind):
+            if produced >= per_kind:
+                break
+            chunk = rng.choice(functions)
+            if kind == "rename_local":
+                proposal = _rename_local(source, chunk, rng)
+            elif kind == "add_assignment":
+                proposal = _add_assignment(source, chunk, rng)
+            elif kind == "remove_assignment":
+                proposal = _remove_assignment(source, chunk, rng)
+            elif kind == "retarget_fnptr":
+                proposal = _retarget_fnptr(
+                    source, chunk, rng, sorted(function_names)
+                )
+            elif kind == "delete_function":
+                proposal = _delete_function(source, chunks, chunk)
+            else:
+                raise ValueError(f"unknown edit kind {kind!r}")
+            if proposal is None:
+                continue
+            text, description = proposal
+            if text == source or not _parses(text):
+                continue
+            if any(e.source == text for e in edits):
+                continue
+            edits.append(Edit(kind, chunk.name, description, text))
+            produced += 1
+    return edits

@@ -15,6 +15,9 @@ Subcommands:
 * ``run FILE.c``         — execute the program on the SIMPLE machine;
 * ``query FILE.c EXPR...`` — demand queries against the result store
   (``points_to:p@L``, ``may_alias:*p,q@L``, ``callees_at:3``, ...);
+* ``update OLD.c NEW.c`` — incremental re-analysis: reuse the old
+  version's result, re-analyze only the functions the edit dirties,
+  and report the tier taken plus reuse counters (docs/INCREMENTAL.md);
 * ``batch [PATHS|--suite]`` — analyze many files through the store
   with parallel workers, or ``--serve`` JSON-lines queries on stdin;
 * ``daemon`` — serve the same JSON-lines protocol over TCP with a
@@ -244,6 +247,44 @@ def cmd_query(args: argparse.Namespace) -> int:
     elif not hit and not args.queries:
         print("(result stored; no queries given)")
     return status
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    from repro.core.incremental import update_analysis
+
+    old_source = _read(args.old)
+    new_source = _read(args.new)
+    options = AnalysisOptions(function_pointer_strategy=args.fnptr)
+    store = _make_store(args) if not args.no_cache else None
+    if store is not None:
+        old_result, _ = store.load_or_analyze(
+            old_source, options, name=args.old
+        )
+        store.put_function_summaries(old_result, old_source, options)
+    else:
+        old_result = analyze_source(
+            old_source, options, filename=args.old
+        )
+    new_result, report = update_analysis(
+        old_result,
+        old_source,
+        new_source,
+        options,
+        filename=args.new,
+        store=store,
+    )
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    for expr in args.queries:
+        from repro.service.queries import QueryError, QuerySession
+
+        session = QuerySession(new_result, new_source)
+        try:
+            answer = session.evaluate(expr)
+        except QueryError as exc:
+            print(f"{expr}: error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{expr}: {json.dumps(answer, sort_keys=True)}")
+    return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -560,6 +601,37 @@ def main(argv: list[str] | None = None) -> int:
         help="print session query counters and store traffic",
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_update = sub.add_parser(
+        "update",
+        help=(
+            "incrementally re-analyze an edited file against the old "
+            "version's result (see docs/INCREMENTAL.md)"
+        ),
+    )
+    p_update.add_argument("old", help="the previous version of the file")
+    p_update.add_argument("new", help="the edited version of the file")
+    p_update.add_argument(
+        "queries",
+        nargs="*",
+        metavar="EXPR",
+        help="optional demand queries to run against the updated result",
+    )
+    p_update.add_argument(
+        "--fnptr",
+        choices=["precise", "all_functions", "address_taken"],
+        default="precise",
+        help="function-pointer binding strategy",
+    )
+    p_update.add_argument(
+        "--store", default=None, help="result-store directory"
+    )
+    p_update.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze the old version fresh without the result store",
+    )
+    p_update.set_defaults(func=cmd_update)
 
     p_check = sub.add_parser(
         "check",

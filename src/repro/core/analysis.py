@@ -99,6 +99,11 @@ class PointsToAnalysis:
         #: :class:`repro.core.provenance.ProvenanceLog`), or None when
         #: ``perf.CONFIG.track_provenance`` was off.
         self.provenance = None
+        #: Slice-keyed memo capture of the producing run (func ->
+        #: {("slice", key_pairs): interproc._SliceEntry}), retained so
+        #: incremental updates can reuse per-function summaries; None
+        #: on decoded or hand-built results.
+        self.slice_capture = None
         self._envs: dict[str | None, FuncEnv] = {}
         self._stmt_func: dict[int, str] = {}
         for fn in program.functions.values():
@@ -231,10 +236,19 @@ class _TransferCache:
 class Analyzer:
     """Mutable state of one analysis run."""
 
-    def __init__(self, program: SimpleProgram, options: AnalysisOptions):
+    def __init__(
+        self,
+        program: SimpleProgram,
+        options: AnalysisOptions,
+        ig: InvocationGraph | None = None,
+    ):
         self.program = program
         self.options = options
-        self.ig = InvocationGraph(program, options.entry_point)
+        self.ig = (
+            ig
+            if ig is not None
+            else InvocationGraph(program, options.entry_point)
+        )
         self.point_info: dict[int, PointsToSet] = {}
         self.warnings: list[str] = []
         self._envs: dict[str | None, FuncEnv] = {}
@@ -260,12 +274,22 @@ class Analyzer:
         #: transfers (and memoized call bodies) can replay them later.
         self._record_frames: list[list] = []
         self._warn_frames: list[list] = []
+        #: Symbolic-introduction capture frames (parallel to
+        #: ``_record_frames``): every symbolic registration during a
+        #: memoized body run is appended so a seed hit in a later run
+        #: can re-register the same invisible variables.
+        self._symbolic_frames: list[list] = []
         #: Lazily-built per-function closure summaries for slice-keyed
         #: call memoization (see repro.core.slices).
         self._summaries: dict | None = None
         #: Slice-keyed call memo, global per function: func ->
         #: {("slice", key_pairs): interproc._SliceEntry}, LRU-bounded.
         self._slice_memo: dict[str, dict] = {}
+        #: Optional incremental seed bank (repro.core.incremental
+        #: .SeedBank): consulted on slice-memo misses so a re-run can
+        #: replay summaries captured by a prior run.
+        self.seed_bank = None
+        self.seed_hits = 0
 
     def bump_call_state(self) -> None:
         """Note a mutation of the interprocedural call state (memo /
@@ -311,8 +335,14 @@ class Analyzer:
 
     def env(self, func: str | None) -> FuncEnv:
         if func not in self._envs:
-            self._envs[func] = FuncEnv(self.program, func)
+            env = FuncEnv(self.program, func)
+            env.on_symbolic = self._note_symbolic
+            self._envs[func] = env
         return self._envs[func]
+
+    def _note_symbolic(self, func, name, ctype) -> None:
+        for frame in self._symbolic_frames:
+            frame.append((func, name, ctype))
 
     def warn(self, message: str) -> None:
         for frame in self._warn_frames:
@@ -584,6 +614,11 @@ class Analyzer:
             stats=self.memo_stats,
         )
         result.env = self.env  # share the populated environments
+        # Hand the slice-memo capture to the result before run()'s
+        # cleanup clears the analyzer-side reference; incremental
+        # updates reuse it as the per-function summary bank.
+        result.slice_capture = self._slice_memo
+        self._slice_memo = {}
         return result
 
     def _global_init_call_handler(self, stmt, input_set):

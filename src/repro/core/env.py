@@ -35,6 +35,11 @@ class FuncEnv:
         self.fn = program.functions.get(func) if func else None
         self._symbolic_types: dict[str, CType | None] = {}
         self._param_names = set(self.fn.param_names) if self.fn else set()
+        #: Optional observer called on every symbolic registration with
+        #: (func, name, canonical type) — the incremental seed capture
+        #: uses it to record which invisible variables a memoized
+        #: computation introduced, so a seed hit can replay them.
+        self.on_symbolic = None
 
     # -- variable resolution ----------------------------------------------
 
@@ -65,6 +70,10 @@ class FuncEnv:
         different type keeps the first type seen."""
         if name not in self._symbolic_types:
             self._symbolic_types[name] = ctype
+        if self.on_symbolic is not None:
+            # Report the canonical (first-seen) type, so a replay in
+            # any order re-registers the same binding.
+            self.on_symbolic(self.func, name, self._symbolic_types[name])
         return AbsLoc(name, LocKind.SYMBOLIC, self.func)
 
     def symbolic_names(self) -> list[str]:

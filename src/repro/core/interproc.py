@@ -337,6 +337,10 @@ class _SliceEntry:
     passthrough: tuple
     records: list
     warnings: list
+    #: (func, name, ctype) symbolic registrations the body run
+    #: performed — replayed on a hit so a seed-consulting run's scope
+    #: envs end up identical to a cold run's.
+    symbolics: tuple = ()
 
 
 def _slice_context(analyzer, child: IGNode, func_input: PointsToSet):
@@ -388,6 +392,10 @@ def _replay_body(analyzer, entry: _SliceEntry, passthrough: tuple) -> None:
         for frame in analyzer._record_frames:
             frame.append((stmt_id, recorded))
         analyzer.record_by_id(stmt_id, recorded)
+    for func, name, ctype in entry.symbolics:
+        # Re-registration propagates into any open symbolic frames via
+        # the env observer, so enclosing captures stay complete.
+        analyzer.env(func).register_symbolic(name, ctype)
     for message in entry.warnings:
         analyzer.warn(message)
 
@@ -412,6 +420,22 @@ def _process_ordinary_sliced(
     # call sites with the same slice share one entry.
     table = analyzer._slice_memo.setdefault(child.func, {})
     entry = table.get(key)
+    if entry is None:
+        bank = getattr(analyzer, "seed_bank", None)
+        if bank is not None:
+            entry = bank.materialize(child.func, key_pairs)
+            if entry is not None:
+                # A seed hit is indistinguishable from a within-run
+                # hit: the bank only holds entries whose producing
+                # closure is fingerprint-identical, and the entry
+                # replays exactly what a cold miss would record.
+                analyzer.seed_hits += 1
+                table[key] = entry
+                capacity = max(1, CONFIG.memo_capacity)
+                while len(table) > capacity:
+                    table.pop(next(iter(table)))
+                    stats.evictions += 1
+                obs.count("incremental.seed_hits")
     if entry is not None:
         if next(reversed(table)) != key:
             table.pop(key)
@@ -432,13 +456,16 @@ def _process_ordinary_sliced(
     analyzer.bump_call_state()
     records: list = []
     warnings: list = []
+    symbolics: list = []
     analyzer._record_frames.append(records)
     analyzer._warn_frames.append(warnings)
+    analyzer._symbolic_frames.append(symbolics)
     try:
         func_output = analyzer.analyze_body(child, func_input)
     finally:
         analyzer._record_frames.pop()
         analyzer._warn_frames.pop()
+        analyzer._symbolic_frames.pop()
         child.in_progress = False
         analyzer.bump_call_state()
     if child.kind is IGNodeKind.RECURSIVE or child.pending_inputs:
@@ -461,8 +488,14 @@ def _process_ordinary_sliced(
             merged[stmt_id] = (
                 recorded if prev is None else prev.merge(recorded)
             )
+        seen: set = set()
+        intro = tuple(
+            item
+            for item in symbolics
+            if not (item[:2] in seen or seen.add(item[:2]))
+        )
         entry = _SliceEntry(
-            func_output, passthrough, list(merged.items()), warnings
+            func_output, passthrough, list(merged.items()), warnings, intro
         )
         table = analyzer._slice_memo.setdefault(child.func, {})
         table.pop(key, None)

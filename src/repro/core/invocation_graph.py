@@ -89,13 +89,19 @@ class IGNode:
 class InvocationGraph:
     """The invocation graph of a program, rooted at ``main``."""
 
-    def __init__(self, program: SimpleProgram, root_func: str = "main"):
+    def __init__(
+        self,
+        program: SimpleProgram,
+        root_func: str = "main",
+        build: bool = True,
+    ):
         self.program = program
         self.root_func = root_func
         if root_func not in program.functions:
             raise ValueError(f"program has no '{root_func}' function")
         self.root = IGNode(root_func)
-        self._build(self.root)
+        if build:
+            self._build(self.root)
 
     # -- construction ----------------------------------------------------
 

@@ -12,11 +12,13 @@ Architecture (see docs/DAEMON.md)::
                                   ▼
                          store backend (file: / sqlite: / memory://)
 
-* **Sharding** — every source-bearing request routes by its content
-  key, so one key always lands on the same worker: that worker's
-  LRU'd sessions stay warm (repeat queries skip decode entirely) and
-  two racing requests for one key serialize on its queue instead of
-  analyzing twice.
+* **Sharding** — every source-bearing request (``query``, ``check``,
+  ``update``) routes by its content key, so one key always lands on
+  the same worker: that worker's LRU'd sessions stay warm (repeat
+  queries skip decode entirely) and two racing requests for one key
+  serialize on its queue instead of analyzing twice.  ``update``
+  shards by the *new* source's key — the re-keyed warm session lands
+  exactly where later queries for that source will route.
 * **Coalescing** — identical in-flight requests (same content key and
   same request body) share one worker round trip; the single response
   fans out to every waiter.  ``daemon.coalesced`` counts the piggyback

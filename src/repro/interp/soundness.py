@@ -282,10 +282,19 @@ def check_soundness(
     options: AnalysisOptions | None = None,
     max_steps: int = 200_000,
     max_checks_per_stmt: int = 4,
+    analysis=None,
 ) -> SoundnessReport:
-    """Analyze and execute ``source``; compare at every basic statement."""
-    program = simplify_source(source)
-    analysis = analyze(program, options)
+    """Analyze and execute ``source``; compare at every basic statement.
+
+    Pass a prebuilt ``analysis`` (e.g. the result of an incremental
+    update) to check *that* result against execution instead of
+    analyzing fresh; its ``analysis.program`` is what gets executed.
+    """
+    if analysis is None:
+        program = simplify_source(source)
+        analysis = analyze(program, options)
+    else:
+        program = analysis.program
     report = SoundnessReport()
     checker = _Checker(analysis, report, max_checks_per_stmt)
     interp = Interpreter(program, observer=checker, max_steps=max_steps)

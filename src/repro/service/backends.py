@@ -75,7 +75,10 @@ class StoreBackend(Protocol):
 
     def delete(self, key: str) -> bool: ...
 
-    def keys(self) -> list[str]: ...
+    def keys(self, prefix: str = "") -> list[str]:
+        """Sorted keys, optionally restricted to a key-space prefix
+        (e.g. ``"fn-"`` for per-function summary records)."""
+        ...
 
     def clear(self) -> int: ...
 
@@ -163,11 +166,15 @@ class FileBackend:
         except OSError:
             return False
 
-    def keys(self) -> list[str]:
+    def keys(self, prefix: str = "") -> list[str]:
         objects = self.root / "objects"
         if not objects.is_dir():
             return []
-        return sorted(p.stem for p in objects.glob("*/*.json"))
+        return sorted(
+            p.stem
+            for p in objects.glob("*/*.json")
+            if p.stem.startswith(prefix)
+        )
 
     def clear(self) -> int:
         return sum(1 for key in self.keys() if self.delete(key))
@@ -273,9 +280,11 @@ class MemoryBackend:
             self._bytes -= len(entry[0])
             return True
 
-    def keys(self) -> list[str]:
+    def keys(self, prefix: str = "") -> list[str]:
         with self._lock:
-            return sorted(self._objects)
+            return sorted(
+                key for key in self._objects if key.startswith(prefix)
+            )
 
     def clear(self) -> int:
         with self._lock:
@@ -375,10 +384,19 @@ class SqliteBackend:
         )
         return cursor.rowcount > 0
 
-    def keys(self) -> list[str]:
-        rows = self._conn().execute(
-            "SELECT key FROM objects ORDER BY key"
-        ).fetchall()
+    def keys(self, prefix: str = "") -> list[str]:
+        # Range scan instead of LIKE: key prefixes here never contain
+        # wildcard characters, but a range needs no escaping at all.
+        if prefix:
+            rows = self._conn().execute(
+                "SELECT key FROM objects WHERE key >= ? AND key < ? "
+                "ORDER BY key",
+                (prefix, prefix[:-1] + chr(ord(prefix[-1]) + 1)),
+            ).fetchall()
+        else:
+            rows = self._conn().execute(
+                "SELECT key FROM objects ORDER BY key"
+            ).fetchall()
         return [row[0] for row in rows]
 
     def clear(self) -> int:
@@ -456,8 +474,8 @@ class TieredBackend:
         dropped_front = self.front.delete(key)
         return self.back.delete(key) or dropped_front
 
-    def keys(self) -> list[str]:
-        return self.back.keys()
+    def keys(self, prefix: str = "") -> list[str]:
+        return self.back.keys(prefix)
 
     def clear(self) -> int:
         self.front.clear()

@@ -7,8 +7,8 @@ JSON-lines stdin serve loop (``repro-pta batch --serve``,
 :mod:`repro.service.batch`) and the concurrent TCP daemon
 (:mod:`repro.daemon`) both dispatch through the same
 :data:`CMD_HANDLERS` table, which is what keeps the ``stats`` /
-``metrics`` / ``provenance`` / ``check`` / ``query`` verbs
-behaviorally identical over both transports (asserted by a
+``metrics`` / ``provenance`` / ``check`` / ``update`` / ``query``
+verbs behaviorally identical over both transports (asserted by a
 parametrized transport-equality test).
 
 Adding a handler to :data:`CMD_HANDLERS` is the single step to extend
@@ -18,6 +18,7 @@ list reported back on an unknown ``cmd``) is derived from the table.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import MutableMapping
@@ -214,6 +215,86 @@ def _cmd_quit(request, store, sessions) -> dict:
     return {"ok": True, "result": "bye", "quit": True}
 
 
+#: Per-target-key locks serializing concurrent ``update`` requests:
+#: the first request in computes, later ones coalesce onto the warm
+#: session it installed instead of re-running the update.
+_UPDATE_LOCKS: dict[str, threading.Lock] = {}
+_UPDATE_LOCKS_GUARD = threading.Lock()
+
+
+def _update_lock(key: str) -> threading.Lock:
+    with _UPDATE_LOCKS_GUARD:
+        lock = _UPDATE_LOCKS.get(key)
+        if lock is None:
+            lock = _UPDATE_LOCKS[key] = threading.Lock()
+        return lock
+
+
+def _cmd_update(request, store, sessions) -> dict:
+    """Incrementally re-analyze an edited source.
+
+    ``source``/``file`` name the *new* text; optional ``from`` carries
+    the predecessor text whose warm session (or stored artifact) the
+    update reuses.  On success the warm session is re-keyed to the new
+    source, so subsequent queries for it never re-analyze.  Concurrent
+    updates to the same target key coalesce: one computes, the rest
+    reuse its session (``"coalesced": true``)."""
+    name, source, error = request_source(request)
+    if error is not None:
+        return error
+    options, error = request_options(request)
+    if error is not None:
+        return error
+    new_key = store.key_for(source, options)
+    with _update_lock(new_key):
+        session = sessions.get(new_key)
+        if session is not None:
+            # Another update (or query) already warmed this exact
+            # source — nothing to recompute.
+            return {
+                "ok": True,
+                "coalesced": True,
+                "cached": session.cached,
+                "result": {"mode": "unchanged", "key": new_key[:12]},
+            }
+        base_source = request.get("from")
+        base_key = (
+            store.key_for(base_source, options)
+            if isinstance(base_source, str)
+            else None
+        )
+        session = sessions.get(base_key) if base_key else None
+        if session is not None and session.source is None:
+            session.source = base_source
+        if session is None and base_key is not None:
+            # No warm predecessor in this process: fall back to its
+            # stored artifact (plans from the payload skeleton, seeds
+            # from per-function summary records).
+            decoded = store.get(base_key)
+            if decoded is not None:
+                session = QuerySession(decoded, base_source)
+        try:
+            if session is not None:
+                report = session.update(source, store=store).as_dict()
+                if base_key is not None:
+                    sessions.pop(base_key, None)
+            else:
+                # Nothing to update from; behave like a first query.
+                result, hit = store.load_or_analyze(
+                    source, options, name=name
+                )
+                session = QuerySession(result, source)
+                report = {
+                    "mode": "cached" if hit else "cold",
+                    "fallback": "no base session or artifact",
+                }
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        sessions[new_key] = session
+        report["key"] = new_key[:12]
+        return {"ok": True, "cached": session.cached, "result": report}
+
+
 #: The protocol's command dispatch table.  ``SERVE_COMMANDS`` (the
 #: list reported on an unknown ``cmd``) is derived from it, so adding a
 #: handler here is the single step to extend the protocol — on stdin
@@ -224,6 +305,7 @@ CMD_HANDLERS = {
     "provenance": _cmd_provenance,
     "quit": _cmd_quit,
     "stats": _cmd_stats,
+    "update": _cmd_update,
 }
 
 #: Control commands the protocol understands (reported back on an
@@ -270,7 +352,7 @@ def handle_request(
             result, _ = store.load_or_analyze(source, options, name=name)
         except Exception as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        session = sessions[key] = QuerySession(result)
+        session = sessions[key] = QuerySession(result, source)
     try:
         answer = session.evaluate(request["query"])
     except QueryError as exc:

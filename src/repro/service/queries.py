@@ -118,8 +118,15 @@ def _parse_expr(expr: str) -> tuple[int, str | None, str]:
 class QuerySession:
     """Demand queries against one analysis result (fresh or cached)."""
 
-    def __init__(self, analysis: PointsToAnalysis | DecodedAnalysis):
+    def __init__(
+        self,
+        analysis: PointsToAnalysis | DecodedAnalysis,
+        source: str | None = None,
+    ):
         self.analysis = analysis
+        #: The source text this result was computed from, when known —
+        #: what :meth:`update` diffs an edited source against.
+        self.source = source
         self.stats = QueryStats()
 
     # -- uniform access to the two result forms ---------------------------
@@ -174,6 +181,34 @@ class QuerySession:
 
     def _ig_root(self):
         return self.analysis.ig.root
+
+    # -- incremental update ------------------------------------------------
+
+    def update(self, new_source: str, *, store=None):
+        """Re-analyze an edited source *in place*, reusing as much of
+        the session's current result as the incremental tiers can
+        prove safe (see :mod:`repro.core.incremental`).
+
+        Afterwards the session answers queries against the new result
+        (a cached session becomes live), ``self.source`` tracks the
+        new text, and the returned
+        :class:`~repro.core.incremental.UpdateReport` says which tier
+        ran and what it reused.  ``store`` optionally supplies
+        per-function summary records for cached sessions with no live
+        capture."""
+        from repro.core.incremental import update_analysis
+
+        self.stats.record("update")
+        analysis, report = update_analysis(
+            self.analysis,
+            self.source,
+            new_source,
+            getattr(self.analysis, "options", None),
+            store=store,
+        )
+        self.analysis = analysis
+        self.source = new_source
+        return report
 
     # -- the query API -----------------------------------------------------
 

@@ -42,7 +42,14 @@ from repro.simple.ir import iter_stmts
 #: then simply cache misses (the version participates in the key).
 #: v2: "checkfacts" section (checker-framework program facts) and
 #: call read/write sets folded over resolved callees.
-FORMAT_VERSION = 2
+#: v3: "incremental" section (per-function body fingerprints, the
+#: static dependency graph, and the globals fingerprint) feeding the
+#: incremental update planner.  v2 payloads still decode (they simply
+#: plan cold).
+FORMAT_VERSION = 3
+
+#: Payload versions :class:`DecodedAnalysis` accepts.
+SUPPORTED_VERSIONS = frozenset({2, 3})
 
 #: Version of the *optional* ``"provenance"`` payload section.  The
 #: section is versioned independently: it only appears when the
@@ -299,6 +306,7 @@ def encode_analysis(
         "warnings": list(analysis.warnings),
         "stats": analysis.stats.as_dict(),
         "summaries": _collect_summaries(analysis, name),
+        "incremental": _encode_skeleton(program),
     }
     log = getattr(analysis, "provenance", None)
     if log is not None:
@@ -312,6 +320,15 @@ def encode_analysis(
             source.encode()
         ).hexdigest()
     return payload
+
+
+def _encode_skeleton(program) -> dict:
+    """The v3 "incremental" section: everything the update planner
+    needs to compute a dirty set against a future edit without the
+    original program object."""
+    from repro.core.incremental import skeleton
+
+    return skeleton(program)
 
 
 def encode_analysis_bytes(
@@ -461,9 +478,10 @@ class DecodedAnalysis:
 
     def __init__(self, payload: dict):
         version = payload.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ValueError(
-                f"payload format version {version!r} != {FORMAT_VERSION}"
+                f"payload format version {version!r} not in "
+                f"{sorted(SUPPORTED_VERSIONS)}"
             )
         self.payload = payload
         self.name: str = payload["name"]
@@ -531,6 +549,9 @@ class DecodedAnalysis:
             if "provenance" in payload
             else None
         )
+        #: The v3 incremental skeleton (fingerprints / deps / globals),
+        #: or None for v2 payloads — updates against those plan cold.
+        self.incremental: dict | None = payload.get("incremental")
         self._readwrite: dict[str, list[ReadWriteSets]] | None = None
 
     # -- the PointsToAnalysis query surface ------------------------------

@@ -26,6 +26,16 @@ from pathlib import Path
 from repro import obs
 from repro.core import perf
 from repro.core.analysis import AnalysisOptions, analyze_source
+from repro.core.incremental import (
+    SeedBank,
+    bank_from_records,
+    capture_records,
+    closure_members,
+    function_fingerprints,
+    globals_fingerprint,
+    skeleton,
+    static_deps,
+)
 from repro.service.backends import (
     FileBackend,
     StoreBackend,
@@ -38,6 +48,11 @@ from repro.service.serialize import (
     decode_analysis,
     encode_analysis,
 )
+
+#: Schema version of per-function summary records (``fn-`` keys) and
+#: skeleton records (``skel-`` keys).  Participates in both key
+#: derivations, so a schema change is a clean cache miss.
+SUMMARY_VERSION = 2
 
 #: Environment variable overriding the default store location.  Holds
 #: either a bare directory path (filesystem backend, historical
@@ -168,6 +183,37 @@ class ResultStore:
             ).encode()
         ).hexdigest()
 
+    @staticmethod
+    def summary_key(
+        function: str,
+        members: dict[str, str],
+        globals_fp: str,
+        options: AnalysisOptions | None = None,
+    ) -> str:
+        """Content address of one per-function summary record.
+
+        Keyed on the function's transitive closure *fingerprints* (not
+        the source text), so any program whose closure bodies match —
+        including a differently-edited file — hits the same record; the
+        lookup itself proves the seed valid."""
+        options = options or AnalysisOptions()
+        body = {
+            "summary_version": SUMMARY_VERSION,
+            "function": function,
+            "members": dict(sorted(members.items())),
+            "globals": globals_fp,
+            "options": asdict(options),
+        }
+        return "fn-" + hashlib.sha256(canonical_json(body)).hexdigest()
+
+    @staticmethod
+    def skeleton_key(
+        source: str, options: AnalysisOptions | None = None
+    ) -> str:
+        """Key of the skeleton record for one (source, options)
+        request — the root set that keeps its summaries alive."""
+        return "skel-" + ResultStore.key_for(source, options)
+
     # -- raw object access -------------------------------------------------
 
     def has(self, key: str) -> bool:
@@ -204,10 +250,114 @@ class ResultStore:
             obs.count("store.puts")
             obs.count("store.put_bytes", len(data))
 
+    def get_record(self, key: str) -> dict | None:
+        """A raw JSON record (summary / skeleton key spaces) or None;
+        undecodable records are dropped like corrupt payloads."""
+        raw = self.backend.get(key)
+        if raw is None:
+            return None
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            self.stats.invalid += 1
+            obs.count("store.invalid")
+            self.backend.delete(key)
+            return None
+        if not isinstance(record, dict):
+            self.stats.invalid += 1
+            obs.count("store.invalid")
+            self.backend.delete(key)
+            return None
+        return record
+
+    # -- per-function summary records --------------------------------------
+
+    def put_function_summaries(
+        self,
+        analysis,
+        source: str,
+        options: AnalysisOptions | None = None,
+    ) -> dict[str, str]:
+        """Split a live analysis into per-function summary records plus
+        one skeleton record, and store them all.
+
+        Returns ``{function: summary_key}`` for the records written.
+        The skeleton record lists its summary keys, forming the root
+        set :meth:`gc_summaries` traces."""
+        options = options or analysis.options
+        records = capture_records(analysis, options)
+        summary_keys: dict[str, str] = {}
+        for func, record in records.items():
+            key = self.summary_key(
+                func, record["members"], record["globals"], options
+            )
+            self.put(key, record)
+            summary_keys[func] = key
+        self.put(
+            self.skeleton_key(source, options),
+            {
+                "summary_version": SUMMARY_VERSION,
+                "skeleton": skeleton(analysis.program),
+                "summaries": sorted(summary_keys.values()),
+            },
+        )
+        obs.count("store.summary_puts", len(summary_keys))
+        return summary_keys
+
+    def load_summary_bank(self, program, options=None) -> SeedBank:
+        """Revive every stored summary valid for ``program`` into a
+        seed bank, by content-addressed lookup from the *new* program's
+        closure fingerprints (a hit is proof of validity).  Records
+        whose body contradicts their address — a partial write or a
+        producer bug — are dropped, never revived."""
+        options = options or AnalysisOptions()
+        fps = function_fingerprints(program)
+        deps = static_deps(program)
+        gfp = globals_fingerprint(program)
+        records: dict[str, dict] = {}
+        for func in program.functions:
+            members = {
+                member: fps[member]
+                for member in sorted(closure_members(deps, func))
+            }
+            key = self.summary_key(func, members, gfp, options)
+            record = self.get_record(key)
+            if record is None:
+                continue
+            if (
+                record.get("summary_version") != SUMMARY_VERSION
+                or record.get("function") != func
+                or record.get("members") != members
+                or record.get("globals") != gfp
+            ):
+                # Stale summary: the record's own skeleton claim no
+                # longer matches the address it sits under.
+                self.backend.delete(key)
+                self.stats.invalid += 1
+                obs.count("store.stale_summaries")
+                continue
+            records[func] = record
+        return bank_from_records(records, program)
+
+    def gc_summaries(self) -> dict:
+        """Delete orphaned summary records: ``fn-`` objects referenced
+        by no ``skel-`` record (their producing artifacts were evicted
+        or their sources edited away)."""
+        live: set[str] = set()
+        for key in self.backend.keys("skel-"):
+            record = self.get_record(key)
+            if record is not None:
+                live.update(record.get("summaries", ()))
+        removed = 0
+        for key in self.backend.keys("fn-"):
+            if key not in live and self.backend.delete(key):
+                removed += 1
+        return {"removed": removed, "live": len(live)}
+
     # -- maintenance -------------------------------------------------------
 
-    def keys(self) -> list[str]:
-        return self.backend.keys()
+    def keys(self, prefix: str = "") -> list[str]:
+        return self.backend.keys(prefix)
 
     def clear(self) -> int:
         """Delete every stored object; returns the number removed."""

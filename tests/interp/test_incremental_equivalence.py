@@ -1,0 +1,81 @@
+"""Incremental update vs. cold re-analysis: byte-level equivalence.
+
+For every program in the soundness-fuzz corpus, apply a deterministic
+edit (:func:`repro.benchsuite.edits.propose_edits`), run the
+incremental update against the old result, and run a cold analysis of
+the edited text.  The two must be indistinguishable: the semantic
+payload (the encoded artifact minus ``stats`` and ``summaries.perf``)
+byte-identical, and a :class:`~repro.service.queries.QuerySession`
+over each giving the same answers.  This is the correctness proof for
+the whole update ladder — whichever tier the update takes (splice,
+seeded, or cold fallback), the result may not differ.
+
+Mirrors ``test_core_equivalence.py``: the first seed of every
+generator configuration stays in tier-1; the full sweep is marked
+``slow`` (nightly CI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.edits import propose_edits
+from repro.benchsuite.generator import generate_program
+from repro.core.analysis import analyze_source
+from repro.core.incremental import update_analysis
+from repro.service.queries import QuerySession
+from repro.service.serialize import semantic_payload_bytes
+
+from .test_soundness_fuzz import CONFIGS, CORPUS, TIER1
+
+
+def _answers(analysis):
+    session = QuerySession(analysis)
+    return (
+        session.list_labels(),
+        session.call_sites(),
+        session.summary(),
+    )
+
+
+def _check(config_name: str, seed: int) -> None:
+    old_source = generate_program(seed, CONFIGS[config_name])
+    edits = propose_edits(old_source, seed=seed)
+    assert edits, f"no valid edits for {config_name}-s{seed}"
+    for edit in edits:
+        name = f"{config_name}-s{seed}-{edit.kind}"
+        old = analyze_source(old_source)
+        updated, report = update_analysis(
+            old, old_source, edit.source
+        )
+        cold = analyze_source(edit.source)
+        assert semantic_payload_bytes(updated, name) == (
+            semantic_payload_bytes(cold, name)
+        ), (
+            f"update (mode={report.mode}, fallback={report.fallback}) "
+            f"diverges from cold for {name}: {edit.description}"
+        )
+        assert _answers(updated) == _answers(cold), (
+            f"query answers diverge for {name}: {edit.description}"
+        )
+
+
+@pytest.mark.parametrize(
+    "config_name,seed",
+    [(config, seed) for _, config, seed in TIER1],
+    ids=[test_id for test_id, _, _ in TIER1],
+)
+def test_update_equals_cold(config_name, seed):
+    """Tier-1: every edit kind on one seed per idiom family."""
+    _check(config_name, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "config_name,seed",
+    [(config, seed) for _, config, seed in CORPUS if seed != 0],
+    ids=[test_id for test_id, _, seed in CORPUS if seed != 0],
+)
+def test_update_equals_cold_full(config_name, seed):
+    """Nightly: the remaining seeds of the full 56-program corpus."""
+    _check(config_name, seed)

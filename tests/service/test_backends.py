@@ -2,10 +2,15 @@
 
 Each backend (file, memory, sqlite — plus the tiered memory-over-file
 composition) must satisfy the same :class:`StoreBackend` contract:
-byte-identical put/get round trips, correct key listing and deletion,
-atomicity under concurrent writers, and (through
-:class:`ResultStore`) corrupt-object dropping.  LRU eviction bounds
-are the memory backend's own obligation and are tested separately.
+byte-identical put/get round trips, correct key listing and deletion
+(including prefix scans), atomicity under concurrent writers, and
+(through :class:`ResultStore`) corrupt-object dropping.  The
+per-function summary key scheme (``fn-``/``skel-`` objects backing
+incremental updates) is conformance-tested over every backend too:
+partial writes are dropped, stale summaries are evicted on address
+mismatch, and orphaned summaries are garbage-collected.  LRU eviction
+bounds are the memory backend's own obligation and are tested
+separately.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import threading
 import pytest
 
 from repro.core.analysis import analyze_source
+from repro.simple import simplify_source
 from repro.service.backends import (
     BackendError,
     FileBackend,
@@ -169,6 +175,108 @@ class TestConformance:
                 thread.join(60)
         final = backend.get(KEY_A)
         assert final in payloads, "torn or corrupt object after race"
+
+
+class TestKeysPrefix:
+    def test_prefix_scan(self, backend):
+        backend.put(KEY_A, b"a")
+        backend.put(KEY_B, b"b")
+        assert backend.keys("aa") == [KEY_A]
+        assert backend.keys("bb") == [KEY_B]
+        assert backend.keys("") == sorted([KEY_A, KEY_B])
+        assert backend.keys("cc") == []
+
+    def test_prefix_is_literal_not_glob(self, backend):
+        backend.put(KEY_A, b"a")
+        assert backend.keys("a?") == []
+        assert backend.keys(KEY_A) == [KEY_A]
+
+
+#: Calls with reusable summaries, so a live run captures slice
+#: entries and ``put_function_summaries`` has something to write.
+SUMMARY_SOURCE = """
+int g; int h;
+int *p;
+void set(void) { p = &g; }
+void flip(void) { p = &h; }
+int main(void) { set(); flip(); L: return 0; }
+"""
+
+
+class TestFunctionSummaries:
+    """The per-function summary key scheme, over every backend."""
+
+    def _seed(self, backend):
+        store = ResultStore(backend)
+        analysis = analyze_source(SUMMARY_SOURCE)
+        keys = store.put_function_summaries(analysis, SUMMARY_SOURCE)
+        return store, keys
+
+    def test_put_writes_content_addressed_keys(self, backend):
+        store, keys = self._seed(backend)
+        assert keys, "no function summaries captured"
+        assert all(key.startswith("fn-") for key in keys.values())
+        assert sorted(store.keys("fn-")) == sorted(keys.values())
+        skeletons = store.keys("skel-")
+        assert len(skeletons) == 1
+        skeleton = store.get_record(skeletons[0])
+        assert sorted(skeleton["summaries"]) == sorted(keys.values())
+
+    def test_bank_revives_from_records(self, backend):
+        store, keys = self._seed(backend)
+        bank = store.load_summary_bank(simplify_source(SUMMARY_SOURCE))
+        assert bank, "revived bank is empty"
+        assert set(bank.functions) <= set(keys)
+
+    def test_partial_write_dropped(self, backend):
+        """A torn/truncated summary object is dropped on read, never
+        surfaced as a record."""
+        store, keys = self._seed(backend)
+        victim = sorted(keys.values())[0]
+        backend.put(victim, b'{"summary_version": 2, "trunc')
+        invalid_before = store.stats.invalid
+        assert store.get_record(victim) is None
+        assert store.stats.invalid == invalid_before + 1
+        assert not backend.has(victim), "torn summary must be dropped"
+
+    def test_stale_summary_dropped_on_mismatch(self, backend):
+        """A record whose body disagrees with its content address
+        (e.g. left behind by an interrupted writer) is evicted when
+        the bank loads."""
+        store, keys = self._seed(backend)
+        victim = sorted(keys.values())[0]
+        record = store.get_record(victim)
+        record["globals"] = "tampered"
+        backend.put(victim, json.dumps(record).encode())
+        invalid_before = store.stats.invalid
+        bank = store.load_summary_bank(simplify_source(SUMMARY_SOURCE))
+        assert store.stats.invalid == invalid_before + 1
+        assert not backend.has(victim), "stale summary must be dropped"
+        # The other functions' summaries still seed.
+        surviving = {
+            func for func, key in keys.items() if key != victim
+        }
+        assert set(bank.functions) <= surviving
+
+    def test_gc_removes_orphans_keeps_live(self, backend):
+        store, keys = self._seed(backend)
+        orphan = "fn-" + "0" * 64
+        backend.put(orphan, json.dumps({"summary_version": 2}).encode())
+        report = store.gc_summaries()
+        assert report["removed"] == 1
+        assert report["live"] == len(keys)
+        assert not backend.has(orphan)
+        for key in keys.values():
+            assert backend.has(key), "live summary must survive gc"
+
+    def test_gc_without_skeletons_drops_everything(self, backend):
+        store, keys = self._seed(backend)
+        for skel in store.keys("skel-"):
+            backend.delete(skel)
+        report = store.gc_summaries()
+        assert report["live"] == 0
+        assert report["removed"] == len(keys)
+        assert store.keys("fn-") == []
 
 
 class TestMemoryEviction:
