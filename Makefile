@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon bench-incremental check check-demo artifacts examples soundness all
+.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon bench-incremental bench-telemetry check check-demo artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -42,6 +42,12 @@ bench-daemon:
 # every timed run).
 bench-incremental:
 	PYTHONPATH=src python benchmarks/bench_incremental.py
+
+# Telemetry-on vs telemetry-off daemon throughput, traced-request
+# overhead, and metrics scrape latency; merges a "telemetry" section
+# into BENCH_perf.json and enforces the <5% disabled-path floor.
+bench-telemetry:
+	PYTHONPATH=src python benchmarks/bench_telemetry.py
 
 # Tier-1 gate: the full test suite plus a quick performance smoke
 # (one small and one large program through both cores).

@@ -23,6 +23,10 @@ Subcommands:
 * ``daemon`` — serve the same JSON-lines protocol over TCP with a
   worker-process pool, request coalescing, and backpressure
   (docs/DAEMON.md);
+* ``daemon-trace`` — fetch or produce one distributed request trace
+  from a running daemon and render the merged span tree;
+* ``top`` — live terminal view over a running daemon's merged metrics
+  (requests/s, latency quantiles, phase split, recent events);
 * ``store ls|stats|clear|gc`` — inspect or maintain a result store on
   any backend (``file:…``, ``memory://``, ``sqlite:…``).
 """
@@ -373,12 +377,205 @@ def cmd_daemon(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         client_inflight=args.client_inflight,
         drain_timeout=args.drain_timeout,
+        telemetry=not args.no_telemetry,
+        slow_ms=args.slow_ms,
+        metrics_port=args.metrics_port,
     )
     try:
         return run_daemon(config)
     except BackendError as exc:
         print(f"daemon: error: {exc}", file=sys.stderr)
         return 2
+
+
+def cmd_daemon_trace(args: argparse.Namespace) -> int:
+    """Fetch (or produce) one distributed trace and render the tree."""
+    from repro.daemon import DaemonClient
+    from repro.obs.traces import render_trace
+
+    try:
+        client = DaemonClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"daemon-trace: cannot connect: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        if args.id is not None:
+            response = client.trace(args.id)
+        elif args.file is not None:
+            request = {"file": args.file, "query": args.query}
+            traced = client.traced(request)
+            if not traced.get("ok"):
+                print(
+                    f"daemon-trace: request failed: {traced.get('error')}",
+                    file=sys.stderr,
+                )
+                return 1
+            trace_id = traced.get("trace_id")
+            if trace_id is None:
+                print(
+                    "daemon-trace: daemon returned no trace id "
+                    "(telemetry disabled?)",
+                    file=sys.stderr,
+                )
+                return 1
+            response = client.trace(trace_id)
+        else:
+            print(
+                "daemon-trace: need --id TRACE_ID or a FILE to trace",
+                file=sys.stderr,
+            )
+            return 2
+    if not response.get("ok"):
+        print(
+            f"daemon-trace: {response.get('error')}", file=sys.stderr
+        )
+        known = response.get("known_ids")
+        if known:
+            print(
+                f"daemon-trace: recent trace ids: {', '.join(known)}",
+                file=sys.stderr,
+            )
+        if response.get("hint"):
+            print(f"daemon-trace: hint: {response['hint']}", file=sys.stderr)
+        return 1
+    document = response["result"]
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"trace {document['trace_id']} "
+        f"(transport={document.get('transport', '?')}"
+        f"{', slow' if document.get('slow') else ''})"
+    )
+    print(render_trace(document.get("spans", [])))
+    return 0
+
+
+def _render_top(
+    result: dict,
+    events: list[dict],
+    previous: dict | None,
+    dt: float,
+) -> str:
+    """One ``repro-pta top`` frame from a merged metrics result.
+
+    ``previous`` is the counter map of the prior poll: request /
+    coalesce rates are per-second deltas when it is available and
+    cumulative otherwise."""
+    from repro.obs.merge import histogram_quantile
+
+    counters = result["metrics"].get("counters", {})
+    gauges = result["metrics"].get("gauges", {})
+    histograms = result["metrics"].get("histograms", {})
+
+    def delta(name: str) -> float:
+        now = counters.get(name, 0)
+        if previous is None or dt <= 0:
+            return float(now)
+        return (now - previous.get(name, 0)) / dt
+
+    requests = counters.get("daemon.requests", 0)
+    coalesced = counters.get("daemon.coalesced", 0)
+    coalesce_rate = (
+        f" ({coalesced / requests * 100:.1f}%)" if requests else ""
+    )
+    lines = [
+        f"workers {result.get('workers', '?')}   "
+        f"sessions {result.get('sessions', 0)}   "
+        f"queue depth {gauges.get('daemon.queue_depth', 0)}   "
+        f"telemetry {'on' if result.get('telemetry', True) else 'off'}",
+        f"requests {requests}  ({delta('daemon.requests'):.1f}/s)   "
+        f"errors {counters.get('daemon.errors', 0)}   "
+        f"shed {counters.get('daemon.shed', 0)}   "
+        f"slow {counters.get('daemon.slow_requests', 0)}",
+        f"analyses {counters.get('daemon.analyses', 0)}   "
+        f"coalesced {coalesced}{coalesce_rate}",
+    ]
+    request_latency = histograms.get("daemon.request")
+    if request_latency:
+        p50 = histogram_quantile(request_latency, 0.50)
+        p95 = histogram_quantile(request_latency, 0.95)
+        lines.append(
+            f"latency p50 <= {p50 * 1000:.1f}ms   "
+            f"p95 <= {p95 * 1000:.1f}ms   "
+            f"mean {request_latency['sum_s'] / request_latency['count'] * 1000:.1f}ms"
+        )
+    phases = [
+        ("parse", "frontend.parse"),
+        ("simplify", "simple.simplify"),
+        ("analysis", "core.analysis"),
+    ]
+    phase_totals = {
+        label: histograms.get(name, {}).get("sum_s", 0.0)
+        for label, name in phases
+    }
+    busy = sum(phase_totals.values())
+    if busy > 0:
+        lines.append(
+            "phase split  "
+            + "  ".join(
+                f"{label} {total / busy * 100:.0f}%"
+                for label, total in phase_totals.items()
+            )
+        )
+    if events:
+        lines.append("recent events:")
+        for event in events[-5:]:
+            extras = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.items())
+                if key not in ("seq", "ts", "kind")
+            )
+            lines.append(
+                f"  #{event['seq']} {event['kind']}"
+                + (f"  ({extras})" if extras else "")
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """A live terminal view over the daemon's merged metrics."""
+    import time as time_mod
+
+    from repro.daemon import DaemonClient
+
+    previous: dict | None = None
+    previous_at: float | None = None
+    try:
+        while True:
+            try:
+                with DaemonClient(
+                    args.host, args.port, timeout=args.timeout
+                ) as client:
+                    metrics = client.metrics()
+                    events_response = client.events()
+            except (OSError, ConnectionError) as exc:
+                print(f"top: cannot reach daemon: {exc}", file=sys.stderr)
+                return 2
+            if not metrics.get("ok"):
+                print(f"top: {metrics.get('error')}", file=sys.stderr)
+                return 1
+            result = metrics["result"]
+            events = (
+                events_response.get("result", {}).get("events", [])
+                if events_response.get("ok")
+                else []
+            )
+            now = time_mod.monotonic()
+            dt = now - previous_at if previous_at is not None else 0.0
+            frame = _render_top(result, events, previous, dt)
+            if not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home
+            print(f"repro-pta top — {args.host}:{args.port}")
+            print(frame)
+            sys.stdout.flush()
+            if args.once:
+                return 0
+            previous = dict(result["metrics"].get("counters", {}))
+            previous_at = now
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -778,7 +975,85 @@ def main(argv: list[str] | None = None) -> int:
         default=30.0,
         help="seconds to wait for in-flight work on shutdown",
     )
+    p_daemon.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="turn the telemetry plane off (no metrics registry, "
+        "journal, or trace capture; hooks reduce to one attribute "
+        "check)",
+    )
+    p_daemon.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-request threshold in milliseconds: over-budget "
+        "requests are journaled with a captured trace (default: "
+        "$REPRO_PTA_SLOW_MS, unset = off)",
+    )
+    p_daemon.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also listen on this port for HTTP GET /metrics "
+        "(Prometheus text exposition of the merged registry; "
+        "0 = pick a free port)",
+    )
     p_daemon.set_defaults(func=cmd_daemon)
+
+    p_daemon_trace = sub.add_parser(
+        "daemon-trace",
+        help="fetch (or produce) one distributed request trace from a "
+        "running daemon and render the span tree",
+    )
+    p_daemon_trace.add_argument("--host", default="127.0.0.1")
+    p_daemon_trace.add_argument("--port", type=int, required=True)
+    p_daemon_trace.add_argument(
+        "--id",
+        default=None,
+        help="trace id to fetch (from a traced response or the journal)",
+    )
+    p_daemon_trace.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="C file: send one traced query for it and render the "
+        "resulting trace",
+    )
+    p_daemon_trace.add_argument(
+        "--query",
+        default="summary",
+        help="query to run when tracing a file (default: summary)",
+    )
+    p_daemon_trace.add_argument(
+        "--timeout", type=float, default=60.0
+    )
+    p_daemon_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw trace document instead of the tree",
+    )
+    p_daemon_trace.set_defaults(func=cmd_daemon_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal view over a running daemon's merged "
+        "metrics (requests/s, latency quantiles, phase split, events)",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, required=True)
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (no screen clearing)",
+    )
+    p_top.add_argument("--timeout", type=float, default=10.0)
+    p_top.set_defaults(func=cmd_top)
 
     p_store = sub.add_parser(
         "store",

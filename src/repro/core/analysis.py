@@ -547,7 +547,9 @@ class Analyzer:
         fresh_table = CONFIG.bitset_sets
         previous_table = install_table(LocTable()) if fresh_table else None
         try:
-            with obs.span("core.analysis", entry=self.options.entry_point):
+            # timed, not span: feeds the "core.analysis" phase
+            # histogram the daemon's merged metrics aggregate.
+            with obs.timed("core.analysis", entry=self.options.entry_point):
                 result = self._run()
         finally:
             # The transfer cache only serves one run; free the

@@ -15,6 +15,7 @@ recursion check against the ancestor chain.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -26,6 +27,12 @@ class IGNodeKind(enum.Enum):
     ORDINARY = "ordinary"
     RECURSIVE = "recursive"
     APPROXIMATE = "approximate"
+
+    # Content hash, not the default object-id hash: keeps iteration
+    # order of kind-keyed containers identical across runs (see
+    # LocKind.__hash__).
+    def __hash__(self) -> int:
+        return zlib.crc32(self.value.encode())
 
 
 @dataclass

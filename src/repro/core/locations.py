@@ -20,6 +20,7 @@ relationship is represented by a named :class:`AbsLoc`:
 from __future__ import annotations
 
 import enum
+import zlib
 
 from repro.core.perf import CONFIG
 
@@ -43,6 +44,14 @@ class LocKind(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+    # Enum's default hash is the member's object id, which varies run
+    # to run with address-space layout — so any set containing a kind
+    # (AbsLoc hashes, (loc, kind) pairs) iterates in an irreproducible
+    # order, and order-sensitive consumers (the slice-memo key) flake.
+    # A content hash makes iteration order reproducible.
+    def __hash__(self) -> int:
+        return zlib.crc32(self.value.encode())
 
 
 #: Interning table: (base, kind, func, path) -> the canonical AbsLoc.
@@ -91,7 +100,16 @@ class AbsLoc:
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "func", func)
         object.__setattr__(self, "path", path)
-        object.__setattr__(self, "_hash", hash(key))
+        # Hash content only: ``func`` is None for globals, and on
+        # Python < 3.12 ``hash(None)`` is address-based — it varies
+        # run to run with address-space layout, which reorders sets of
+        # global locations and makes everything downstream of their
+        # iteration order (dense-id assignment, slice-memo keys, memo
+        # hit counters) irreproducible.  LocKind likewise hashes by
+        # content, not object id (see ``LocKind.__hash__``).
+        object.__setattr__(
+            self, "_hash", hash((base, kind, func or "", path))
+        )
         if interning:
             _INTERN[key] = self
         return self

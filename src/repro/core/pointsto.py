@@ -22,6 +22,7 @@ Representation notes (see DESIGN.md, "Performance architecture"):
 from __future__ import annotations
 
 import enum
+import zlib
 from typing import Iterable, Iterator
 
 from repro.core import provenance
@@ -37,6 +38,13 @@ class Definiteness(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+    # Identity hashes (Enum's default) vary with address-space layout,
+    # which makes sets of (src, tgt, definiteness) triples iterate in
+    # a run-dependent order; a content hash keeps anything derived
+    # from that order (slice-memo keys, stats) reproducible.
+    def __hash__(self) -> int:
+        return zlib.crc32(self.value.encode())
 
     def both(self, other: "Definiteness") -> "Definiteness":
         """``d1 ∧ d2`` of Table 1: definite only if both are."""

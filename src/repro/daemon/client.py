@@ -37,6 +37,37 @@ class DaemonClient:
         self.send(request)
         return self.recv()
 
+    # -- telemetry-plane conveniences (repro-pta daemon-trace / top) -------
+
+    def traced(self, request: dict, trace_id: str | None = None) -> dict:
+        """Send ``request`` with per-request tracing on; the response
+        carries ``trace_id``, and :meth:`trace` fetches the document."""
+        body = dict(request)
+        body["trace"] = trace_id if trace_id is not None else True
+        return self.request(body)
+
+    def trace(self, trace_id: str) -> dict:
+        """Fetch one finished trace document by id."""
+        return self.request({"cmd": "trace", "trace_id": trace_id})
+
+    def events(self, since: int | None = None) -> dict:
+        """Poll the daemon's event journal."""
+        body: dict = {"cmd": "events"}
+        if since is not None:
+            body["since"] = since
+        return self.request(body)
+
+    def metrics(
+        self, format: str | None = None, per_worker: bool = False
+    ) -> dict:
+        """Fetch the merged metrics registry."""
+        body: dict = {"cmd": "metrics"}
+        if format is not None:
+            body["format"] = format
+        if per_worker:
+            body["per_worker"] = True
+        return self.request(body)
+
     def close(self) -> None:
         try:
             self._file.close()

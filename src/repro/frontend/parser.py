@@ -890,7 +890,10 @@ def parse(source: str, filename: str = "<source>") -> cast.TranslationUnit:
     """Parse C source text into a :class:`TranslationUnit`."""
     from repro import obs
 
-    with obs.span("frontend.parse", filename=filename):
+    # timed, not span: the parse duration also lands in the
+    # "frontend.parse" histogram, which is what the daemon's merged
+    # metrics (and repro-pta top's phase split) aggregate.
+    with obs.timed("frontend.parse", filename=filename):
         unit = Parser(source, filename).parse_translation_unit()
     if obs.active():
         obs.count("frontend.parses")

@@ -33,34 +33,66 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+from repro.obs.journal import Journal
 from repro.obs.tracer import (
     NULL_TRACER,
     Histogram,
+    MetricsTracer,
     NullTracer,
     Span,
     TraceImbalance,
     Tracer,
 )
+from repro.obs.traces import TraceBuffer, new_trace_id
 
 __all__ = [
     "Histogram",
+    "Journal",
+    "MetricsTracer",
     "NullTracer",
     "Span",
+    "TraceBuffer",
     "TraceImbalance",
     "Tracer",
     "NULL_TRACER",
     "active",
     "count",
+    "event",
     "gauge",
     "get_tracer",
+    "journal",
+    "new_trace_id",
     "observe",
     "set_tracer",
     "span",
     "timed",
+    "traces",
     "tracing",
 ]
 
 _current = NULL_TRACER
+
+#: Process-wide telemetry singletons.  The journal records lifecycle
+#: events (always on — a few deque appends per *request*, never per
+#: statement); the trace buffer retains finished per-request trace
+#: documents for the ``{"cmd": "trace"}`` verb.
+_journal = Journal()
+_traces = TraceBuffer()
+
+
+def journal() -> Journal:
+    """The process-wide event journal."""
+    return _journal
+
+
+def traces() -> TraceBuffer:
+    """The process-wide buffer of finished request traces."""
+    return _traces
+
+
+def event(kind: str, /, **fields) -> int:
+    """Emit one structured event into the process journal."""
+    return _journal.emit(kind, **fields)
 
 
 def get_tracer():

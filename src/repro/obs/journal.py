@@ -1,0 +1,142 @@
+"""A bounded, sequence-numbered ring buffer of structured events.
+
+The journal records *lifecycle* events — request shed, coalesce join,
+worker restart, incremental-update tier chosen, slow request, GC — at
+request granularity (not per-statement), so it is always on and costs
+one deque append per event.  Events are plain dicts::
+
+    {"seq": 42, "ts": 1754650000.123, "kind": "shed",
+     "reason": "queue_full", ...}
+
+Sequence numbers are monotone per journal; the ring keeps the last
+``capacity`` events, so a consumer polling ``since(last_seen)`` either
+gets the contiguous tail or a structured *pruned* error telling it
+where to re-sync (see :meth:`Journal.answer` — the shape the
+``{"cmd": "events", "since": N}`` protocol verb returns).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """Thread-safe bounded event ring with monotone sequence numbers."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("Journal capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._next_seq = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def emit(self, kind: str, /, **fields) -> int:
+        """Append one event; returns its sequence number."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            event = {"seq": seq, "ts": round(time.time(), 3), "kind": kind}
+            event.update(fields)
+            self._events.append(event)
+            return seq
+
+    def ingest(self, event: dict, source: str | None = None) -> int:
+        """Re-stamp a foreign event (e.g. one a worker shipped up)
+        with this journal's sequence, preserving its kind, fields, and
+        original wall-clock timestamp, and recording the original
+        sequence as ``origin_seq``."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            stored = {
+                "seq": seq,
+                "ts": event.get("ts", round(time.time(), 3)),
+                "kind": event.get("kind", "event"),
+            }
+            for key, value in event.items():
+                if key not in ("seq", "ts", "kind"):
+                    stored[key] = value
+            if "seq" in event:
+                stored.setdefault("origin_seq", event["seq"])
+            if source is not None:
+                stored["source"] = source
+            self._events.append(stored)
+            return seq
+
+    def oldest_seq(self) -> int | None:
+        """Sequence of the oldest retained event (None when empty)."""
+        with self._lock:
+            return self._events[0]["seq"] if self._events else None
+
+    def since(self, seq: int = 0) -> list[dict]:
+        """Events with sequence >= ``seq`` (shallow copies)."""
+        with self._lock:
+            return [dict(event) for event in self._events if event["seq"] >= seq]
+
+    def answer(self, since=None) -> dict:
+        """The protocol response for ``{"cmd": "events", "since": N}``.
+
+        An absent ``since`` tails from the oldest retained event.  An
+        explicit ``since`` guarantees contiguity or refuses: asking
+        for a range the ring has already pruned returns a structured
+        error naming the oldest retained sequence, so pollers re-sync
+        instead of silently missing events.
+        """
+        if since is not None and (
+            not isinstance(since, int) or isinstance(since, bool) or since < 0
+        ):
+            return {
+                "ok": False,
+                "error": f"bad 'since': expected a non-negative integer, "
+                f"got {since!r}",
+                "hint": "poll with the next_seq of the previous response",
+            }
+        with self._lock:
+            next_seq = self._next_seq
+            oldest = self._events[0]["seq"] if self._events else next_seq
+            if since is None:
+                since = oldest
+            if since > next_seq:
+                return {
+                    "ok": False,
+                    "error": f"events: since={since} is in the future "
+                    f"(next_seq is {next_seq})",
+                    "next_seq": next_seq,
+                    "oldest_seq": oldest,
+                    "hint": "poll with a seq at most next_seq",
+                }
+            if since < oldest:
+                return {
+                    "ok": False,
+                    "error": f"events: range since={since} pruned "
+                    f"({oldest - since} events dropped from the ring; "
+                    f"oldest retained seq is {oldest})",
+                    "next_seq": next_seq,
+                    "oldest_seq": oldest,
+                    "hint": f"re-sync with since={oldest}",
+                }
+            events = [
+                dict(event)
+                for event in self._events
+                if event["seq"] >= since
+            ]
+        return {
+            "ok": True,
+            "result": {
+                "events": events,
+                "next_seq": next_seq,
+                "oldest_seq": oldest,
+            },
+        }

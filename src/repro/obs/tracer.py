@@ -112,6 +112,30 @@ class Histogram:
             "buckets": list(self.buckets),
         }
 
+    def merge_dict(self, other: dict) -> None:
+        """Fold a serialized histogram (:meth:`as_dict` shape) into
+        this one, bucket-wise.  Bounds must agree — merging histograms
+        recorded against different decades would silently misbin."""
+        bounds = other.get("bucket_bounds_s")
+        if bounds is not None and tuple(bounds) != self.BOUNDS:
+            raise ValueError(
+                f"histogram bucket bounds differ: {bounds} vs {self.BOUNDS}"
+            )
+        for index, value in enumerate(other.get("buckets", ())):
+            self.buckets[index] += value
+        self.count += other.get("count", 0)
+        self.total += other.get("sum_s", 0.0)
+        other_min = other.get("min_s")
+        if other_min is not None:
+            self.min = (
+                other_min if self.min is None else min(self.min, other_min)
+            )
+        other_max = other.get("max_s")
+        if other_max is not None:
+            self.max = (
+                other_max if self.max is None else max(self.max, other_max)
+            )
+
 
 class _SpanContext:
     """Context manager opening/closing one span on a tracer."""
@@ -323,6 +347,38 @@ class NullTracer:
 
     def render(self) -> str:
         return ""
+
+
+class MetricsTracer(Tracer):
+    """A tracer that accumulates counters/gauges/histograms but keeps
+    spans off.
+
+    This is the process-wide tracer a long-lived daemon worker
+    installs: metrics accumulate forever in bounded space, while span
+    trees — which grow without bound and only matter per-request —
+    are skipped entirely.  Per-request tracing temporarily installs a
+    full :class:`Tracer` on top and folds its metrics back in (see
+    :func:`repro.obs.merge.fold_snapshot`).
+    """
+
+    def span(self, name: str, /, **attrs) -> "_NullSpanContext":
+        return _NULL_SPAN_CONTEXT
+
+    def start_span(self, name: str, /, **attrs) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def end_span(self, span=None) -> "_NullSpan":
+        return _NULL_SPAN
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+    def check_balanced(self) -> None:
+        pass
+
+    def events(self) -> list[dict]:
+        return []
 
 
 #: The shared default tracer (see :mod:`repro.obs`).

@@ -1,0 +1,151 @@
+"""Request-scoped distributed traces: ids, the bounded buffer, rendering.
+
+A *trace document* is the JSON-safe record of one protocol request::
+
+    {"trace_version": 1, "trace_id": "a1b2...", "transport": "tcp",
+     "slow": false,
+     "spans": [...Span.to_dict trees...],
+     "metrics": {...tracer snapshot of the request...}}
+
+The client opts in per request (``{"trace": true}`` or ``{"trace":
+"<id>"}``); the daemon assigns an id at admission, carries it through
+the coalescing map into the forked worker, captures the worker-side
+span tree there, and merges it under the server-side
+``daemon.admission`` / ``daemon.queue`` / ``daemon.worker`` spans —
+one request, one coherent tree.  Finished documents live in a bounded
+:class:`TraceBuffer`, drained by ``{"cmd": "trace", "trace_id": ...}``
+and rendered by ``repro-pta daemon-trace``.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections import OrderedDict
+
+__all__ = [
+    "TraceBuffer",
+    "new_trace_id",
+    "render_trace",
+    "synthetic_span",
+]
+
+#: Wire-format version of trace documents.
+TRACE_VERSION = 1
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def synthetic_span(
+    name: str,
+    start_s: float,
+    duration_s: float | None,
+    attrs: dict | None = None,
+    children: list[dict] | None = None,
+) -> dict:
+    """Build one span dict (the :meth:`Span.to_dict` shape) directly —
+    how the daemon front end materializes admission/queue/worker spans
+    from timestamps it already collected, without running a tracer on
+    the hot path."""
+    span: dict = {
+        "name": name,
+        "start_s": round(max(0.0, start_s), 6),
+        "duration_s": (
+            round(max(0.0, duration_s), 6) if duration_s is not None else None
+        ),
+    }
+    if attrs:
+        span["attrs"] = dict(sorted(attrs.items()))
+    if children:
+        span["children"] = children
+    return span
+
+
+class TraceBuffer:
+    """A thread-safe bounded ring of finished trace documents."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("TraceBuffer capacity must be >= 1")
+        self.capacity = capacity
+        self._docs: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def put(self, trace_id: str, document: dict) -> None:
+        with self._lock:
+            self._docs[trace_id] = document
+            self._docs.move_to_end(trace_id)
+            while len(self._docs) > self.capacity:
+                self._docs.popitem(last=False)
+
+    def get(self, trace_id: str) -> dict | None:
+        with self._lock:
+            return self._docs.get(trace_id)
+
+    def ids(self) -> list[str]:
+        """Retained trace ids, oldest first."""
+        with self._lock:
+            return list(self._docs)
+
+    def answer(self, trace_id) -> dict:
+        """The protocol response for ``{"cmd": "trace", "trace_id": X}``:
+        the document, or a structured unknown-id error naming recently
+        retained ids (the ring is bounded — old traces get pruned)."""
+        if not isinstance(trace_id, str) or not trace_id:
+            return {
+                "ok": False,
+                "error": f"bad trace id: expected a non-empty string, "
+                f"got {trace_id!r}",
+                "hint": 'request a trace with {"trace": true}; the '
+                "response's trace_id keys this buffer",
+            }
+        with self._lock:
+            document = self._docs.get(trace_id)
+            recent = list(self._docs)[-5:]
+        if document is None:
+            return {
+                "ok": False,
+                "error": f"unknown trace id {trace_id!r} (not recorded, "
+                f"or pruned from the bounded trace buffer)",
+                "trace_id": trace_id,
+                "known_ids": recent,
+                "hint": 'request a trace with {"trace": true}; the '
+                "buffer keeps the most recent "
+                f"{self.capacity} traces",
+            }
+        return {"ok": True, "result": document}
+
+
+def render_trace(spans: list[dict], indent: int = 0) -> str:
+    """An indented text tree over span dicts (mirrors
+    :meth:`Tracer.render`, but works on the wire format)."""
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        duration = span.get("duration_s")
+        rendered_duration = (
+            f"{duration * 1000:.3f}ms" if duration is not None else "<open>"
+        )
+        attrs = ""
+        if span.get("attrs"):
+            rendered = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(span["attrs"].items())
+            )
+            attrs = f"  [{rendered}]"
+        lines.append(
+            f"{'  ' * depth}{span.get('name', '?')}  "
+            f"{rendered_duration}{attrs}"
+        )
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in spans:
+        walk(root, indent)
+    return "\n".join(lines)

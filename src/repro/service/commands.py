@@ -128,17 +128,49 @@ def _cmd_stats(request, store, sessions) -> dict:
 def _cmd_metrics(request, store, sessions) -> dict:
     # The tracer's cumulative view of the serve loop: counters (store
     # traffic, analysis work), gauges, and the per-query latency
-    # histograms (see docs/OBSERVABILITY.md).
+    # histograms (see docs/OBSERVABILITY.md).  ``format:
+    # "prometheus"`` returns the text exposition of the same snapshot
+    # instead of the JSON registry.
     tracer = obs.get_tracer()
-    return {
-        "ok": True,
-        "result": {
-            "tracing": tracer.enabled,
-            "metrics": tracer.snapshot(),
-            "store": store.stats.as_dict(),
-            "sessions": len(sessions),
-        },
+    result = {
+        "tracing": tracer.enabled,
+        "metrics": tracer.snapshot(),
+        "store": store.stats.as_dict(),
+        "backend": store.backend_stats(),
+        "sessions": len(sessions),
     }
+    requested_format = request.get("format")
+    if requested_format == "prometheus":
+        from repro.obs.prometheus import render_prometheus
+
+        result["prometheus"] = render_prometheus(
+            result["metrics"],
+            extra_gauges={"serve.sessions": len(sessions)},
+        )
+    elif requested_format is not None and requested_format != "json":
+        return {
+            "ok": False,
+            "error": f"unknown metrics format {requested_format!r}",
+            "known_formats": ["json", "prometheus"],
+        }
+    return {"ok": True, "result": result}
+
+
+def _cmd_events(request, store, sessions) -> dict:
+    # The process journal: lifecycle events (update tiers chosen, GC,
+    # slow requests) with monotone sequence numbers.  A pruned or
+    # future range answers with a structured error naming the oldest
+    # retained sequence (see Journal.answer).
+    return obs.journal().answer(request.get("since"))
+
+
+def _cmd_trace(request, store, sessions) -> dict:
+    # Finished request-trace documents, keyed by the trace id stamped
+    # on a traced response.  Accepts "trace_id" (canonical) or "id"
+    # (the ISSUE's shorthand; note "id" is also echoed back as the
+    # client correlation tag, which is harmless here).
+    trace_id = request.get("trace_id", request.get("id"))
+    return obs.traces().answer(trace_id)
 
 
 def _cmd_provenance(request, store, sessions) -> dict:
@@ -251,6 +283,7 @@ def _cmd_update(request, store, sessions) -> dict:
         if session is not None:
             # Another update (or query) already warmed this exact
             # source — nothing to recompute.
+            _record_update_tier("unchanged", new_key)
             return {
                 "ok": True,
                 "coalesced": True,
@@ -292,7 +325,18 @@ def _cmd_update(request, store, sessions) -> dict:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         sessions[new_key] = session
         report["key"] = new_key[:12]
+        _record_update_tier(report.get("mode"), new_key)
         return {"ok": True, "cached": session.cached, "result": report}
+
+
+def _record_update_tier(mode, new_key: str) -> None:
+    """Per-tier outcome counters + a journal event for every update:
+    which rung of the splice/seeded/cold ladder actually served the
+    request (docs/INCREMENTAL.md) — the warm-path effectiveness signal
+    ``repro-pta top`` and the Prometheus exposition surface."""
+    tier = mode if isinstance(mode, str) and mode else "unknown"
+    obs.count(f"incremental.tier.{tier}")
+    obs.event("update_tier", tier=tier, key=new_key[:12])
 
 
 #: The protocol's command dispatch table.  ``SERVE_COMMANDS`` (the
@@ -301,10 +345,12 @@ def _cmd_update(request, store, sessions) -> dict:
 #: and on TCP at once.
 CMD_HANDLERS = {
     "check": _cmd_check,
+    "events": _cmd_events,
     "metrics": _cmd_metrics,
     "provenance": _cmd_provenance,
     "quit": _cmd_quit,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "update": _cmd_update,
 }
 
@@ -324,7 +370,58 @@ def handle_request(
     store: ResultStore,
     sessions: MutableMapping,
 ) -> dict:
-    """Answer one protocol request (shared by stdin and TCP serving)."""
+    """Answer one protocol request (shared by stdin and TCP serving).
+
+    A ``"trace"`` key (``true`` or a caller-supplied trace id) runs
+    the request under a fresh per-request tracer: the captured span
+    tree + metrics land in the process trace buffer (drained by the
+    ``trace`` verb), the response is stamped with ``trace_id``, and
+    the request's counters/histograms fold back into whatever
+    process-wide tracer was already installed so long-run metrics
+    stay complete.
+    """
+    trace_spec = request.get("trace")
+    if trace_spec:
+        return _traced_request(request, store, sessions, trace_spec)
+    return _handle_untraced(request, store, sessions)
+
+
+def _traced_request(
+    request: dict, store, sessions, trace_spec
+) -> dict:
+    from repro.obs.merge import fold_snapshot
+    from repro.obs.tracer import Tracer
+    from repro.obs.traces import TRACE_VERSION
+
+    trace_id = (
+        trace_spec if isinstance(trace_spec, str) else obs.new_trace_id()
+    )
+    body = {key: value for key, value in request.items() if key != "trace"}
+    previous = obs.get_tracer()
+    tracer = Tracer()
+    with obs.tracing(tracer):
+        with tracer.span("handle", cmd=body.get("cmd", "query")):
+            response = _handle_untraced(body, store, sessions)
+    tracer.check_balanced()
+    if previous.enabled:
+        fold_snapshot(previous, tracer.snapshot())
+    document = {
+        "trace_version": TRACE_VERSION,
+        "trace_id": trace_id,
+        "spans": tracer.events(),
+        "metrics": tracer.snapshot(),
+    }
+    obs.traces().put(trace_id, document)
+    response = dict(response)
+    response["trace_id"] = trace_id
+    return response
+
+
+def _handle_untraced(
+    request: dict,
+    store: ResultStore,
+    sessions: MutableMapping,
+) -> dict:
     if "cmd" in request:
         cmd = request["cmd"]
         handler = CMD_HANDLERS.get(cmd)

@@ -1261,7 +1261,9 @@ def simplify_program(unit: TranslationUnit, source_lines: int = 0) -> SimpleProg
     """Lower a parsed translation unit to SIMPLE."""
     from repro import obs
 
-    with obs.span("simple.simplify"):
+    # timed, not span: feeds the "simple.simplify" phase histogram the
+    # daemon's merged metrics aggregate.
+    with obs.timed("simple.simplify"):
         program = _ProgramSimplifier(unit, source_lines).run()
     if obs.active():
         obs.count("simple.programs")

@@ -70,10 +70,19 @@ def _mask(response: dict) -> dict:
     if isinstance(result, dict) and "tracing" in result:
         # The metrics verb: the tracer snapshot names its counters
         # after the transport (serve.* vs daemon.*) — mask it, keep
-        # the store/session view, which must agree.
+        # the store/session view, which must agree.  The daemon adds
+        # pool-shape keys (telemetry, workers) the single-process loop
+        # has no analogue for, and the two transports open stores at
+        # different paths, so the backend url is masked too.
         result = dict(result)
         result["metrics"] = "<snapshot>"
         result["tracing"] = "<bool>"
+        for daemon_only in ("telemetry", "workers", "workers_failed"):
+            result.pop(daemon_only, None)
+        if isinstance(result.get("backend"), dict):
+            result["backend"] = {
+                **result["backend"], "url": "<url>",
+            }
         masked["result"] = result
     return masked
 

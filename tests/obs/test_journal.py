@@ -1,0 +1,144 @@
+"""The event journal: bounded ring, monotone sequences, the poll
+protocol (``{"cmd": "events", "since": N}``) with its structured
+pruned/future errors, and cross-process ingestion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.journal import Journal
+
+
+def test_emit_assigns_monotone_sequences():
+    journal = Journal()
+    assert [journal.emit("a"), journal.emit("b"), journal.emit("c")] == [
+        0,
+        1,
+        2,
+    ]
+    kinds = [event["kind"] for event in journal.since(0)]
+    assert kinds == ["a", "b", "c"]
+    assert journal.next_seq == 3
+
+
+def test_events_carry_ts_and_fields():
+    journal = Journal()
+    journal.emit("shed", reason="queue_full", key="abc")
+    (event,) = journal.since(0)
+    assert event["kind"] == "shed"
+    assert event["reason"] == "queue_full"
+    assert event["key"] == "abc"
+    assert event["ts"] > 0
+
+
+def test_ring_prunes_oldest():
+    journal = Journal(capacity=3)
+    for index in range(10):
+        journal.emit("tick", index=index)
+    assert len(journal) == 3
+    assert journal.oldest_seq() == 7
+    assert [event["seq"] for event in journal.since(0)] == [7, 8, 9]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Journal(capacity=0)
+
+
+# -- the poll protocol ------------------------------------------------------
+
+
+def test_answer_without_since_tails_from_oldest():
+    journal = Journal(capacity=2)
+    for _ in range(5):
+        journal.emit("tick")
+    answer = journal.answer()
+    assert answer["ok"]
+    result = answer["result"]
+    assert [event["seq"] for event in result["events"]] == [3, 4]
+    assert result["next_seq"] == 5
+    assert result["oldest_seq"] == 3
+
+
+def test_answer_empty_journal():
+    answer = Journal().answer()
+    assert answer["ok"]
+    assert answer["result"] == {
+        "events": [],
+        "next_seq": 0,
+        "oldest_seq": 0,
+    }
+
+
+def test_answer_contiguous_since():
+    journal = Journal()
+    for _ in range(4):
+        journal.emit("tick")
+    answer = journal.answer(since=2)
+    assert answer["ok"]
+    assert [event["seq"] for event in answer["result"]["events"]] == [2, 3]
+
+
+def test_answer_pruned_range_is_structured_error():
+    journal = Journal(capacity=2)
+    for _ in range(6):
+        journal.emit("tick")
+    answer = journal.answer(since=0)
+    assert not answer["ok"]
+    assert answer["oldest_seq"] == 4
+    assert answer["next_seq"] == 6
+    assert "pruned" in answer["error"]
+    assert "since=4" in answer["hint"]
+
+
+def test_answer_future_since_is_structured_error():
+    journal = Journal()
+    journal.emit("tick")
+    answer = journal.answer(since=99)
+    assert not answer["ok"]
+    assert "future" in answer["error"]
+    assert answer["next_seq"] == 1
+
+
+@pytest.mark.parametrize("bad", [True, -1, "0", 1.5])
+def test_answer_rejects_bad_since(bad):
+    answer = Journal().answer(since=bad)
+    assert not answer["ok"]
+    assert "expected a non-negative integer" in answer["error"]
+    assert "hint" in answer
+
+
+def test_answer_at_next_seq_returns_empty_tail():
+    journal = Journal()
+    journal.emit("tick")
+    answer = journal.answer(since=1)
+    assert answer["ok"]
+    assert answer["result"]["events"] == []
+
+
+# -- ingestion --------------------------------------------------------------
+
+
+def test_ingest_resequences_but_preserves_origin():
+    daemon_journal = Journal()
+    daemon_journal.emit("daemon_start")
+    foreign = {"seq": 40, "ts": 123.456, "kind": "update_tier", "tier": "splice"}
+    seq = daemon_journal.ingest(foreign, source="worker-3")
+    assert seq == 1
+    event = daemon_journal.since(1)[0]
+    assert event["seq"] == 1
+    assert event["origin_seq"] == 40
+    assert event["ts"] == 123.456
+    assert event["kind"] == "update_tier"
+    assert event["tier"] == "splice"
+    assert event["source"] == "worker-3"
+
+
+def test_ingest_defaults_for_sparse_events():
+    journal = Journal()
+    journal.ingest({"payload": 1})
+    (event,) = journal.since(0)
+    assert event["kind"] == "event"
+    assert event["payload"] == 1
+    assert "origin_seq" not in event
+    assert "source" not in event

@@ -1,0 +1,180 @@
+"""Merge-semantics property tests (docs/OBSERVABILITY.md).
+
+The daemon merges worker registries, so the merge rules carry load:
+counters must sum, gauges must last-write-win with a recorded source,
+and histogram merge must be associative and commutative — a merged
+histogram must equal the histogram of the interleaved observation
+stream no matter how requests were sharded.
+
+Histogram observations here are multiples of 1/64 (= 0.015625, six
+decimal places): they are exact in binary floating point AND survive
+the snapshot's round-to-6-decimals unchanged, so sums are exact and
+order-independent — the equivalence assertions compare with ``==``,
+not a tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.merge import (
+    fold_snapshot,
+    histogram_quantile,
+    merge_counters,
+    merge_gauges,
+    merge_histograms,
+    merge_snapshots,
+)
+from repro.obs.tracer import Histogram, MetricsTracer, Tracer
+
+
+def _observations(seed: int, count: int) -> list[float]:
+    rng = random.Random(seed)
+    return [rng.randrange(0, 640) / 64.0 for _ in range(count)]
+
+
+def _histogram_of(observations: list[float]) -> dict:
+    histogram = Histogram()
+    for value in observations:
+        histogram.observe(value)
+    return histogram.as_dict()
+
+
+# -- counters ---------------------------------------------------------------
+
+
+def test_counters_sum_keywise():
+    merged = merge_counters(
+        [{"a": 1, "b": 2}, {"b": 3, "c": 5}, {}, {"a": 4}]
+    )
+    assert merged == {"a": 5, "b": 5, "c": 5}
+
+
+def test_counters_merge_is_commutative():
+    maps = [{"x": 1}, {"x": 2, "y": 7}, {"y": 1, "z": 3}]
+    assert merge_counters(maps) == merge_counters(list(reversed(maps)))
+
+
+# -- gauges -----------------------------------------------------------------
+
+
+def test_gauges_last_write_wins_with_source():
+    merged, sources = merge_gauges(
+        [
+            ("worker-0", {"depth": 3, "load": 0.5}),
+            ("worker-1", {"depth": 9}),
+        ]
+    )
+    assert merged == {"depth": 9, "load": 0.5}
+    assert sources == {"depth": "worker-1", "load": "worker-0"}
+
+
+# -- histograms -------------------------------------------------------------
+
+
+def test_histogram_merge_equals_interleaved_stream():
+    streams = [_observations(seed, 200) for seed in (1, 2, 3)]
+    merged = merge_histograms([_histogram_of(s) for s in streams])
+    interleaved: list[float] = []
+    for values in zip(*streams):
+        interleaved.extend(values)
+    assert merged == _histogram_of(interleaved)
+
+
+def test_histogram_merge_is_commutative_and_associative():
+    parts = [_histogram_of(_observations(seed, 50)) for seed in (4, 5, 6)]
+    forward = merge_histograms(parts)
+    backward = merge_histograms(list(reversed(parts)))
+    nested = merge_histograms(
+        [merge_histograms(parts[:2]), parts[2]]
+    )
+    assert forward == backward == nested
+
+
+def test_histogram_merge_folds_min_max_count_sum():
+    low = _histogram_of([1 / 64, 2 / 64])
+    high = _histogram_of([2.0, 3.0])
+    merged = merge_histograms([low, high])
+    assert merged["count"] == 4
+    assert merged["min_s"] == 1 / 64
+    assert merged["max_s"] == 3.0
+    assert merged["sum_s"] == 1 / 64 + 2 / 64 + 2.0 + 3.0
+
+
+def test_histogram_merge_rejects_foreign_bucket_bounds():
+    entry = _histogram_of([0.5])
+    entry["bucket_bounds_s"] = [1.0, 2.0]
+    with pytest.raises(ValueError):
+        merge_histograms([entry])
+
+
+def test_empty_histogram_merge_is_empty():
+    merged = merge_histograms([])
+    assert merged["count"] == 0
+    assert merged["min_s"] is None
+
+
+# -- whole snapshots --------------------------------------------------------
+
+
+def test_merge_snapshots_shape_and_null_tolerance():
+    tracer = Tracer()
+    tracer.count("requests", 3)
+    tracer.gauge("depth", 2)
+    tracer.observe("latency", 1 / 1024)
+    merged = merge_snapshots(
+        [
+            ("server", {}),  # a NullTracer snapshot is {}
+            ("worker-0", tracer.snapshot()),
+            ("worker-1", tracer.snapshot()),
+        ]
+    )
+    assert merged["counters"] == {"requests": 6}
+    assert merged["gauges"] == {"depth": 2}
+    assert merged["gauge_sources"] == {"depth": "worker-1"}
+    assert merged["histograms"]["latency"]["count"] == 2
+
+
+def test_fold_snapshot_equals_direct_observation():
+    request_tracer = Tracer()
+    request_tracer.count("work", 2)
+    request_tracer.gauge("size", 11)
+    for value in _observations(7, 30):
+        request_tracer.observe("latency", value)
+
+    folded = MetricsTracer()
+    folded.count("work", 5)  # pre-existing process-wide state
+    fold_snapshot(folded, request_tracer.snapshot())
+
+    direct = MetricsTracer()
+    direct.count("work", 7)
+    direct.gauge("size", 11)
+    for value in _observations(7, 30):
+        direct.observe("latency", value)
+
+    assert folded.snapshot() == direct.snapshot()
+
+
+# -- quantiles --------------------------------------------------------------
+
+
+def test_quantile_of_empty_histogram_is_none():
+    assert histogram_quantile(_histogram_of([]), 0.5) is None
+
+
+def test_quantile_walks_cumulative_buckets():
+    # 90 fast observations, 10 slow: p50 lands in a fast bucket's
+    # bound, p99 in a slow one.
+    entry = _histogram_of([1 / 1024] * 90 + [2.0] * 10)
+    p50 = histogram_quantile(entry, 0.50)
+    p99 = histogram_quantile(entry, 0.99)
+    assert p50 <= 0.01
+    assert p99 >= 2.0
+
+
+def test_quantile_overflow_reports_observed_max():
+    top = Histogram.BOUNDS[-1]
+    entry = _histogram_of([top * 4, top * 8])
+    assert histogram_quantile(entry, 0.99) == top * 8

@@ -1,0 +1,168 @@
+"""Prometheus text exposition: the renderer's conventions and the
+strict validator the CI smoke step scrapes with."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.prometheus import (
+    parse_exposition,
+    render_prometheus,
+    sanitize,
+)
+from repro.obs.tracer import Tracer
+
+
+def _snapshot() -> dict:
+    tracer = Tracer()
+    tracer.count("daemon.requests", 7)
+    tracer.count("analysis.runs", 2)
+    tracer.gauge("daemon.queue_depth", 3)
+    tracer.observe("daemon.request", 0.004)
+    tracer.observe("daemon.request", 0.25)
+    return tracer.snapshot()
+
+
+# -- naming -----------------------------------------------------------------
+
+
+def test_sanitize_maps_dots_and_namespaces():
+    assert sanitize("daemon.queue_depth") == "repro_daemon_queue_depth"
+    assert sanitize("a-b c", namespace="x") == "x_a_b_c"
+    assert sanitize("weird", namespace="") == "weird"
+
+
+def test_counters_get_total_suffix_and_sum_on_collision():
+    text = render_prometheus(
+        {"counters": {"a.b": 2, "a-b": 3}}  # both sanitize to repro_a_b
+    )
+    families = parse_exposition(text)
+    ((name, labels, value),) = families["repro_a_b_total"]["samples"]
+    assert value == 5
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def test_render_output_parses_and_covers_all_sections():
+    text = render_prometheus(
+        _snapshot(), extra_gauges={"daemon.sessions": 4}
+    )
+    families = parse_exposition(text)
+    assert families["repro_daemon_requests_total"]["type"] == "counter"
+    assert families["repro_analysis_runs_total"]["type"] == "counter"
+    assert families["repro_daemon_queue_depth"]["type"] == "gauge"
+    assert families["repro_daemon_sessions"]["type"] == "gauge"
+    histogram = families["repro_daemon_request_seconds"]
+    assert histogram["type"] == "histogram"
+    buckets = [
+        (labels["le"], value)
+        for name, labels, value in histogram["samples"]
+        if name.endswith("_bucket")
+    ]
+    assert buckets[-1] == ("+Inf", 2.0)
+    counts = [
+        value
+        for name, _, value in histogram["samples"]
+        if name.endswith("_count")
+    ]
+    assert counts == [2.0]
+
+
+def test_histogram_buckets_are_cumulative():
+    text = render_prometheus(_snapshot())
+    families = parse_exposition(text)
+    values = [
+        value
+        for name, labels, value in families["repro_daemon_request_seconds"][
+            "samples"
+        ]
+        if name.endswith("_bucket")
+    ]
+    assert values == sorted(values)
+
+
+def test_empty_snapshot_renders_empty_exposition():
+    assert parse_exposition(render_prometheus({})) == {}
+
+
+# -- the validator's rejections --------------------------------------------
+
+
+def test_parse_requires_final_newline():
+    with pytest.raises(ValueError, match="newline"):
+        parse_exposition("# TYPE x counter\nx 1")
+
+
+def test_parse_rejects_sample_outside_family():
+    with pytest.raises(ValueError, match="outside any TYPE"):
+        parse_exposition("orphan 1\n")
+
+
+def test_parse_rejects_bad_type_line():
+    with pytest.raises(ValueError, match="bad TYPE"):
+        parse_exposition("# TYPE x flavor\n")
+
+
+def test_parse_rejects_duplicate_type():
+    with pytest.raises(ValueError, match="duplicate TYPE"):
+        parse_exposition(
+            "# TYPE x counter\nx 1\n# TYPE x counter\n"
+        )
+
+
+def test_parse_rejects_malformed_sample():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_exposition("# TYPE x counter\n!!bad!! 1\n")
+
+
+def test_parse_rejects_bad_value():
+    with pytest.raises(ValueError, match="bad value"):
+        parse_exposition("# TYPE x counter\nx banana\n")
+
+
+def test_parse_rejects_duplicate_samples():
+    with pytest.raises(ValueError, match="duplicate sample"):
+        parse_exposition("# TYPE x counter\nx 1\nx 2\n")
+
+
+def test_parse_rejects_type_with_no_samples():
+    with pytest.raises(ValueError, match="no samples"):
+        parse_exposition("# TYPE x counter\n")
+
+
+def test_parse_rejects_histogram_without_inf_bucket():
+    with pytest.raises(ValueError, match=r"\+Inf"):
+        parse_exposition(
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+
+
+def test_parse_rejects_non_cumulative_histogram():
+    with pytest.raises(ValueError, match="cumulative"):
+        parse_exposition(
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.5\n"
+            "h_count 3\n"
+        )
+
+
+def test_parse_rejects_count_bucket_mismatch():
+    with pytest.raises(ValueError, match="_count"):
+        parse_exposition(
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.5\n"
+            "h_count 4\n"
+        )
+
+
+def test_sanitize_falls_back_on_unusable_names():
+    # A name that sanitizes to something still invalid (leading digit,
+    # no namespace to rescue it) gets the generic fallback.
+    assert sanitize("9", namespace="") == "_metric"

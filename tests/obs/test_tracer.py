@@ -10,6 +10,7 @@ from repro import obs
 from repro.obs.tracer import (
     NULL_TRACER,
     Histogram,
+    MetricsTracer,
     NullTracer,
     TraceImbalance,
     Tracer,
@@ -312,3 +313,91 @@ class TestTimed:
         assert timer.elapsed >= 0.0
         assert tracer.roots[0].attrs["error"] == "ValueError"
         tracer.check_balanced()
+
+
+class TestMetricsTracer:
+    """Spans off, metrics on: the long-lived daemon-worker tracer."""
+
+    def test_metrics_accumulate(self):
+        tracer = MetricsTracer()
+        tracer.count("requests")
+        tracer.count("requests", 2)
+        tracer.gauge("depth", 5)
+        tracer.observe("latency", 0.25)
+        snapshot = tracer.snapshot()
+        assert snapshot["counters"] == {"requests": 3}
+        assert snapshot["gauges"] == {"depth": 5}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_spans_are_noops_and_memory_stays_bounded(self):
+        tracer = MetricsTracer()
+        for index in range(1000):
+            with tracer.span("step", index=index):
+                pass
+        assert tracer.events() == []
+        assert tracer.depth == 0
+        tracer.check_balanced()  # never raises: nothing to balance
+
+    def test_enabled_so_hooks_feed_it(self):
+        # MetricsTracer must look "on" to the obs.count/observe hooks
+        # or worker metrics would silently stop accumulating.
+        assert MetricsTracer().enabled
+        previous = obs.get_tracer()
+        try:
+            tracer = MetricsTracer()
+            obs.set_tracer(tracer)
+            obs.count("hits")
+            obs.observe("latency", 0.1)
+            with obs.timed("phase"):
+                pass
+        finally:
+            obs.set_tracer(previous)
+        snapshot = tracer.snapshot()
+        assert snapshot["counters"] == {"hits": 1}
+        assert set(snapshot["histograms"]) == {"latency", "phase"}
+
+    def test_nested_spans_never_build_trees(self):
+        tracer = MetricsTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.count("work")
+        assert tracer.events() == []
+        assert tracer.snapshot()["counters"] == {"work": 1}
+
+
+class TestHistogramMergeDict:
+    def test_merge_dict_adds_buckets(self):
+        one, two = Histogram(), Histogram()
+        one.observe(0.001)
+        two.observe(0.5)
+        one.merge_dict(two.as_dict())
+        assert one.count == 2
+        assert one.min == 0.001
+        assert one.max == 0.5
+
+    def test_merge_dict_rejects_foreign_bounds(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.merge_dict({"bucket_bounds_s": [9.9], "buckets": [1]})
+
+    def test_merge_dict_tolerates_sparse_entries(self):
+        histogram = Histogram()
+        histogram.merge_dict({})
+        assert histogram.count == 0
+
+
+class TestProcessSingletons:
+    """The process-wide journal / trace-buffer accessors."""
+
+    def test_event_feeds_the_process_journal(self):
+        seq = obs.event("test_event", detail="x")
+        tail = obs.journal().since(seq)
+        assert tail[0]["kind"] == "test_event"
+        assert tail[0]["detail"] == "x"
+
+    def test_accessors_return_stable_singletons(self):
+        assert obs.journal() is obs.journal()
+        assert obs.traces() is obs.traces()
+        trace_id = obs.new_trace_id()
+        obs.traces().put(trace_id, {"trace_id": trace_id, "spans": []})
+        assert obs.traces().get(trace_id)["trace_id"] == trace_id

@@ -1,0 +1,145 @@
+"""Trace ids, synthetic spans, the bounded trace buffer and its
+protocol answers, and the text renderer over span dicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.traces import (
+    TRACE_VERSION,
+    TraceBuffer,
+    new_trace_id,
+    render_trace,
+    synthetic_span,
+)
+
+
+def test_trace_version_is_one():
+    assert TRACE_VERSION == 1
+
+
+def test_new_trace_ids_are_short_hex_and_distinct():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    for trace_id in ids:
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # hex or raise
+
+
+# -- synthetic spans --------------------------------------------------------
+
+
+def test_synthetic_span_shape():
+    child = synthetic_span("inner", 0.001, 0.002)
+    span = synthetic_span(
+        "outer",
+        0.0,
+        0.004,
+        attrs={"b": 2, "a": 1},
+        children=[child],
+    )
+    assert span["name"] == "outer"
+    assert span["duration_s"] == 0.004
+    assert list(span["attrs"]) == ["a", "b"]  # sorted
+    assert span["children"] == [child]
+
+
+def test_synthetic_span_clamps_and_rounds():
+    span = synthetic_span("x", -0.5, 0.12345678)
+    assert span["start_s"] == 0.0
+    assert span["duration_s"] == 0.123457  # 6 decimal places
+    assert "attrs" not in span
+    assert "children" not in span
+
+
+def test_synthetic_span_open_duration():
+    assert synthetic_span("x", 0.0, None)["duration_s"] is None
+
+
+# -- the buffer -------------------------------------------------------------
+
+
+def _doc(trace_id: str) -> dict:
+    return {"trace_version": TRACE_VERSION, "trace_id": trace_id, "spans": []}
+
+
+def test_buffer_put_get_and_prune():
+    buffer = TraceBuffer(capacity=2)
+    for trace_id in ("t1", "t2", "t3"):
+        buffer.put(trace_id, _doc(trace_id))
+    assert len(buffer) == 2
+    assert buffer.get("t1") is None
+    assert buffer.get("t3")["trace_id"] == "t3"
+    assert buffer.ids() == ["t2", "t3"]
+
+
+def test_buffer_overwrite_refreshes_recency():
+    buffer = TraceBuffer(capacity=2)
+    buffer.put("t1", _doc("t1"))
+    buffer.put("t2", _doc("t2"))
+    buffer.put("t1", _doc("t1"))  # refresh
+    buffer.put("t3", _doc("t3"))  # evicts t2, not t1
+    assert buffer.ids() == ["t1", "t3"]
+
+
+def test_buffer_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=0)
+
+
+def test_answer_known_id():
+    buffer = TraceBuffer()
+    buffer.put("abc", _doc("abc"))
+    answer = buffer.answer("abc")
+    assert answer["ok"]
+    assert answer["result"]["trace_id"] == "abc"
+
+
+def test_answer_unknown_id_names_recent_ids():
+    buffer = TraceBuffer()
+    for trace_id in ("t1", "t2", "t3"):
+        buffer.put(trace_id, _doc(trace_id))
+    answer = buffer.answer("missing")
+    assert not answer["ok"]
+    assert "unknown trace id" in answer["error"]
+    assert answer["trace_id"] == "missing"
+    assert answer["known_ids"] == ["t1", "t2", "t3"]
+    assert "hint" in answer
+
+
+@pytest.mark.parametrize("bad", [None, 7, "", True])
+def test_answer_rejects_non_string_ids(bad):
+    answer = TraceBuffer().answer(bad)
+    assert not answer["ok"]
+    assert "bad trace id" in answer["error"]
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def test_render_trace_indents_and_labels():
+    spans = [
+        synthetic_span(
+            "daemon.request",
+            0.0,
+            0.004,
+            attrs={"cmd": "query"},
+            children=[
+                synthetic_span("daemon.queue", 0.0, 0.001),
+                synthetic_span("daemon.worker", 0.001, 0.003, children=[
+                    synthetic_span("handle", 0.001, 0.0029),
+                ]),
+            ],
+        )
+    ]
+    text = render_trace(spans)
+    lines = text.splitlines()
+    assert lines[0].startswith("daemon.request")
+    assert "[cmd=query]" in lines[0]
+    assert lines[1].startswith("  daemon.queue")
+    assert lines[3].startswith("    handle")
+
+
+def test_render_trace_marks_open_spans():
+    text = render_trace([synthetic_span("x", 0.0, None)])
+    assert "<open>" in text
