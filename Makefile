@@ -4,7 +4,7 @@
 # wheels; on offline machines without it, `make install` falls back to
 # the legacy setuptools develop mode, which needs nothing.
 
-.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon bench-incremental bench-telemetry check check-demo artifacts examples soundness all
+.PHONY: install test bench bench-perf bench-service bench-checkers bench-daemon bench-incremental bench-diffcheck bench-telemetry check check-demo check-diff-smoke artifacts examples soundness all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -49,6 +49,13 @@ bench-incremental:
 bench-telemetry:
 	PYTHONPATH=src python benchmarks/bench_telemetry.py
 
+# Warm `check --diff` of a one-function edit vs a cold full check on
+# the perfsuite programs; merges a "diffcheck" section into
+# BENCH_perf.json and enforces the >= 10x warm-speedup floor (SARIF
+# byte-identity asserted inside every timed run).
+bench-diffcheck:
+	PYTHONPATH=src python benchmarks/bench_diffcheck.py
+
 # Tier-1 gate: the full test suite plus a quick performance smoke
 # (one small and one large program through both cores).
 check:
@@ -61,6 +68,12 @@ check-demo:
 	PYTHONPATH=src python -m repro.cli check examples/pointer_bugs.c --no-cache
 	PYTHONPATH=src python -m repro.cli check examples/funcptr_dispatch.c --no-cache --format sarif > /dev/null
 	@echo "check-demo: ok"
+
+# Differential-check smoke: inject one bug into the examples fixture,
+# diff against the pristine text through the CLI, and assert only the
+# injected bug is reported new while everything else replays.
+check-diff-smoke:
+	PYTHONPATH=src python -m pytest -q tests/integration/test_diff_smoke.py
 
 artifacts: bench
 	@echo "rendered tables/figures are in benchmarks/out/"

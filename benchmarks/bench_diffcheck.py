@@ -1,0 +1,194 @@
+"""Differential checking benchmark: warm ``check --diff`` vs cold.
+
+Measures the checker-level reuse of :mod:`repro.checkers.diff` on the
+perfsuite programs and records a ``"diffcheck"`` section in
+``BENCH_perf.json`` (merging with whatever the other benchmarks
+wrote).  For each program, the verified one-function edit from
+``bench_incremental`` is applied and a full check pipeline is timed
+two ways:
+
+* ``cold_s`` — analyze the edited text from scratch, extract
+  :class:`~repro.checkers.facts.CheckFacts` for every function, run
+  every checker, finalize against the source;
+* ``warm_s`` — :func:`repro.checkers.diff.check_diff` against the
+  live prior analysis and an in-memory baseline: the update ladder
+  reuses points-to facts, detectors and fact extraction run only on
+  the dirty functions, everything else replays from the baseline;
+* the tail of every warm run renders both finding sets to SARIF and
+  asserts byte equality, so a reported speedup is never bought with a
+  different answer.
+
+Medians over ``--repeats`` runs; the full mode enforces the >=10x
+warm-over-cold floor on every program.  ``--smoke`` runs one repeat
+and skips the floor (CI).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_diffcheck.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.benchsuite.perfsuite import PERF_BENCHMARKS  # noqa: E402
+from repro.checkers import (  # noqa: E402
+    build_baseline,
+    check_diff,
+    render_sarif,
+    run_checkers,
+)
+from repro.core import perf  # noqa: E402
+from repro.core.analysis import analyze_source  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+SPEEDUP_FLOOR = 10.0
+
+#: The verified one-function edits from bench_incremental.
+EDITS = {
+    "relay": (
+        "void ping(void) {\n    int v;\n    v = *cursor;",
+        "void ping(void) {\n    int v;\n    int extra;\n"
+        "    extra = 0;\n    v = *cursor;\n    v = v + extra;\n"
+        "    extra = v;",
+    ),
+    "fanout": (
+        "void work0(int n) { int i; int *p; p = &d0; "
+        "for (i = 0; i < n; i = i + 1) { w0 = p; *p = i; } }\n",
+        "void work0(int n) { int i; int j; int *p; p = &d0; "
+        "for (i = 0; i < n; i = i + 1) "
+        "{ j = i; w0 = p; *p = j; } }\n",
+    ),
+}
+
+
+def cold_check(source: str):
+    """The whole batch pipeline: analyze, extract facts for every
+    function, run every checker, finalize against the source."""
+    analysis = analyze_source(source)
+    findings = run_checkers(analysis, source=source)
+    return findings
+
+
+def bench_program(name: str, repeats: int) -> dict:
+    source = PERF_BENCHMARKS[name].source
+    old_fragment, new_fragment = EDITS[name]
+    assert old_fragment in source, f"{name}: edit site not found"
+    edited = source.replace(old_fragment, new_fragment)
+
+    cold_samples: list[float] = []
+    warm_samples: list[float] = []
+    modes = set()
+    dirty: set[str] = set()
+    with perf.configured(track_provenance=False):
+        for _ in range(repeats):
+            # Warm-side prior state (not timed): the analysis and
+            # baseline a watch session would already hold.
+            base = analyze_source(source)
+            baseline = build_baseline(base, source)
+
+            started = time.perf_counter()
+            report = check_diff(
+                edited, old_source=source, old_analysis=base,
+                baseline=baseline,
+            )
+            warm_findings = report.findings
+            warm_samples.append(time.perf_counter() - started)
+            modes.add(report.mode)
+            dirty.update(report.dirty_functions)
+
+            started = time.perf_counter()
+            cold_findings = cold_check(edited)
+            cold_samples.append(time.perf_counter() - started)
+
+            assert render_sarif(warm_findings, name) == render_sarif(
+                cold_findings, name
+            ), f"{name}: diff check diverges from cold"
+
+    cold_s = statistics.median(cold_samples)
+    warm_s = statistics.median(warm_samples)
+    section = {
+        "findings": len(cold_findings),
+        "mode": sorted(modes),
+        "dirty_functions": sorted(dirty),
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "cold_min_s": round(min(cold_samples), 6),
+        "warm_min_s": round(min(warm_samples), 6),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else 0.0,
+    }
+    print(
+        f"  {name:>8}: cold {cold_s * 1000:7.1f}ms, warm "
+        f"{warm_s * 1000:6.1f}ms ({section['mode']}, "
+        f"{len(section['dirty_functions'])} dirty) -> "
+        f"{section['speedup']}x"
+    )
+    return section
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single repeat, no speedup floor (CI)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repeats per program (default 5)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else args.repeats
+    mode = "smoke" if args.smoke else "full"
+    print(f"bench_diffcheck ({mode}): {len(EDITS)} programs, "
+          f"{repeats} repeat(s)")
+
+    programs = {
+        name: bench_program(name, repeats) for name in sorted(EDITS)
+    }
+    floor_ok = all(
+        entry["speedup"] >= SPEEDUP_FLOOR for entry in programs.values()
+    )
+    section = {
+        "mode": mode,
+        "repeats": repeats,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "programs": programs,
+    }
+
+    merged: dict = {}
+    if args.out.exists():
+        try:
+            merged = json.loads(args.out.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    merged["diffcheck"] = section
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"  -> {args.out}")
+
+    if not args.smoke and not floor_ok:
+        slow = {
+            name: entry["speedup"]
+            for name, entry in programs.items()
+            if entry["speedup"] < SPEEDUP_FLOOR
+        }
+        print(
+            f"bench_diffcheck: FAIL warm speedup below "
+            f"{SPEEDUP_FLOOR}x floor: {slow}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -164,7 +164,6 @@ def _delete_function(source, chunks, chunk) -> tuple[str, str] | None:
     name = chunk.name
     if name == "main":
         return None
-    outside = 0
     proto_spans = []
     proto_re = re.compile(
         rf"^[^\n;{{}}]*\b{re.escape(name)}\s*\([^;{{)]*\)\s*;[ \t]*\n?",
@@ -182,7 +181,6 @@ def _delete_function(source, chunks, chunk) -> tuple[str, str] | None:
         for match in protos:
             proto_spans.append((other.start + match.start(),
                                 other.start + match.end()))
-        outside += uses
     spans = sorted(proto_spans + [(chunk.start, chunk.end)], reverse=True)
     text = source
     for start, end in spans:

@@ -29,22 +29,40 @@ from repro.checkers import (  # noqa: E402  (after base/facts by design)
     uninit,
 )
 from repro.checkers.runner import (
+    UNUSED_SUPPRESSION,
     CheckerError,
+    finalize_findings,
     parse_suppressions,
     run_checkers,
     select_checkers,
 )
+from repro.checkers.diff import (
+    BASELINE_VERSION,
+    DiffCheckReport,
+    DiffError,
+    build_baseline,
+    check_diff,
+    finding_fingerprint,
+)
 from repro.checkers.sarif import render_findings, render_sarif, to_sarif
 
 __all__ = [
+    "BASELINE_VERSION",
     "CHECKERS",
     "CheckContext",
     "CheckFacts",
     "Checker",
     "CheckerError",
+    "DiffCheckReport",
+    "DiffError",
     "Finding",
+    "UNUSED_SUPPRESSION",
+    "build_baseline",
+    "check_diff",
     "collect_facts",
     "dangling",
+    "finalize_findings",
+    "finding_fingerprint",
     "interference",
     "leak",
     "nullderef",

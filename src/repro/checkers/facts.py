@@ -276,14 +276,19 @@ def _heap_alive(analysis, funcs_with_allocs: set[str]) -> dict[str, bool]:
     if not funcs_with_allocs:
         return {}
     from repro.core.analysis import _is_temp_name
-    from repro.core.heapconn import analyze_heap_connections
+    from repro.core.heapconn import HeapConnectionAnalysis
 
-    heap = analyze_heap_connections(analysis)
+    # The connection analysis is per-function (entry state comes from
+    # the function's own points-to rows; callees contribute only their
+    # heap-inertness verdict), so run it only where allocations live —
+    # the differential engine restricts this to the dirty set.
+    heap = HeapConnectionAnalysis(analysis)
     alive_map: dict[str, bool] = {}
     for func in sorted(funcs_with_allocs):
         fn = analysis.program.functions.get(func)
         if fn is None:
             continue
+        heap.analyze_function(func)
         exits = [s for s in fn.iter_stmts() if isinstance(s, SReturn)]
         if not exits:
             alive_map[func] = True
@@ -302,14 +307,23 @@ def _heap_alive(analysis, funcs_with_allocs: set[str]) -> dict[str, bool]:
     return alive_map
 
 
-def collect_facts(analysis) -> CheckFacts:
+def collect_facts(analysis, funcs=None) -> CheckFacts:
     """Extract checker facts from a live analysis (requires
-    ``analysis.program``)."""
+    ``analysis.program``).
+
+    ``funcs`` restricts extraction to the named functions — the
+    differential engine (:mod:`repro.checkers.diff`) passes the dirty
+    set so detectors and the heap-connection sweep only pay for what an
+    edit actually invalidated.  ``None`` extracts everything.
+    """
     program = analysis.program
     facts = CheckFacts()
     funcs_with_allocs: set[str] = set()
 
-    for fname in sorted(program.functions):
+    names = sorted(program.functions) if funcs is None else sorted(
+        set(funcs) & set(program.functions)
+    )
+    for fname in names:
         fn = program.functions[fname]
         assigned = _assigned_names(fn)
         loop_nodes = []

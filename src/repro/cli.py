@@ -304,6 +304,13 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     source = _read(args.file)
     options = AnalysisOptions(function_pointer_strategy=args.fnptr)
+    checkers = (
+        [part.strip() for part in args.checkers.split(",") if part.strip()]
+        if args.checkers
+        else None
+    )
+    if args.diff or args.baseline:
+        return _check_diff(args, source, options, checkers)
     recording = (
         contextlib.nullcontext()
         if args.no_provenance
@@ -317,13 +324,13 @@ def cmd_check(args: argparse.Namespace) -> int:
             result, _ = store.load_or_analyze(
                 source, options, name=args.file, refresh=args.refresh
             )
-    checkers = (
-        [part.strip() for part in args.checkers.split(",") if part.strip()]
-        if args.checkers
-        else None
-    )
     try:
-        findings = run_checkers(result, source=source, checkers=checkers)
+        findings = run_checkers(
+            result,
+            source=source,
+            checkers=checkers,
+            unused_suppressions=not args.no_unused_suppressions,
+        )
     except CheckerError as exc:
         print(f"check: error: {exc}", file=sys.stderr)
         return 2
@@ -334,6 +341,181 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.strict and any(f.severity == "error" for f in findings):
         return 1
     return 0
+
+
+def _check_diff(args, source, options, checkers) -> int:
+    """``repro-pta check --diff OLD.c NEW.c`` / ``--baseline KEY``:
+    differential check (docs/CHECKERS.md).  Exit code 0 when no new
+    findings appeared, 1 when some did, 2 on errors."""
+    from repro.checkers import (
+        CheckerError,
+        check_diff,
+        render_findings,
+        render_sarif,
+    )
+
+    store = None if args.no_cache else _make_store(args)
+    old_source = _read(args.diff) if args.diff else None
+    baseline = None
+    if args.baseline:
+        if store is None:
+            print(
+                "check: error: --baseline needs the result store "
+                "(drop --no-cache)",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = store.get_record(args.baseline)
+        if baseline is None:
+            print(
+                f"check: error: no baseline record {args.baseline!r}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        report = check_diff(
+            source,
+            old_source=old_source,
+            baseline=baseline,
+            store=store,
+            options=options,
+            checkers=checkers,
+            unused_suppressions=not args.no_unused_suppressions,
+            filename=args.file,
+        )
+    except CheckerError as exc:
+        print(f"check: error: {exc}", file=sys.stderr)
+        return 2
+    summary = report.summary()
+    if args.format == "sarif":
+        print(render_sarif(report.findings, args.file))
+        out = sys.stderr
+    else:
+        print(render_findings(report.findings, args.file))
+        out = sys.stdout
+    print(
+        f"diff: mode={summary['mode']} "
+        f"dirty={len(report.dirty_functions)} "
+        f"replayed={report.replayed} new={summary['new']} "
+        f"unchanged={summary['unchanged']} fixed={summary['fixed']}",
+        file=out,
+    )
+    for finding, status in zip(report.findings, report.statuses):
+        if status == "new":
+            where = f":{finding.line}" if finding.line else ""
+            print(
+                f"  new: {args.file}{where}: {finding.severity}: "
+                f"[{finding.checker}] {finding.message}",
+                file=out,
+            )
+    for record in report.absent:
+        print(
+            f"  fixed: [{record['checker']}] {record['message']}",
+            file=out,
+        )
+    if report.new_baseline_key:
+        print(f"baseline: {report.new_baseline_key}", file=out)
+    return 1 if summary["new"] else 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Watch a file through a running daemon: establish a baseline,
+    then push each edit via the ``watch`` verb and print only the new
+    and fixed findings (with a trace id per change)."""
+    import time
+    from pathlib import Path
+
+    from repro.daemon import DaemonClient
+
+    path = Path(args.file)
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        print(f"watch: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        client = DaemonClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"watch: cannot connect: {exc}", file=sys.stderr)
+        return 2
+
+    def body(new_source: str, base: str | None) -> dict:
+        request: dict = {
+            "cmd": "watch",
+            "source": new_source,
+            "trace": True,
+            "options": {"function_pointer_strategy": args.fnptr},
+        }
+        if base is not None:
+            request["from"] = base
+        if args.checkers:
+            request["checkers"] = [
+                part.strip()
+                for part in args.checkers.split(",")
+                if part.strip()
+            ]
+        if args.no_unused_suppressions:
+            request["unused_suppressions"] = False
+        return request
+
+    response = client.request(body(source, None))
+    if not response.get("ok"):
+        print(f"watch: error: {response.get('error')}", file=sys.stderr)
+        client.close()
+        return 2
+    result = response["result"]
+    print(
+        f"watch: established key={result['key']} "
+        f"{len(result['findings'])} finding(s) "
+        f"({result['errors']} error(s), {result['warnings']} warning(s))"
+    )
+    saw_new = False
+    changes = 0
+    try:
+        while args.max_polls is None or changes < args.max_polls:
+            time.sleep(args.interval)
+            try:
+                new_source = path.read_text()
+            except OSError:
+                continue
+            if new_source == source:
+                continue
+            changes += 1
+            response = client.request(body(new_source, source))
+            if not response.get("ok"):
+                print(
+                    f"watch: error: {response.get('error')}",
+                    file=sys.stderr,
+                )
+                source = new_source
+                continue
+            result = response["result"]
+            trace = response.get("trace_id", "-")
+            print(
+                f"watch: change #{changes} mode={result['mode']} "
+                f"dirty={len(result['dirty_functions'])} "
+                f"new={len(result['new'])} fixed={len(result['fixed'])} "
+                f"unchanged={result['unchanged']} trace={trace}"
+            )
+            for record in result["new"]:
+                saw_new = True
+                where = (
+                    f":{record['line']}" if record.get("line") else ""
+                )
+                print(
+                    f"  new: {path}{where}: {record['severity']}: "
+                    f"[{record['checker']}] {record['message']}"
+                )
+            for record in result["fixed"]:
+                print(
+                    f"  fixed: [{record['checker']}] {record['message']}"
+                )
+            source = new_source
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    return 1 if saw_new else 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -879,7 +1061,74 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 when any error-severity finding remains",
     )
+    p_check.add_argument(
+        "--diff",
+        default=None,
+        metavar="OLD",
+        help=(
+            "differential mode: check FILE against this previous "
+            "version's finding baseline (exit 0 clean, 1 new findings)"
+        ),
+    )
+    p_check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="KEY",
+        help="differential mode against a stored baseline record",
+    )
+    p_check.add_argument(
+        "--no-unused-suppressions",
+        action="store_true",
+        help="do not report // repro-ignore comments that suppress "
+        "nothing",
+    )
     p_check.set_defaults(func=cmd_check)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help=(
+            "watch a file through a running daemon and report only "
+            "new/fixed findings per edit (see docs/CHECKERS.md)"
+        ),
+    )
+    p_watch.add_argument("file")
+    p_watch.add_argument("--host", default="127.0.0.1")
+    p_watch.add_argument("--port", type=int, required=True)
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between file polls",
+    )
+    p_watch.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N observed changes (default: run until ^C)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=60.0, help="request timeout"
+    )
+    p_watch.add_argument(
+        "--checkers",
+        default=None,
+        metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    p_watch.add_argument(
+        "--fnptr",
+        choices=["precise", "all_functions", "address_taken"],
+        default="precise",
+        help="function-pointer binding strategy",
+    )
+    p_watch.add_argument(
+        "--no-unused-suppressions",
+        action="store_true",
+        help="do not report // repro-ignore comments that suppress "
+        "nothing",
+    )
+    p_watch.set_defaults(func=cmd_watch)
 
     p_batch = sub.add_parser(
         "batch", help="analyze many files through the store in parallel"

@@ -22,7 +22,6 @@ from repro.frontend.errors import CFrontendError
 from repro.simple.ir import (
     BasicKind,
     BasicStmt,
-    SimpleFunction,
     SimpleProgram,
     Stmt,
     iter_stmts,

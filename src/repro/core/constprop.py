@@ -538,7 +538,6 @@ class ConstantPropagation:
         # globals with constant initializers
         for stmt in self.program.global_init.stmts:
             if isinstance(stmt, BasicStmt) and stmt.kind is BasicKind.CONST:
-                pts = None
                 genv = self.analysis.env(None)
                 value = stmt.rvalue.value
                 if isinstance(value, (int, float)) and stmt.lhs.is_plain_var:

@@ -23,7 +23,7 @@ program (no program points, no kills, no calling contexts).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.simple.ir import (
     AddrOf,

@@ -22,9 +22,7 @@ from repro.core.locations import AbsLoc, function_loc
 from repro.core.pointsto import D, PointsToSet, merge_all
 from repro.simple.ir import (
     AddrOf,
-    BasicKind,
     BasicStmt,
-    Ref,
     SimpleProgram,
 )
 

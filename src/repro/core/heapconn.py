@@ -43,7 +43,6 @@ from repro.simple.ir import (
     AddrOf,
     BasicKind,
     BasicStmt,
-    Const,
     Ref,
     SBlock,
     SBreak,

@@ -74,7 +74,7 @@ from repro.simple.patching import (
     incremental_simplify,
 )
 from repro.simple.printer import print_function
-from repro.simple.simplify import CFrontendError, simplify_source
+from repro.simple.simplify import simplify_source
 
 
 # --------------------------------------------------------------------------

@@ -28,11 +28,15 @@ class IGNodeKind(enum.Enum):
     RECURSIVE = "recursive"
     APPROXIMATE = "approximate"
 
+    def __init__(self, value: str) -> None:
+        self._crc = zlib.crc32(value.encode())
+
     # Content hash, not the default object-id hash: keeps iteration
     # order of kind-keyed containers identical across runs (see
-    # LocKind.__hash__).
+    # LocKind.__hash__).  Computed once per member: the update path
+    # hashes kinds tens of thousands of times per splice.
     def __hash__(self) -> int:
-        return zlib.crc32(self.value.encode())
+        return self._crc
 
 
 @dataclass

@@ -22,7 +22,6 @@ from repro.core.analysis import PointsToAnalysis
 from repro.core.locations import AbsLoc, TAIL
 from repro.core.pointsto import D, Definiteness
 from repro.simple.ir import (
-    BasicKind,
     BasicStmt,
     IndexSel,
     Ref,

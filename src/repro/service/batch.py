@@ -32,12 +32,10 @@ from pathlib import Path
 
 from repro import obs
 from repro.core.analysis import AnalysisOptions
-from repro.service.commands import (
+from repro.service.commands import (  # noqa: F401  (_CMD_HANDLERS re-exported)
     CMD_HANDLERS as _CMD_HANDLERS,
     SERVE_COMMANDS,
     handle_request,
-    request_options as _request_options,
-    request_source as _request_source,
 )
 from repro.service.queries import QuerySession
 from repro.service.store import ResultStore

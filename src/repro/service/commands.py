@@ -227,7 +227,12 @@ def _cmd_check(request, store, sessions) -> dict:
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
     try:
         findings = run_checkers(
-            result, source=source, checkers=request.get("checkers")
+            result,
+            source=source,
+            checkers=request.get("checkers"),
+            unused_suppressions=bool(
+                request.get("unused_suppressions", True)
+            ),
         )
     except CheckerError as exc:
         return {"ok": False, "error": str(exc)}
@@ -329,6 +334,150 @@ def _cmd_update(request, store, sessions) -> dict:
         return {"ok": True, "cached": session.cached, "result": report}
 
 
+def _cmd_watch(request, store, sessions) -> dict:
+    """Differentially check an edited source (docs/CHECKERS.md).
+
+    ``source``/``file`` carry the *new* text.  Without ``from`` the
+    verb *establishes* a watch: full check, finding baseline persisted
+    beside the artifact, every finding reported.  With ``from`` (the
+    predecessor text) it rides the update ladder plus the baseline and
+    reports only what changed: ``new`` and ``fixed`` finding lists
+    plus an ``unchanged`` count.  Optional keys: ``checkers``,
+    ``unused_suppressions`` (default true), ``options``.  Runs
+    provenance-off (the splice tier requires it), so watch sessions
+    are keyed independently of any provenance-on query sessions.
+    """
+    from repro.checkers import (
+        CheckerError,
+        build_baseline,
+        check_diff,
+        select_checkers,
+    )
+
+    name, source, error = request_source(request)
+    if error is not None:
+        return error
+    options, error = request_options(request)
+    if error is not None:
+        return error
+    base_source = request.get("from")
+    if base_source is not None and not isinstance(base_source, str):
+        return {"ok": False, "error": "'from' must be a source string"}
+    unused = bool(request.get("unused_suppressions", True))
+    checkers = request.get("checkers")
+    try:
+        selected = (
+            None if checkers is None
+            else {checker.id for checker in select_checkers(checkers)}
+        )
+    except CheckerError as exc:
+        return {"ok": False, "error": str(exc)}
+
+    with perf.configured(track_provenance=False):
+        new_key = store.key_for(source, options)
+    with _update_lock(new_key):
+        if base_source is None:
+            try:
+                with perf.configured(track_provenance=False):
+                    result, hit = store.load_or_analyze(
+                        source, options, name=name
+                    )
+                    if getattr(result, "program", None) is not None:
+                        store.put_function_summaries(
+                            result, source, options
+                        )
+                    baseline = build_baseline(
+                        result, source,
+                        checkers=checkers, unused_suppressions=unused,
+                    )
+                    store.put(
+                        store.baseline_key(
+                            source, options, checkers=selected,
+                            unused_suppressions=unused,
+                        ),
+                        baseline,
+                    )
+            except CheckerError as exc:
+                return {"ok": False, "error": str(exc)}
+            except Exception as exc:
+                return {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            session = QuerySession(result, source)
+            sessions[new_key] = session
+            findings = [record for _, record in baseline["reported"]]
+            errors = sum(
+                1 for record in findings if record["severity"] == "error"
+            )
+            obs.event(
+                "watch", established=True, key=new_key[:12],
+                findings=len(findings),
+            )
+            return {
+                "ok": True,
+                "cached": hit,
+                "result": {
+                    "established": True,
+                    "key": new_key[:12],
+                    "errors": errors,
+                    "warnings": len(findings) - errors,
+                    "findings": findings,
+                },
+            }
+
+        with perf.configured(track_provenance=False):
+            base_key = store.key_for(base_source, options)
+        base_session = sessions.get(base_key)
+        base_analysis = (
+            base_session.analysis if base_session is not None else None
+        )
+        try:
+            report = check_diff(
+                source,
+                old_source=base_source,
+                old_analysis=base_analysis,
+                store=store,
+                options=options,
+                checkers=checkers,
+                unused_suppressions=unused,
+                filename=name,
+            )
+        except CheckerError as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        session = QuerySession(report.analysis, source)
+        sessions[new_key] = session
+        if base_key != new_key:
+            sessions.pop(base_key, None)
+        new = [
+            finding.as_dict()
+            for finding, status in zip(report.findings, report.statuses)
+            if status == "new"
+        ]
+        unchanged = sum(
+            1 for status in report.statuses if status == "unchanged"
+        )
+        obs.event(
+            "watch", mode=report.mode, key=new_key[:12],
+            new=len(new), fixed=len(report.absent),
+        )
+        return {
+            "ok": True,
+            "cached": session.cached,
+            "result": {
+                "mode": report.mode,
+                "key": new_key[:12],
+                "dirty_functions": report.dirty_functions,
+                "replayed": report.replayed,
+                "new": new,
+                "fixed": report.absent,
+                "unchanged": unchanged,
+            },
+        }
+
+
 def _record_update_tier(mode, new_key: str) -> None:
     """Per-tier outcome counters + a journal event for every update:
     which rung of the splice/seeded/cold ladder actually served the
@@ -352,6 +501,7 @@ CMD_HANDLERS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "update": _cmd_update,
+    "watch": _cmd_watch,
 }
 
 #: Control commands the protocol understands (reported back on an

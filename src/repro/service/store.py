@@ -214,6 +214,31 @@ class ResultStore:
         request — the root set that keeps its summaries alive."""
         return "skel-" + ResultStore.key_for(source, options)
 
+    @staticmethod
+    def baseline_key(
+        source: str,
+        options: AnalysisOptions | None = None,
+        checkers=None,
+        unused_suppressions: bool = True,
+    ) -> str:
+        """Key of the finding-baseline record for one check request
+        (:mod:`repro.checkers.diff`).  Keyed beside the artifact —
+        same source/options/format inputs — plus the check
+        configuration, since the recorded findings depend on which
+        checkers ran and whether unused-suppression notes were on."""
+        from repro.checkers.diff import BASELINE_VERSION
+
+        options = options or AnalysisOptions()
+        body = {
+            "baseline_version": BASELINE_VERSION,
+            "source": source,
+            "options": asdict(options),
+            "checkers": sorted(checkers) if checkers is not None else None,
+            "unused_suppressions": bool(unused_suppressions),
+            "format_version": FORMAT_VERSION,
+        }
+        return "base-" + hashlib.sha256(canonical_json(body)).hexdigest()
+
     # -- raw object access -------------------------------------------------
 
     def has(self, key: str) -> bool:

@@ -32,6 +32,7 @@ change.
 
 from __future__ import annotations
 
+import functools
 import re
 from dataclasses import dataclass, field
 
@@ -74,7 +75,17 @@ def split_chunks(source: str) -> list[Chunk]:
     confidence (unbalanced braces, a brace group that is neither a
     function body nor terminated by ``;``, a function definition whose
     name cannot be extracted).
+
+    Memoized on the source text: one differential check chunks the
+    same text several times (planning, replay state, suppression
+    attribution), and nothing mutates the returned ``Chunk`` objects —
+    callers get a fresh list over the shared chunks.
     """
+    return list(_split_chunks_cached(source))
+
+
+@functools.lru_cache(maxsize=32)
+def _split_chunks_cached(source: str) -> tuple[Chunk, ...]:
     chunks: list[Chunk] = []
     n = len(source)
     i = 0
@@ -84,10 +95,9 @@ def split_chunks(source: str) -> list[Chunk]:
     #: the ")" closing that group — the span that makes it a function.
     first_paren = None
     header_end = None
-    seen_body = False  # a top-level {...} group closed in this chunk
 
     def flush(end: int, kind: str) -> None:
-        nonlocal start, first_paren, header_end, seen_body
+        nonlocal start, first_paren, header_end
         text = source[start:end]
         if text.strip():
             if kind == "function":
@@ -107,7 +117,6 @@ def split_chunks(source: str) -> list[Chunk]:
         start = end
         first_paren = None
         header_end = None
-        seen_body = False
 
     while i < n:
         ch = source[i]
@@ -185,7 +194,7 @@ def split_chunks(source: str) -> list[Chunk]:
         raise ChunkError("unbalanced braces or parentheses at EOF")
     if source[start:].strip():
         raise ChunkError("trailing top-level text without terminator")
-    return chunks
+    return tuple(chunks)
 
 
 def _next_code_char(source: str, i: int) -> int | None:

@@ -134,6 +134,14 @@ class TestSuppressions:
             "return 0; }\n"
         )
         findings = run_checkers(analyze(source), source=source)
+        # The heap-leak suppression doesn't silence null-deref, and —
+        # suppressing nothing — earns an unused-suppression note.
+        assert [f.checker for f in findings] == [
+            "null-deref", "unused-suppression"
+        ]
+        findings = run_checkers(
+            analyze(source), source=source, unused_suppressions=False
+        )
         assert [f.checker for f in findings] == ["null-deref"]
 
 

@@ -1,0 +1,152 @@
+"""Differential-check property tests over the edit-fuzz campaign.
+
+The fixed-seed mutator (:mod:`repro.benchsuite.edits`) sweeps the
+benchmark suite and the soundness-fuzz corpus, producing well over 300
+(program, edit) pairs across all five mutation families.  For every
+pair, a warm ``check --diff`` against the prior analysis and finding
+baseline must
+
+* produce a finding set byte-identical (SARIF) to a cold full check
+  of the edited text, whatever tier the update ladder took;
+* keep every finding in an untouched (clean) function classified
+  ``unchanged`` — its edit-stable fingerprint survived the edit;
+* keep the fingerprint *multisets* of clean-function findings
+  identical between a cold check of the old text and a cold check of
+  the new text — fingerprint stability shown without the diff
+  engine's own replay in the loop.
+
+Tier-1 runs one pair per idiom family on a handful of programs; the
+full campaign is nightly (``slow``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS
+from repro.benchsuite.edits import EDIT_KINDS, propose_edits
+from repro.benchsuite.generator import generate_program
+from repro.checkers import (
+    build_baseline,
+    check_diff,
+    finding_fingerprint,
+    render_sarif,
+    run_checkers,
+)
+from repro.core.analysis import analyze_source
+
+from tests.interp.test_soundness_fuzz import CONFIGS, CORPUS, TIER1
+
+#: (pair id, old source getter args) for the whole campaign: every
+#: benchmark plus every fuzz-corpus program.
+PROGRAMS = [
+    (f"bench-{name}", ("bench", name, 0)) for name in sorted(BENCHMARKS)
+] + [
+    (test_id, ("fuzz", config, seed)) for test_id, config, seed in CORPUS
+]
+
+TIER1_PROGRAMS = [
+    (test_id, ("fuzz", config, seed)) for test_id, config, seed in TIER1
+] + [
+    (f"bench-{name}", ("bench", name, 0))
+    for name in ("hash", "misr", "fixoutput")
+]
+
+
+def _source_for(kind: str, name: str, seed: int) -> str:
+    if kind == "bench":
+        return BENCHMARKS[name].source
+    return generate_program(seed, CONFIGS[name])
+
+
+def _check_pair(old_source: str, edit, pair_id: str) -> None:
+    old = analyze_source(old_source)
+    baseline = build_baseline(old, old_source)
+    old_findings = run_checkers(old, source=old_source)
+
+    report = check_diff(
+        edit.source, old_source=old_source, old_analysis=old,
+        baseline=baseline,
+    )
+    cold = run_checkers(analyze_source(edit.source), source=edit.source)
+
+    # 1. Byte-level SARIF identity, whichever tier the ladder took.
+    assert render_sarif(report.findings, pair_id) == (
+        render_sarif(cold, pair_id)
+    ), (
+        f"diff check (mode={report.mode}) diverges from cold for "
+        f"{pair_id}: {edit.description}"
+    )
+
+    # 2. Findings in untouched functions survived with their
+    # fingerprints intact: every clean-function finding is unchanged.
+    clean = set(report.clean_functions)
+    for finding, status in zip(report.findings, report.statuses):
+        if finding.func in clean:
+            assert status == "unchanged", (
+                f"finding in clean function {finding.func} classified "
+                f"{status} for {pair_id}: {edit.description}"
+            )
+
+    # 3. The same stability shown engine-free: cold old-text and cold
+    # new-text checks agree on the fingerprint multiset over the
+    # clean functions (lines may shift; fingerprints may not).
+    old_fps = Counter(
+        finding_fingerprint(f) for f in old_findings if f.func in clean
+    )
+    new_fps = Counter(
+        finding_fingerprint(f) for f in cold if f.func in clean
+    )
+    assert old_fps == new_fps, (
+        f"clean-function fingerprints drifted for {pair_id}: "
+        f"{edit.description}"
+    )
+
+
+def _check_program(kind: str, name: str, seed: int, per_kind: int) -> int:
+    old_source = _source_for(kind, name, seed)
+    edits = propose_edits(old_source, seed=seed, per_kind=per_kind)
+    for edit in edits:
+        _check_pair(old_source, edit, f"{kind}-{name}-s{seed}-{edit.kind}")
+    return len(edits)
+
+
+def test_campaign_is_real():
+    """The sweep really is a >= 300-pair campaign over all families."""
+    total = 0
+    kinds = set()
+    for _, (kind, name, seed) in PROGRAMS:
+        edits = propose_edits(
+            _source_for(kind, name, seed), seed=seed, per_kind=2
+        )
+        total += len(edits)
+        kinds.update(e.kind for e in edits)
+    assert total >= 300, f"only {total} valid (program, edit) pairs"
+    assert kinds == set(EDIT_KINDS), (
+        f"families missing: {set(EDIT_KINDS) - kinds}"
+    )
+
+
+@pytest.mark.parametrize(
+    "kind,name,seed",
+    [args for _, args in TIER1_PROGRAMS],
+    ids=[test_id for test_id, _ in TIER1_PROGRAMS],
+)
+def test_diff_fuzz_subset(kind, name, seed):
+    """Tier-1: every valid edit on one program per family."""
+    assert _check_program(kind, name, seed, per_kind=1) > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "kind,name,seed",
+    [args for test_id, args in PROGRAMS
+     if (test_id, args) not in TIER1_PROGRAMS],
+    ids=[test_id for test_id, args in PROGRAMS
+         if (test_id, args) not in TIER1_PROGRAMS],
+)
+def test_diff_fuzz_sweep(kind, name, seed):
+    """Nightly: the full campaign, two edits per family per program."""
+    _check_program(kind, name, seed, per_kind=2)

@@ -1,5 +1,13 @@
 """The analysis must be deterministic run to run: downstream passes
-and the regenerated tables depend on it."""
+and the regenerated tables depend on it.  So must the findings
+payload: ``repro check`` SARIF output is byte-identical across hash
+seeds and repeated runs — CI gates on it."""
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
 
 from repro.benchsuite import BENCHMARKS
 from repro.core.analysis import analyze_source
@@ -41,3 +49,89 @@ class TestDeterminism:
             analyze_source(source).warnings
             == analyze_source(source).warnings
         )
+
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Renders the check pipeline's SARIF for finding-bearing programs —
+#: a cold full check per program plus one differential check — and
+#: digests the bytes.  Run under different hash seeds by the test.
+SARIF_SCRIPT = """
+import hashlib, json, sys
+from repro.benchsuite import BENCHMARKS
+from repro.checkers import build_baseline, check_diff, render_sarif, run_checkers
+from repro.core.analysis import analyze_source
+
+BUGGY = (
+    "int g;\\n"
+    "void set_null(int **pp) { *pp = 0; }\\n"
+    "int main() {\\n"
+    "    int *p;\\n"
+    "    p = &g;\\n"
+    "    set_null(&p);\\n"
+    "    L: *p = 1;\\n"
+    "    return 0;\\n"
+    "}\\n"
+)
+EDITED = BUGGY.replace(
+    "    L: *p = 1;",
+    "    L: *p = 1;\\n    int *q;\\n    q = 0;\\n    *q = 2;",
+)
+
+digests = {}
+for name in ("hash", "misr", "toplev"):
+    source = BENCHMARKS[name].source
+    findings = run_checkers(analyze_source(source), source=source)
+    digests[name] = hashlib.sha256(
+        render_sarif(findings, name).encode()
+    ).hexdigest()
+findings = run_checkers(analyze_source(BUGGY), source=BUGGY)
+digests["buggy"] = hashlib.sha256(
+    render_sarif(findings, "buggy").encode()
+).hexdigest()
+old = analyze_source(BUGGY)
+report = check_diff(
+    EDITED, old_source=BUGGY, old_analysis=old,
+    baseline=build_baseline(old, BUGGY),
+)
+digests["diff"] = hashlib.sha256(
+    render_sarif(report.findings, "diff").encode()
+).hexdigest()
+json.dump(digests, sys.stdout)
+"""
+
+
+def _sarif_digests(hash_seed: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", SARIF_SCRIPT],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hash_seed, "PATH": ""},
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestCheckDeterminism:
+    """SARIF output byte-identical across hash seeds and runs."""
+
+    def test_sarif_stable_across_hash_seeds(self):
+        first = _sarif_digests("0")
+        second = _sarif_digests("424242")
+        assert first == second
+        assert len(first) == 5
+
+    def test_sarif_stable_across_repeated_runs(self):
+        from repro.checkers import render_sarif, run_checkers
+
+        source = BENCHMARKS["misr"].source
+        digests = {
+            hashlib.sha256(
+                render_sarif(
+                    run_checkers(analyze_source(source), source=source),
+                    "misr",
+                ).encode()
+            ).hexdigest()
+            for _ in range(3)
+        }
+        assert len(digests) == 1

@@ -1,0 +1,65 @@
+"""Differential-check smoke over the examples fixture (CI gate).
+
+Scripted edit of ``examples/pointer_bugs.c``: inject one fresh null
+dereference into ``main``, diff against the pristine text through the
+real CLI, and assert the run exits 1 with exactly the injected bug
+reported as new — every pre-existing finding must replay from the
+baseline as unchanged.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURE = REPO / "examples" / "pointer_bugs.c"
+
+INJECTION = (
+    "    int *z;\n"
+    "    z = 0;\n"
+    "    *z = 9;\n"
+    "    DONE: return 0;"
+)
+
+
+def _run_check(args: list[str], store: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "check", *args,
+         "--store", str(store)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": ""},
+        cwd=str(REPO),
+    )
+
+
+def test_only_injected_bug_is_new(tmp_path):
+    source = FIXTURE.read_text()
+    assert "    DONE: return 0;" in source
+    edited = tmp_path / "pointer_bugs_edited.c"
+    edited.write_text(source.replace("    DONE: return 0;", INJECTION))
+    store = tmp_path / "store"
+
+    proc = _run_check(
+        [str(edited), "--diff", str(FIXTURE)], store
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    new_lines = [
+        line for line in proc.stdout.splitlines()
+        if line.strip().startswith("new: ")
+    ]
+    assert len(new_lines) == 1, proc.stdout
+    assert "null-deref" in new_lines[0]
+    assert "main" in proc.stdout or "z" in new_lines[0]
+    assert "fixed: " not in proc.stdout
+
+
+def test_clean_diff_exits_zero(tmp_path):
+    store = tmp_path / "store"
+    proc = _run_check(
+        [str(FIXTURE), "--diff", str(FIXTURE)], store
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "new: " not in proc.stdout

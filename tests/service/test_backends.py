@@ -279,6 +279,75 @@ class TestFunctionSummaries:
         assert store.keys("fn-") == []
 
 
+#: A program with one definite null dereference, and a one-function
+#: edit that adds a second one — enough to exercise the differential
+#: checker's baseline records end to end.
+DIFF_OLD = """
+int g;
+void set_null(int **pp) { *pp = 0; }
+int main() {
+    int *p;
+    p = &g;
+    set_null(&p);
+    L: *p = 1;
+    return 0;
+}
+"""
+
+DIFF_NEW = DIFF_OLD.replace(
+    "    L: *p = 1;",
+    "    L: *p = 1;\n    int *q;\n    q = 0;\n    *q = 2;",
+)
+
+
+class TestFindingBaselines:
+    """The ``base-`` finding-baseline key scheme (repro.checkers.diff),
+    over every backend: records persist beside the artifact, re-checks
+    resolve them from the store, and classification round-trips."""
+
+    def test_diff_persists_base_records(self, backend):
+        from repro.checkers import check_diff
+
+        store = ResultStore(backend)
+        report = check_diff(DIFF_NEW, old_source=DIFF_OLD, store=store)
+        base_keys = store.keys("base-")
+        assert store.baseline_key(DIFF_OLD) in base_keys
+        assert store.baseline_key(DIFF_NEW) in base_keys
+        assert report.new_baseline_key == store.baseline_key(DIFF_NEW)
+        record = store.get_record(report.new_baseline_key)
+        assert record is not None and "reported" in record
+
+    def test_recheck_hits_stored_baseline(self, backend):
+        from repro import obs
+        from repro.checkers import check_diff
+
+        store = ResultStore(backend)
+        check_diff(DIFF_NEW, old_source=DIFF_OLD, store=store)
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            report = check_diff(
+                DIFF_NEW, old_source=DIFF_OLD, store=store
+            )
+        counters = tracer.snapshot()["counters"]
+        assert counters.get("diffcheck.baseline_hits") == 1
+        assert [
+            f.checker for f, s in zip(report.findings, report.statuses)
+            if s == "new"
+        ] == ["null-deref"]
+
+    def test_classification_round_trips(self, backend):
+        from repro.checkers import check_diff
+
+        store = ResultStore(backend)
+        first = check_diff(DIFF_NEW, old_source=DIFF_OLD, store=store)
+        assert sorted(first.statuses).count("new") == 1
+        # Diffing the new text against itself: everything unchanged,
+        # resolved purely from the persisted records.
+        second = check_diff(DIFF_NEW, old_source=DIFF_NEW, store=store)
+        assert set(second.statuses) == {"unchanged"}
+        assert second.absent == []
+
+
 class TestMemoryEviction:
     def test_max_objects_bound(self):
         backend = MemoryBackend(max_objects=2)
